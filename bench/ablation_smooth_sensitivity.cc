@@ -1,0 +1,68 @@
+// Ablation / paper §5 future work: "examine the smooth sensitivity of ∆
+// as a function of the size of the graph G … preliminary experiments
+// indicate that in the SKG model, SS_∆ might grow slowly."
+//
+// We measure LS_∆ and SS_{β,∆} on SKG samples of increasing order k
+// (fixed Θ = [0.99 0.45; 0.45 0.25]) and on the co-authorship-like
+// generator at increasing sizes, and print the noise scale 2·SS/ε that
+// Algorithm 1 would add versus the true triangle count — the quantity
+// that decides whether ∆̃ is usable.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/common/table_writer.h"
+#include "src/datasets/affiliation.h"
+#include "src/dp/smooth_sensitivity.h"
+#include "src/graph/triangles.h"
+#include "src/skg/sampler.h"
+
+int main() {
+  using namespace dpkron;
+  const double epsilon = 0.1;  // the ε/2 share of Algorithm 1 at ε = 0.2
+  const double delta = 0.01;
+  const double beta = epsilon / (2.0 * std::log(2.0 / delta));
+  std::printf("# ablation_smooth_sensitivity: epsilon=%g delta=%g beta=%g\n",
+              epsilon, delta, beta);
+
+  SeriesTable local("smooth_sensitivity/local_sensitivity");
+  SeriesTable smooth("smooth_sensitivity/smooth_sensitivity");
+  SeriesTable relative("smooth_sensitivity/noise_over_triangles");
+
+  Rng rng(7);
+  for (uint32_t k = 6; k <= 13; ++k) {
+    const Graph g = SampleSkg({0.99, 0.45, 0.25}, k, rng);
+    const TriangleSensitivityProfile profile(g);
+    const double n = double(g.NumNodes());
+    const double ss = profile.SmoothSensitivity(beta);
+    const double triangles = double(CountTriangles(g));
+    local.Add("skg", n, double(profile.LocalSensitivity()));
+    smooth.Add("skg", n, ss);
+    if (triangles > 0) {
+      relative.Add("skg", n, (2.0 * ss / epsilon) / triangles);
+    }
+  }
+
+  for (uint32_t authors = 512; authors <= 8192; authors *= 2) {
+    AffiliationOptions options;
+    options.num_authors = authors;
+    options.num_papers = (authors * 5) / 8;
+    const Graph g = AffiliationGraph(options, rng);
+    const TriangleSensitivityProfile profile(g);
+    const double ss = profile.SmoothSensitivity(beta);
+    const double triangles = double(CountTriangles(g));
+    local.Add("coauthorship", double(authors),
+              double(profile.LocalSensitivity()));
+    smooth.Add("coauthorship", double(authors), ss);
+    if (triangles > 0) {
+      relative.Add("coauthorship", double(authors),
+                   (2.0 * ss / epsilon) / triangles);
+    }
+  }
+
+  local.Print();
+  smooth.Print();
+  relative.Print();
+  return 0;
+}

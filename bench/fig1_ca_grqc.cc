@@ -1,0 +1,15 @@
+// Figure 1 reproduction: CA-GrQC(-like) — hop plot, degree distribution,
+// scree plot, network value and clustering, for Original / KronFit /
+// KronMom / Private, plus "Expected" averages over realizations (the paper
+// used 100; default here is 10 for CI runtime — pass --realizations=100
+// for the full paper protocol).
+
+#include "bench/figure_harness.h"
+
+int main(int argc, char** argv) {
+  dpkron::bench::FigureConfig config;
+  config.experiment = "fig1_ca_grqc";
+  config.dataset = "CA-GrQC-like";
+  config.expected_realizations = 10;
+  return dpkron::bench::RunFigureBench(config, argc, argv);
+}

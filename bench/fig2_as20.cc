@@ -1,0 +1,11 @@
+// Figure 2 reproduction: AS20(-like), single realizations per estimator
+// (the paper reduces clutter by omitting the expected series here).
+
+#include "bench/figure_harness.h"
+
+int main(int argc, char** argv) {
+  dpkron::bench::FigureConfig config;
+  config.experiment = "fig2_as20";
+  config.dataset = "AS20-like";
+  return dpkron::bench::RunFigureBench(config, argc, argv);
+}

@@ -1,0 +1,11 @@
+// Figure 3 reproduction: CA-HepTh(-like), single realizations per
+// estimator.
+
+#include "bench/figure_harness.h"
+
+int main(int argc, char** argv) {
+  dpkron::bench::FigureConfig config;
+  config.experiment = "fig3_ca_hepth";
+  config.dataset = "CA-HepTh-like";
+  return dpkron::bench::RunFigureBench(config, argc, argv);
+}

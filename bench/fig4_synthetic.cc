@@ -1,0 +1,12 @@
+// Figure 4 reproduction: the synthetic stochastic Kronecker source graph
+// Θ = [0.99 0.45; 0.45 0.25], k = 14 — the modeling-assumption-true case
+// where all three estimators recover the parameter well.
+
+#include "bench/figure_harness.h"
+
+int main(int argc, char** argv) {
+  dpkron::bench::FigureConfig config;
+  config.experiment = "fig4_synthetic";
+  config.dataset = "Synthetic-SKG";
+  return dpkron::bench::RunFigureBench(config, argc, argv);
+}

@@ -1,0 +1,146 @@
+#include "bench/figure_harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/common/table_writer.h"
+#include "src/core/private_estimator.h"
+#include "src/core/release.h"
+#include "src/datasets/registry.h"
+#include "src/estimation/kronmom.h"
+#include "src/kronfit/kronfit.h"
+
+namespace dpkron::bench {
+namespace {
+
+void ParseFlags(FigureConfig* config, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--realizations=", 15) == 0) {
+      config->expected_realizations =
+          static_cast<uint32_t>(std::atoi(argv[i] + 15));
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      config->seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--epsilon=", 10) == 0) {
+      config->epsilon = std::atof(argv[i] + 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+    }
+  }
+}
+
+void EmitStatistics(SeriesTable* hop, SeriesTable* degree, SeriesTable* scree,
+                    SeriesTable* netval, SeriesTable* clustering,
+                    const std::string& series, const GraphStatistics& stats) {
+  for (size_t h = 0; h < stats.hop_plot.size(); ++h) {
+    hop->Add(series, double(h), stats.hop_plot[h]);
+  }
+  for (const auto& [d, count] : stats.degree_histogram) {
+    degree->Add(series, d, count);
+  }
+  for (size_t rank = 0; rank < stats.scree.size(); ++rank) {
+    scree->Add(series, double(rank + 1), stats.scree[rank]);
+  }
+  // Network value plots truncate to the leading components.
+  const size_t keep = std::min<size_t>(stats.network_value.size(), 1000);
+  for (size_t rank = 0; rank < keep; ++rank) {
+    netval->Add(series, double(rank + 1), stats.network_value[rank]);
+  }
+  for (const auto& [d, cc] : stats.clustering_by_degree) {
+    clustering->Add(series, d, cc);
+  }
+}
+
+}  // namespace
+
+int RunFigureBench(FigureConfig config, int argc, char** argv) {
+  ParseFlags(&config, argc, argv);
+  Rng rng(config.seed);
+
+  std::printf("# %s: dataset=%s epsilon=%g delta=%g realizations=%u\n",
+              config.experiment.c_str(), config.dataset.c_str(),
+              config.epsilon, config.delta, config.expected_realizations);
+
+  const Graph original = MakeDataset(config.dataset, rng);
+  const uint32_t k = ChooseKroneckerOrder(original.NumNodes());
+
+  SummaryBlock dataset_summary(config.experiment + " dataset");
+  dataset_summary.Add("nodes", double(original.NumNodes()));
+  dataset_summary.Add("edges", double(original.NumEdges()));
+  dataset_summary.Add("kronecker order k", double(k));
+  dataset_summary.Print();
+
+  // --- Fit the three estimators -----------------------------------------
+  const KronMomResult kronmom = FitKronMom(original);
+
+  KronFitOptions kf_options;
+  kf_options.iterations = config.kronfit_iterations;
+  Rng kronfit_rng = rng.Split();
+  const KronFitResult kronfit = FitKronFit(original, kronfit_rng, kf_options);
+
+  Rng private_rng = rng.Split();
+  PrivacyBudget budget(config.epsilon, config.delta);
+  const auto private_fit = EstimatePrivateSkg(
+      original, config.epsilon, config.delta, budget, private_rng);
+  if (!private_fit.ok()) {
+    std::fprintf(stderr, "private estimation failed: %s\n",
+                 private_fit.status().ToString().c_str());
+    return 1;
+  }
+
+  SummaryBlock params(config.experiment + " fitted initiators (a b c)");
+  params.Add("KronFit", kronfit.theta.ToString());
+  params.Add("KronMom", kronmom.theta.ToString());
+  params.Add("Private", private_fit.value().theta.ToString());
+  params.Print();
+  std::printf("%s", budget.ToString().c_str());
+
+  // --- Statistics: original + one realization per estimator -------------
+  SeriesTable hop(config.experiment + "/hop_plot");
+  SeriesTable degree(config.experiment + "/degree_distribution");
+  SeriesTable scree(config.experiment + "/scree_plot");
+  SeriesTable netval(config.experiment + "/network_value");
+  SeriesTable clustering(config.experiment + "/clustering");
+
+  Rng stats_rng = rng.Split();
+  EmitStatistics(&hop, &degree, &scree, &netval, &clustering, "original",
+                 ComputeStatistics(original, stats_rng));
+
+  struct Estimate {
+    const char* name;
+    Initiator2 theta;
+  };
+  const Estimate estimates[] = {
+      {"kronfit", kronfit.theta},
+      {"kronmom", kronmom.theta},
+      {"private", private_fit.value().theta},
+  };
+  for (const Estimate& estimate : estimates) {
+    const Graph sample = SampleSyntheticGraph(
+        estimate.theta, k, stats_rng,
+        SkgSampleMethod::kClassSkip);
+    EmitStatistics(&hop, &degree, &scree, &netval, &clustering, estimate.name,
+                   ComputeStatistics(sample, stats_rng));
+  }
+
+  // --- "Expected" series: averages over R realizations -------------------
+  if (config.expected_realizations > 0) {
+    for (const Estimate& estimate : estimates) {
+      const GraphStatistics mean =
+          ExpectedStatistics(estimate.theta, k, config.expected_realizations,
+                             stats_rng);
+      EmitStatistics(&hop, &degree, &scree, &netval, &clustering,
+                     std::string("expected-") + estimate.name, mean);
+    }
+  }
+
+  hop.Print();
+  degree.Print();
+  scree.Print();
+  netval.Print();
+  clustering.Print();
+  return 0;
+}
+
+}  // namespace dpkron::bench

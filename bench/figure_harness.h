@@ -1,0 +1,41 @@
+// Shared harness for the Figure 1–4 reproduction binaries.
+//
+// Each figure in the paper shows, for one dataset, five panels — hop plot,
+// degree distribution, scree plot, network value, clustering-by-degree —
+// overlaying the original graph with single synthetic realizations from
+// the KronFit, KronMom and Private estimators (Figure 1 additionally shows
+// "Expected" series averaged over 100 realizations). This harness runs
+// that whole pipeline and emits one TSV row per plotted point plus
+// human-readable summaries.
+
+#ifndef DPKRON_BENCH_FIGURE_HARNESS_H_
+#define DPKRON_BENCH_FIGURE_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dpkron::bench {
+
+struct FigureConfig {
+  std::string experiment;  // e.g. "fig1_ca_grqc"
+  std::string dataset;     // registry name, e.g. "CA-GrQC-like"
+  // Realizations behind the "Expected" series; 0 skips those series
+  // (Figs 2–4 show single realizations only). Overridable with
+  // --realizations=N on the command line (the paper used 100).
+  uint32_t expected_realizations = 0;
+  // Privacy parameters — the paper's experiments all use (0.2, 0.01).
+  double epsilon = 0.2;
+  double delta = 0.01;
+  uint64_t seed = 20120330;  // PAIS'12 workshop date
+  // KronFit gradient iterations (the slowest stage; 40 reproduces the
+  // qualitative estimates well inside a CI budget).
+  uint32_t kronfit_iterations = 40;
+};
+
+// Runs the figure pipeline; returns a process exit code.
+// Recognized flags: --realizations=N, --seed=N, --epsilon=X.
+int RunFigureBench(FigureConfig config, int argc, char** argv);
+
+}  // namespace dpkron::bench
+
+#endif  // DPKRON_BENCH_FIGURE_HARNESS_H_

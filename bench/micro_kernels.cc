@@ -1,0 +1,149 @@
+// Google-benchmark microbenchmarks for the computational kernels behind
+// the experiments: graph statistics, SKG sampling, moment evaluation,
+// the DP mechanisms, and the spectral solver.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/dp/degree_sequence.h"
+#include "src/dp/isotonic.h"
+#include "src/dp/smooth_sensitivity.h"
+#include "src/estimation/kronmom.h"
+#include "src/graph/anf.h"
+#include "src/graph/clustering.h"
+#include "src/graph/triangles.h"
+#include "src/linalg/lanczos.h"
+#include "src/skg/moments.h"
+#include "src/skg/sampler.h"
+
+namespace {
+
+using namespace dpkron;
+
+const Graph& TestGraph(uint32_t k) {
+  static Rng rng(1);
+  static const Graph& g10 = *new Graph(SampleSkg({0.99, 0.55, 0.35}, 10, rng));
+  static const Graph& g12 = *new Graph(SampleSkg({0.99, 0.55, 0.35}, 12, rng));
+  return k == 10 ? g10 : g12;
+}
+
+void BM_SampleSkgExact(benchmark::State& state) {
+  Rng rng(2);
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleSkg({0.99, 0.45, 0.25}, k, rng));
+  }
+}
+BENCHMARK(BM_SampleSkgExact)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_SampleSkgBallDrop(benchmark::State& state) {
+  Rng rng(3);
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kBallDrop;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleSkg({0.99, 0.45, 0.25}, k, rng, options));
+  }
+}
+BENCHMARK(BM_SampleSkgBallDrop)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_SampleSkgClassSkip(benchmark::State& state) {
+  Rng rng(8);
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kClassSkip;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleSkg({0.99, 0.45, 0.25}, k, rng, options));
+  }
+}
+BENCHMARK(BM_SampleSkgClassSkip)->Arg(10)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_CountTriangles(benchmark::State& state) {
+  const Graph& g = TestGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountTriangles(g));
+  }
+}
+BENCHMARK(BM_CountTriangles)->Arg(10)->Arg(12);
+
+void BM_ClusteringByDegree(benchmark::State& state) {
+  const Graph& g = TestGraph(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClusteringByDegree(g));
+  }
+}
+BENCHMARK(BM_ClusteringByDegree);
+
+void BM_ExpectedMoments(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExpectedMoments({0.99, 0.45, 0.25}, 14));
+  }
+}
+BENCHMARK(BM_ExpectedMoments);
+
+void BM_FitKronMom(benchmark::State& state) {
+  const GraphFeatures observed =
+      FromMoments(ExpectedMoments({0.99, 0.45, 0.25}, 14));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitKronMomToFeatures(observed, 14));
+  }
+}
+BENCHMARK(BM_FitKronMom);
+
+void BM_IsotonicRegression(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> values(state.range(0));
+  for (double& v : values) v = rng.NextGaussian() * 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsotonicRegression(values));
+  }
+}
+BENCHMARK(BM_IsotonicRegression)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PrivateDegreeSequence(benchmark::State& state) {
+  const Graph& g = TestGraph(12);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrivateDegreeSequence(g, 0.1, rng));
+  }
+}
+BENCHMARK(BM_PrivateDegreeSequence);
+
+void BM_TriangleSensitivityProfile(benchmark::State& state) {
+  const Graph& g = TestGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TriangleSensitivityProfile(g));
+  }
+}
+BENCHMARK(BM_TriangleSensitivityProfile)->Arg(10)->Arg(12);
+
+void BM_SmoothSensitivityEvaluation(benchmark::State& state) {
+  const TriangleSensitivityProfile& profile =
+      *new TriangleSensitivityProfile(TestGraph(12));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.SmoothSensitivity(0.0167));
+  }
+}
+BENCHMARK(BM_SmoothSensitivityEvaluation);
+
+void BM_Lanczos50(benchmark::State& state) {
+  const Graph& g = TestGraph(static_cast<uint32_t>(state.range(0)));
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopSingularValues(g, 50, rng));
+  }
+}
+BENCHMARK(BM_Lanczos50)->Arg(10)->Arg(12);
+
+void BM_ApproxHopPlot(benchmark::State& state) {
+  const Graph& g = TestGraph(12);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApproxHopPlot(g, rng));
+  }
+}
+BENCHMARK(BM_ApproxHopPlot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Table 1 reproduction: initiator-parameter estimates (a, b, c) from
+// KronFit, KronMom and the Private estimator on the four evaluation
+// datasets, at (ε, δ) = (0.2, 0.01). Paper values are printed next to
+// the measured ones for direct comparison. Absolute agreement is expected
+// only on the Synthetic-SKG row (identical construction); the *-like
+// substitutes reproduce the paper's qualitative structure (a ≈ 1
+// everywhere; AS-like fits driving c → 0; Private ≈ KronMom).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/private_estimator.h"
+#include "src/datasets/registry.h"
+#include "src/estimation/kronmom.h"
+#include "src/kronfit/kronfit.h"
+
+namespace {
+
+void PrintRow(const char* label, const dpkron::Initiator2& theta) {
+  std::printf("  %-26s a=%.4f  b=%.4f  c=%.4f\n", label, theta.a, theta.b,
+              theta.c);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpkron;
+  uint64_t seed = 20120330;
+  uint32_t kronfit_iterations = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::atoll(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--kronfit-iterations=", 21) == 0) {
+      kronfit_iterations = std::atoi(argv[i] + 21);
+    }
+  }
+  const double epsilon = 0.2, delta = 0.01;
+  std::printf("# table1_parameters: epsilon=%g delta=%g\n", epsilon, delta);
+  std::printf("# experiment\tseries\tx\ty\n");
+
+  Rng rng(seed);
+  int dataset_index = 0;
+  for (const DatasetInfo& info : PaperDatasets()) {
+    Rng dataset_rng = rng.Split();
+    const Graph graph = MakeDataset(info.name, dataset_rng);
+
+    const KronMomResult kronmom = FitKronMom(graph);
+
+    KronFitOptions kf_options;
+    kf_options.iterations = kronfit_iterations;
+    Rng kronfit_rng = rng.Split();
+    const KronFitResult kronfit = FitKronFit(graph, kronfit_rng, kf_options);
+
+    // The private estimator is a randomized mechanism; a single draw can
+    // be unlucky when the triangle count is noise-dominated (sparse
+    // graphs at ε = 0.2). Run three independent trials and report the
+    // one with median distance to the non-private estimate, plus the
+    // spread, so the variability is visible rather than hidden behind a
+    // seed choice. (The paper reports one draw.)
+    struct PrivateTrial {
+      Initiator2 theta;
+      double distance;
+    };
+    std::vector<PrivateTrial> trials;
+    for (int t = 0; t < 3; ++t) {
+      Rng private_rng = rng.Split();
+      const auto fit = EstimatePrivateSkg(graph, epsilon, delta, private_rng);
+      if (!fit.ok()) {
+        std::fprintf(stderr, "private estimation failed on %s: %s\n",
+                     info.name.c_str(), fit.status().ToString().c_str());
+        return 1;
+      }
+      trials.push_back({fit.value().theta,
+                        MaxAbsDifference(fit.value().theta, kronmom.theta)});
+    }
+    std::sort(trials.begin(), trials.end(),
+              [](const PrivateTrial& x, const PrivateTrial& y) {
+                return x.distance < y.distance;
+              });
+    const PrivateTrial& median_trial = trials[1];
+
+    std::printf("\n== Table 1 row: %s (paper: %s, N=%u E=%llu) ==\n",
+                info.name.c_str(), info.paper_name.c_str(), info.paper_nodes,
+                static_cast<unsigned long long>(info.paper_edges));
+    std::printf("  measured: N=%u E=%llu\n", graph.NumNodes(),
+                static_cast<unsigned long long>(graph.NumEdges()));
+    PrintRow("KronFit (measured)", kronfit.theta);
+    PrintRow("KronFit (paper)", info.paper_kronfit);
+    PrintRow("KronMom (measured)", kronmom.theta);
+    PrintRow("KronMom (paper)", info.paper_kronmom);
+    PrintRow("Private (measured,median)", median_trial.theta);
+    PrintRow("Private (paper)", info.paper_private);
+    std::printf("  |Private - KronMom| (L_inf): median=%.4f"
+                "  [min=%.4f max=%.4f over 3 trials]\n",
+                median_trial.distance, trials.front().distance,
+                trials.back().distance);
+
+    // Machine-readable rows: x encodes dataset index, series the cell.
+    auto emit = [&](const char* series, const Initiator2& t) {
+      std::printf("table1\t%s/%s/a\t%d\t%.6f\n", info.name.c_str(), series,
+                  dataset_index, t.a);
+      std::printf("table1\t%s/%s/b\t%d\t%.6f\n", info.name.c_str(), series,
+                  dataset_index, t.b);
+      std::printf("table1\t%s/%s/c\t%d\t%.6f\n", info.name.c_str(), series,
+                  dataset_index, t.c);
+    };
+    emit("kronfit", kronfit.theta);
+    emit("kronmom", kronmom.theta);
+    emit("private", median_trial.theta);
+    ++dataset_index;
+  }
+  return 0;
+}

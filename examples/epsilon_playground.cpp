@@ -1,0 +1,55 @@
+// How private is private enough? Sweeps ε and shows how the estimate and
+// the privatized matching statistics degrade as the budget tightens —
+// the experiment to run before picking an operating point for a real
+// release.
+//
+// Usage: ./build/examples/epsilon_playground [trials]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/rng.h"
+#include "src/core/private_estimator.h"
+#include "src/estimation/kronmom.h"
+#include "src/skg/sampler.h"
+
+int main(int argc, char** argv) {
+  using namespace dpkron;
+  const uint32_t trials = argc > 1 ? std::atoi(argv[1]) : 5;
+  const Initiator2 truth{0.99, 0.45, 0.25};
+  const uint32_t k = 12;
+
+  Rng rng(31337);
+  const Graph g = SampleSkg(truth, k, rng);
+  const KronMomResult non_private = FitKronMom(g);
+  const GraphFeatures exact = ComputeFeatures(g);
+  std::printf("graph: %u nodes, %llu edges; non-private KronMom = %s\n\n",
+              g.NumNodes(), static_cast<unsigned long long>(g.NumEdges()),
+              non_private.theta.ToString().c_str());
+  std::printf("%-8s %-22s %-18s %-18s\n", "epsilon",
+              "|Theta~ - KronMom|_inf", "rel.err(E~)", "rel.err(Delta~)");
+
+  for (double epsilon : {0.01, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0}) {
+    double theta_err = 0, edge_err = 0, triangle_err = 0;
+    for (uint32_t t = 0; t < trials; ++t) {
+      const auto fit = EstimatePrivateSkg(g, epsilon, 0.01, rng);
+      if (!fit.ok()) {
+        std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
+        return 1;
+      }
+      theta_err += MaxAbsDifference(fit.value().theta, non_private.theta);
+      edge_err += std::fabs(fit.value().private_features.edges - exact.edges) /
+                  exact.edges;
+      triangle_err +=
+          std::fabs(fit.value().private_features.triangles - exact.triangles) /
+          exact.triangles;
+    }
+    std::printf("%-8g %-22.4f %-18.4f %-18.4f\n", epsilon, theta_err / trials,
+                edge_err / trials, triangle_err / trials);
+  }
+  std::printf("\n(The paper operates at epsilon = 0.2; note how little the\n"
+              " estimate moves between 0.2 and +inf, and how fast the\n"
+              " triangle statistic degrades below ~0.1.)\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Assertion and utility macros used across dpkron.
+//
+// dpkron follows the Google C++ style: no exceptions. Programmer errors
+// (precondition violations, broken invariants) abort via DPKRON_CHECK;
+// recoverable errors flow through dpkron::Status / dpkron::Result.
+
+#ifndef DPKRON_COMMON_MACROS_H_
+#define DPKRON_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a diagnostic if `condition` is false. Active in all build
+// modes: the estimation pipelines are cheap relative to the graph kernels,
+// and silent precondition violations in a privacy mechanism are worse than
+// the branch cost.
+#define DPKRON_CHECK(condition)                                        \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      std::fprintf(stderr, "DPKRON_CHECK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, #condition);                    \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+#define DPKRON_CHECK_MSG(condition, msg)                               \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      std::fprintf(stderr, "DPKRON_CHECK failed at %s:%d: %s (%s)\n",  \
+                   __FILE__, __LINE__, #condition, msg);               \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+#define DPKRON_CHECK_GE(a, b) DPKRON_CHECK((a) >= (b))
+#define DPKRON_CHECK_GT(a, b) DPKRON_CHECK((a) > (b))
+#define DPKRON_CHECK_LE(a, b) DPKRON_CHECK((a) <= (b))
+#define DPKRON_CHECK_LT(a, b) DPKRON_CHECK((a) < (b))
+#define DPKRON_CHECK_EQ(a, b) DPKRON_CHECK((a) == (b))
+#define DPKRON_CHECK_NE(a, b) DPKRON_CHECK((a) != (b))
+
+#endif  // DPKRON_COMMON_MACROS_H_

@@ -1,0 +1,126 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+namespace {
+
+inline uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+  // All-zero state is the one invalid xoshiro state; splitmix64 cannot
+  // produce four zero outputs in a row, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  DPKRON_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless unbiased method.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  have_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::NextLaplace(double scale) {
+  DPKRON_CHECK_GT(scale, 0.0);
+  // Inverse CDF on u ~ U(-1/2, 1/2): x = -b·sgn(u)·ln(1-2|u|).
+  const double u = NextDouble() - 0.5;
+  const double sign = (u < 0.0) ? -1.0 : 1.0;
+  return -scale * sign * std::log1p(-2.0 * std::fabs(u));
+}
+
+double Rng::NextExponential(double lambda) {
+  DPKRON_CHECK_GT(lambda, 0.0);
+  // -log(1-u) avoids log(0) since NextDouble() < 1.
+  return -std::log1p(-NextDouble()) / lambda;
+}
+
+uint64_t Rng::NextGeometric(double p) {
+  DPKRON_CHECK_GT(p, 0.0);
+  DPKRON_CHECK_LE(p, 1.0);
+  if (p == 1.0) return 0;
+  const double u = NextDouble();
+  return static_cast<uint64_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
+Rng Rng::Split() {
+  // Derive a child seed from two outputs; the child re-expands through
+  // splitmix64, decorrelating it from the parent's remaining stream.
+  const uint64_t a = NextU64();
+  const uint64_t b = NextU64();
+  return Rng(a ^ Rotl(b, 31) ^ 0xD1B54A32D192ED03ULL);
+}
+
+std::vector<uint32_t> Rng::Permutation(uint32_t n) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    const uint32_t j = static_cast<uint32_t>(NextBounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace dpkron

@@ -1,0 +1,72 @@
+// Deterministic random number generation for all stochastic components.
+//
+// Every sampler / mechanism in dpkron takes an explicit Rng&, so whole
+// pipelines are reproducible from a single seed. The generator is
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64, which is fast,
+// has 256 bits of state, and passes BigCrush — more than adequate for
+// graph sampling and Laplace noise (this is a privacy *research* library;
+// for deployments a cryptographically secure source should replace it,
+// see README "Limitations").
+
+#ifndef DPKRON_COMMON_RNG_H_
+#define DPKRON_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dpkron {
+
+// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  // Seeds the 256-bit state from `seed` via splitmix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Not copyable (accidental stream duplication is almost always a bug in
+  // experiment code); use Split() to derive independent streams.
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  // Next raw 64-bit output.
+  uint64_t NextU64();
+
+  // Uniform in [0, 1). 53-bit resolution.
+  double NextDouble();
+
+  // Uniform integer in [0, bound). Requires bound > 0. Unbiased
+  // (Lemire's rejection method).
+  uint64_t NextBounded(uint64_t bound);
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  // Standard normal via Marsaglia polar method.
+  double NextGaussian();
+
+  // Laplace(0, scale): density (1/2b)·exp(−|x|/b). Requires scale > 0.
+  double NextLaplace(double scale);
+
+  // Exponential with rate lambda (> 0).
+  double NextExponential(double lambda);
+
+  // Geometric: number of failures before first success, p in (0, 1].
+  uint64_t NextGeometric(double p);
+
+  // A new Rng whose stream is independent of this one (and of further
+  // outputs of this one), derived from the current state.
+  Rng Split();
+
+  // Random permutation of {0, ..., n-1} (Fisher–Yates).
+  std::vector<uint32_t> Permutation(uint32_t n);
+
+ private:
+  uint64_t state_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_COMMON_RNG_H_

@@ -1,0 +1,109 @@
+// Status / Result<T>: exception-free recoverable error handling.
+//
+// Mirrors the absl::Status / absl::StatusOr idiom in miniature. Functions
+// that can fail for data-dependent reasons (I/O, parsing, non-convergent
+// optimization) return Status or Result<T>; precondition violations use
+// DPKRON_CHECK instead.
+
+#ifndef DPKRON_COMMON_STATUS_H_
+#define DPKRON_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+// Human-readable name for a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-error. `value()` aborts if called on an error Result; check
+// `ok()` first (or use `value_or`).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    DPKRON_CHECK_MSG(!std::get<Status>(data_).ok(),
+                     "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    DPKRON_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    DPKRON_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    DPKRON_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+#include "src/common/table_writer.h"
+
+#include <utility>
+
+namespace dpkron {
+
+SeriesTable::SeriesTable(std::string experiment)
+    : experiment_(std::move(experiment)) {}
+
+void SeriesTable::Add(const std::string& series, double x, double y) {
+  rows_.push_back(Row{series, x, y});
+}
+
+void SeriesTable::Print(std::FILE* out) const {
+  std::fprintf(out, "# experiment\tseries\tx\ty\n");
+  for (const Row& row : rows_) {
+    std::fprintf(out, "%s\t%s\t%.10g\t%.10g\n", experiment_.c_str(),
+                 row.series.c_str(), row.x, row.y);
+  }
+}
+
+SummaryBlock::SummaryBlock(std::string title) : title_(std::move(title)) {}
+
+void SummaryBlock::Add(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  items_.emplace_back(key, buf);
+}
+
+void SummaryBlock::Add(const std::string& key, const std::string& value) {
+  items_.emplace_back(key, value);
+}
+
+void SummaryBlock::Print(std::FILE* out) const {
+  std::fprintf(out, "== %s ==\n", title_.c_str());
+  for (const auto& [key, value] : items_) {
+    std::fprintf(out, "  %-32s %s\n", key.c_str(), value.c_str());
+  }
+}
+
+}  // namespace dpkron

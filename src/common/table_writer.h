@@ -1,0 +1,58 @@
+// TSV experiment-output writer used by the bench harnesses.
+//
+// Every table/figure binary emits (1) machine-readable TSV blocks — one row
+// per plotted point, tagged with the series name — and (2) a human-readable
+// summary. Keeping the format in one place makes the bench outputs uniform
+// and trivially grep-able / plottable.
+
+#ifndef DPKRON_COMMON_TABLE_WRITER_H_
+#define DPKRON_COMMON_TABLE_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dpkron {
+
+// Accumulates named series of (x, y) points and prints them as TSV.
+class SeriesTable {
+ public:
+  // `experiment` tags every emitted row (e.g. "fig1_ca_grqc/hop_plot").
+  explicit SeriesTable(std::string experiment);
+
+  void Add(const std::string& series, double x, double y);
+
+  // Prints "# experiment<TAB>series<TAB>x<TAB>y" header then all rows to
+  // `out` (defaults to stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  size_t size() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::string series;
+    double x;
+    double y;
+  };
+  std::string experiment_;
+  std::vector<Row> rows_;
+};
+
+// Prints a titled key/value block, e.g. fitted parameters.
+class SummaryBlock {
+ public:
+  explicit SummaryBlock(std::string title);
+
+  void Add(const std::string& key, double value);
+  void Add(const std::string& key, const std::string& value);
+
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::string title_;
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_COMMON_TABLE_WRITER_H_

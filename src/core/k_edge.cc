@@ -1,0 +1,20 @@
+#include "src/core/k_edge.h"
+
+namespace dpkron {
+
+Result<PrivateEstimatorResult> EstimateKEdgePrivateSkg(
+    const Graph& graph, uint32_t k_edges, double epsilon, double delta,
+    Rng& rng, const PrivateEstimatorOptions& options) {
+  if (k_edges == 0) {
+    return Status::InvalidArgument("k_edges must be >= 1");
+  }
+  const double scaled_epsilon = epsilon / k_edges;
+  const double scaled_delta = delta / k_edges;
+  if (scaled_delta <= 0.0) {
+    return Status::InvalidArgument("delta too small for requested k_edges");
+  }
+  return EstimatePrivateSkg(graph, scaled_epsilon, scaled_delta, rng,
+                            options);
+}
+
+}  // namespace dpkron

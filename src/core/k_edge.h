@@ -1,0 +1,28 @@
+// k-edge differential privacy (paper §4.1, following Hay et al.).
+//
+// Graphs G, G' are k-edge neighbors if |V ⊕ V'| + |E ⊕ E'| ≤ k; an
+// ε-edge-private algorithm is k·ε-private with respect to k-edge
+// neighbors (Theorem 4.9), so running Algorithm 1 at (ε/k, δ/k) yields
+// (ε, δ)-k-edge privacy. This weak form of node privacy covers nodes of
+// degree < k. The wrapper makes the target semantics explicit and keeps
+// the scaling arithmetic out of caller code.
+
+#ifndef DPKRON_CORE_K_EDGE_H_
+#define DPKRON_CORE_K_EDGE_H_
+
+#include <cstdint>
+
+#include "src/core/private_estimator.h"
+
+namespace dpkron {
+
+// Runs Algorithm 1 with the budget scaled so the result is
+// (epsilon, delta)-differentially private with respect to k-edge
+// neighborhoods. Requires k >= 1.
+Result<PrivateEstimatorResult> EstimateKEdgePrivateSkg(
+    const Graph& graph, uint32_t k_edges, double epsilon, double delta,
+    Rng& rng, const PrivateEstimatorOptions& options = {});
+
+}  // namespace dpkron
+
+#endif  // DPKRON_CORE_K_EDGE_H_

@@ -1,0 +1,123 @@
+#include "src/core/release.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/macros.h"
+#include "src/graph/anf.h"
+#include "src/graph/clustering.h"
+#include "src/graph/degree.h"
+#include "src/graph/hop_plot.h"
+#include "src/linalg/lanczos.h"
+#include "src/linalg/network_value.h"
+
+namespace dpkron {
+
+GraphStatistics ComputeStatistics(const Graph& graph, Rng& rng,
+                                  const StatisticsOptions& options) {
+  GraphStatistics stats;
+
+  for (const auto& [degree, count] : DegreeHistogram(graph)) {
+    stats.degree_histogram.emplace_back(double(degree), double(count));
+  }
+
+  std::vector<uint64_t> hops;
+  if (graph.NumNodes() <= options.exact_hop_plot_limit) {
+    hops = ExactHopPlot(graph);
+  } else {
+    AnfOptions anf;
+    anf.num_trials = options.anf_trials;
+    hops = ApproxHopPlot(graph, rng, anf);
+  }
+  stats.hop_plot.assign(hops.begin(), hops.end());
+
+  const uint32_t k_singular =
+      std::min(options.num_singular_values, graph.NumNodes());
+  if (k_singular > 0 && graph.NumEdges() > 0) {
+    stats.scree = TopSingularValues(graph, k_singular, rng);
+  }
+
+  if (graph.NumEdges() > 0) {
+    stats.network_value = NetworkValue(graph, rng);
+    if (stats.network_value.size() > options.num_network_values) {
+      stats.network_value.resize(options.num_network_values);
+    }
+  }
+
+  for (const auto& [degree, cc] : ClusteringByDegree(graph)) {
+    stats.clustering_by_degree.emplace_back(double(degree), cc);
+  }
+  return stats;
+}
+
+namespace {
+
+// Averages positional series, padding shorter ones with their last value.
+std::vector<double> AveragePositional(
+    const std::vector<std::vector<double>>& series) {
+  size_t longest = 0;
+  for (const auto& s : series) longest = std::max(longest, s.size());
+  std::vector<double> mean(longest, 0.0);
+  if (series.empty()) return mean;
+  for (const auto& s : series) {
+    for (size_t i = 0; i < longest; ++i) {
+      const double value = s.empty() ? 0.0 : (i < s.size() ? s[i] : s.back());
+      mean[i] += value;
+    }
+  }
+  for (double& value : mean) value /= double(series.size());
+  return mean;
+}
+
+}  // namespace
+
+GraphStatistics ExpectedStatistics(const Initiator2& theta, uint32_t k,
+                                   uint32_t realizations, Rng& rng,
+                                   const StatisticsOptions& options,
+                                   SkgSampleMethod method) {
+  DPKRON_CHECK_GE(realizations, 1u);
+  // Degree histogram: mean count per degree. Clustering: mean of per-
+  // realization degree-averages, tracked with how many realizations had
+  // that degree present.
+  std::map<double, double> histogram_sum;
+  std::map<double, std::pair<double, uint32_t>> clustering_sum;
+  std::vector<std::vector<double>> hop_series, scree_series, netval_series;
+
+  for (uint32_t r = 0; r < realizations; ++r) {
+    const Graph sample = SampleSyntheticGraph(theta, k, rng, method);
+    const GraphStatistics stats = ComputeStatistics(sample, rng, options);
+    for (const auto& [degree, count] : stats.degree_histogram) {
+      histogram_sum[degree] += count;
+    }
+    for (const auto& [degree, cc] : stats.clustering_by_degree) {
+      auto& [sum, count] = clustering_sum[degree];
+      sum += cc;
+      ++count;
+    }
+    hop_series.push_back(stats.hop_plot);
+    scree_series.push_back(stats.scree);
+    netval_series.push_back(stats.network_value);
+  }
+
+  GraphStatistics mean;
+  for (const auto& [degree, total] : histogram_sum) {
+    mean.degree_histogram.emplace_back(degree, total / realizations);
+  }
+  for (const auto& [degree, entry] : clustering_sum) {
+    mean.clustering_by_degree.emplace_back(degree,
+                                           entry.first / entry.second);
+  }
+  mean.hop_plot = AveragePositional(hop_series);
+  mean.scree = AveragePositional(scree_series);
+  mean.network_value = AveragePositional(netval_series);
+  return mean;
+}
+
+Graph SampleSyntheticGraph(const Initiator2& theta, uint32_t k, Rng& rng,
+                           SkgSampleMethod method) {
+  SkgSampleOptions options;
+  options.method = method;
+  return SampleSkg(theta, k, rng, options);
+}
+
+}  // namespace dpkron

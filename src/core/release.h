@@ -1,0 +1,71 @@
+// Synthetic-graph release pipeline and the five evaluation statistics.
+//
+// Once an estimator Θ̃ is published, "anyone interested in studying
+// statistical properties of the original graph G can sample the
+// distribution to yield a synthetic graph GS" (§1) — and average a
+// statistic over several samples. This module packages exactly that:
+// the five statistics panels of Figs 1–4, computed on one graph or
+// averaged over R realizations of an initiator.
+
+#ifndef DPKRON_CORE_RELEASE_H_
+#define DPKRON_CORE_RELEASE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+#include "src/skg/initiator.h"
+#include "src/skg/sampler.h"
+
+namespace dpkron {
+
+// The five statistics the paper plots. Series use double y-values so the
+// same struct holds single-realization counts and cross-realization means.
+struct GraphStatistics {
+  // (degree, count) — panel (b).
+  std::vector<std::pair<double, double>> degree_histogram;
+  // N(h) for h = 0, 1, ... — panel (a).
+  std::vector<double> hop_plot;
+  // top singular values, descending — panel (c).
+  std::vector<double> scree;
+  // |principal eigenvector| components, descending — panel (d).
+  std::vector<double> network_value;
+  // (degree, mean clustering coefficient) — panel (e).
+  std::vector<std::pair<double, double>> clustering_by_degree;
+};
+
+struct StatisticsOptions {
+  uint32_t num_singular_values = 50;
+  // Components of the network-value series kept (plots truncate anyway).
+  uint32_t num_network_values = 1000;
+  // Use the ANF sketch for hop plots above this node count (exact below).
+  uint32_t exact_hop_plot_limit = 4096;
+  uint32_t anf_trials = 32;
+};
+
+// All five statistics of one concrete graph.
+GraphStatistics ComputeStatistics(const Graph& graph, Rng& rng,
+                                  const StatisticsOptions& options = {});
+
+// "Expected" statistics: mean of each statistic over `realizations`
+// samples of the SKG (Θ, k) — the paper's 100-realization averages.
+// Degree histogram / clustering series are aggregated per degree value;
+// positional series (hop plot, scree, network value) are averaged per
+// index (shorter series are padded with their final value, matching how
+// saturated hop plots behave).
+GraphStatistics ExpectedStatistics(const Initiator2& theta, uint32_t k,
+                                   uint32_t realizations, Rng& rng,
+                                   const StatisticsOptions& options = {},
+                                   SkgSampleMethod method =
+                                       SkgSampleMethod::kClassSkip);
+
+// One synthetic graph from an estimated parameter (the "KronFit" /
+// "KronMom" / "Private" single-realization series).
+Graph SampleSyntheticGraph(const Initiator2& theta, uint32_t k, Rng& rng,
+                           SkgSampleMethod method = SkgSampleMethod::kClassSkip);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_CORE_RELEASE_H_

@@ -1,0 +1,83 @@
+#include "src/datasets/affiliation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/graph/graph_builder.h"
+
+namespace dpkron {
+namespace {
+
+// Discrete Zipf sampler on [lo, hi] via inverse CDF over the (small)
+// support.
+class ZipfSampler {
+ public:
+  ZipfSampler(double exponent, uint32_t lo, uint32_t hi) : lo_(lo) {
+    DPKRON_CHECK_LE(lo, hi);
+    cdf_.reserve(hi - lo + 1);
+    double total = 0.0;
+    for (uint32_t s = lo; s <= hi; ++s) {
+      total += std::pow(double(s), -exponent);
+      cdf_.push_back(total);
+    }
+    for (double& value : cdf_) value /= total;
+  }
+
+  uint32_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return lo_ + static_cast<uint32_t>(it - cdf_.begin());
+  }
+
+ private:
+  uint32_t lo_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+Graph AffiliationGraph(const AffiliationOptions& options, Rng& rng) {
+  DPKRON_CHECK_GE(options.num_authors, 2u);
+  DPKRON_CHECK_GE(options.min_paper_size, 1u);
+  DPKRON_CHECK_LE(options.max_paper_size, options.num_authors);
+  const ZipfSampler sizes(options.size_exponent, options.min_paper_size,
+                          options.max_paper_size);
+
+  // membership[i] = author of the i-th (paper, author) slot; sampling
+  // uniformly from it realizes preferential attachment by paper count.
+  std::vector<uint32_t> membership;
+  membership.reserve(options.num_papers * 4);
+
+  GraphBuilder builder(options.num_authors);
+  std::vector<uint32_t> paper_authors;
+  for (uint32_t p = 0; p < options.num_papers; ++p) {
+    const uint32_t size = sizes.Sample(rng);
+    paper_authors.clear();
+    uint32_t attempts = 0;
+    while (paper_authors.size() < size && attempts < 20 * size + 40) {
+      ++attempts;
+      uint32_t author;
+      if (!membership.empty() &&
+          rng.NextBernoulli(options.preferential_probability)) {
+        author = membership[rng.NextBounded(membership.size())];
+      } else {
+        author = static_cast<uint32_t>(rng.NextBounded(options.num_authors));
+      }
+      if (std::find(paper_authors.begin(), paper_authors.end(), author) ==
+          paper_authors.end()) {
+        paper_authors.push_back(author);
+      }
+    }
+    for (size_t i = 0; i < paper_authors.size(); ++i) {
+      membership.push_back(paper_authors[i]);
+      for (size_t j = i + 1; j < paper_authors.size(); ++j) {
+        builder.AddEdge(paper_authors[i], paper_authors[j]);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace dpkron

@@ -1,0 +1,54 @@
+#include "src/datasets/preferential_attachment.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/graph/graph_builder.h"
+
+namespace dpkron {
+
+Graph PreferentialAttachmentGraph(const PreferentialAttachmentOptions& options,
+                                  Rng& rng) {
+  const uint32_t n = options.num_nodes;
+  const uint32_t m = options.edges_per_node;
+  DPKRON_CHECK_GE(m, 1u);
+  DPKRON_CHECK_GT(n, m);
+
+  GraphBuilder builder(n);
+  // Seed: clique on the first m+1 nodes.
+  for (uint32_t u = 0; u <= m; ++u) {
+    for (uint32_t v = u + 1; v <= m; ++v) builder.AddEdge(u, v);
+  }
+  // endpoint[i]: one node per edge-endpoint; uniform draws from it give
+  // degree-proportional selection.
+  std::vector<uint32_t> endpoints;
+  endpoints.reserve(2ull * m * n);
+  for (uint32_t u = 0; u <= m; ++u) {
+    for (uint32_t v = u + 1; v <= m; ++v) {
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<uint32_t> chosen;
+  for (uint32_t u = m + 1; u < n; ++u) {
+    chosen.clear();
+    uint32_t attempts = 0;
+    while (chosen.size() < m && attempts < 20 * m + 40) {
+      ++attempts;
+      const uint32_t target = endpoints[rng.NextBounded(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), target) == chosen.end()) {
+        chosen.push_back(target);
+      }
+    }
+    for (uint32_t target : chosen) {
+      builder.AddEdge(u, target);
+      endpoints.push_back(u);
+      endpoints.push_back(target);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace dpkron

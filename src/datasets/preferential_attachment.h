@@ -1,0 +1,29 @@
+// Preferential-attachment (Barabási–Albert) generator — the stand-in for
+// the paper's AS20 router topology. AS-level internet graphs are the
+// canonical PA-like networks: heavy-tailed degrees around a small core,
+// low degree-dependent clustering (the regime where the paper observes
+// the SKG models clustering well), tiny effective diameter.
+
+#ifndef DPKRON_DATASETS_PREFERENTIAL_ATTACHMENT_H_
+#define DPKRON_DATASETS_PREFERENTIAL_ATTACHMENT_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+struct PreferentialAttachmentOptions {
+  uint32_t num_nodes = 6474;
+  // Edges contributed by each arriving node (BA parameter m); the final
+  // edge count is ≈ m·(num_nodes − m).
+  uint32_t edges_per_node = 4;
+};
+
+Graph PreferentialAttachmentGraph(const PreferentialAttachmentOptions& options,
+                                  Rng& rng);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_DATASETS_PREFERENTIAL_ATTACHMENT_H_

@@ -1,0 +1,77 @@
+#include "src/datasets/registry.h"
+
+#include "src/common/macros.h"
+#include "src/datasets/affiliation.h"
+#include "src/datasets/preferential_attachment.h"
+#include "src/skg/sampler.h"
+
+namespace dpkron {
+
+Graph CaGrQcLike(Rng& rng) {
+  AffiliationOptions options;
+  options.num_authors = 5242;
+  options.num_papers = 2700;
+  options.size_exponent = 2.5;
+  options.min_paper_size = 2;
+  options.max_paper_size = 30;
+  options.preferential_probability = 0.55;
+  return AffiliationGraph(options, rng);
+}
+
+Graph CaHepThLike(Rng& rng) {
+  AffiliationOptions options;
+  options.num_authors = 9877;
+  options.num_papers = 4550;
+  options.size_exponent = 2.5;
+  options.min_paper_size = 2;
+  options.max_paper_size = 30;
+  options.preferential_probability = 0.55;
+  return AffiliationGraph(options, rng);
+}
+
+Graph As20Like(Rng& rng) {
+  PreferentialAttachmentOptions options;
+  options.num_nodes = 6474;
+  options.edges_per_node = 4;
+  return PreferentialAttachmentGraph(options, rng);
+}
+
+Graph SyntheticKronecker(Rng& rng) {
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kExact;
+  return SampleSkg(kSyntheticTrueTheta, kSyntheticK, rng, options);
+}
+
+const std::vector<DatasetInfo>& PaperDatasets() {
+  static const std::vector<DatasetInfo>& datasets =
+      *new std::vector<DatasetInfo>{
+          {"CA-GrQC-like", "CA-GrQC", "affiliation", 5242, 28980,
+           /*kronfit=*/{0.999, 0.245, 0.691},
+           /*kronmom=*/{1.000, 0.4674, 0.2790},
+           /*private=*/{1.000, 0.4618, 0.2930}},
+          {"CA-HepTh-like", "CA-HepTh", "affiliation", 9877, 51971,
+           /*kronfit=*/{0.999, 0.271, 0.587},
+           /*kronmom=*/{1.000, 0.4012, 0.3789},
+           /*private=*/{1.000, 0.4048, 0.3720}},
+          {"AS20-like", "AS20", "preferential", 6474, 26467,
+           /*kronfit=*/{0.987, 0.571, 0.049},
+           /*kronmom=*/{1.000, 0.6300, 0.000},
+           /*private=*/{1.000, 0.6286, 0.000}},
+          {"Synthetic-SKG", "Synthetic Kronecker", "kronecker", 16384, 0,
+           /*kronfit=*/{0.9523, 0.4743, 0.2493},
+           /*kronmom=*/{0.9894, 0.5396, 0.2388},
+           /*private=*/{0.9924, 0.5343, 0.2466}},
+      };
+  return datasets;
+}
+
+Graph MakeDataset(const std::string& name, Rng& rng) {
+  if (name == "CA-GrQC-like") return CaGrQcLike(rng);
+  if (name == "CA-HepTh-like") return CaHepThLike(rng);
+  if (name == "AS20-like") return As20Like(rng);
+  if (name == "Synthetic-SKG") return SyntheticKronecker(rng);
+  DPKRON_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
+  return Graph();
+}
+
+}  // namespace dpkron

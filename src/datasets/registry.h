@@ -1,0 +1,49 @@
+// Registry of the paper's evaluation datasets (§4.2, Table 1) and their
+// in-repo substitutes. Paper metadata (node/edge counts and the Table 1
+// parameter estimates) is recorded verbatim so benches can print
+// paper-vs-measured side by side.
+
+#ifndef DPKRON_DATASETS_REGISTRY_H_
+#define DPKRON_DATASETS_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+#include "src/skg/initiator.h"
+
+namespace dpkron {
+
+struct DatasetInfo {
+  std::string name;        // substitute name, e.g. "CA-GrQC-like"
+  std::string paper_name;  // dataset name in the paper
+  std::string kind;        // "affiliation" | "preferential" | "kronecker"
+  uint32_t paper_nodes = 0;
+  uint64_t paper_edges = 0;
+  // Table 1 rows (a, b, c) exactly as printed in the paper.
+  Initiator2 paper_kronfit;
+  Initiator2 paper_kronmom;
+  Initiator2 paper_private;
+};
+
+// Substitute generators, calibrated to the paper's N and E.
+Graph CaGrQcLike(Rng& rng);    // CA-GrQC:  N=5242,  E=28980 (affiliation)
+Graph CaHepThLike(Rng& rng);   // CA-HepTh: N=9877,  E=51971 (affiliation)
+Graph As20Like(Rng& rng);      // AS20:     N=6474,  E=26467 (pref. attach.)
+// The paper's synthetic source: Θ = [0.99 0.45; 0.45 0.25], k = 14.
+Graph SyntheticKronecker(Rng& rng);
+inline constexpr Initiator2 kSyntheticTrueTheta{0.99, 0.45, 0.25};
+inline constexpr uint32_t kSyntheticK = 14;
+
+// Metadata for the four Table 1 datasets, in paper order.
+const std::vector<DatasetInfo>& PaperDatasets();
+
+// Generates the substitute graph for a registry entry by name
+// ("CA-GrQC-like", "CA-HepTh-like", "AS20-like", "Synthetic-SKG").
+Graph MakeDataset(const std::string& name, Rng& rng);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_DATASETS_REGISTRY_H_

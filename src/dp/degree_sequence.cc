@@ -1,0 +1,39 @@
+#include "src/dp/degree_sequence.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/dp/isotonic.h"
+#include "src/dp/laplace_mechanism.h"
+#include "src/graph/degree.h"
+
+namespace dpkron {
+
+std::vector<double> PrivatizeSortedDegrees(
+    const std::vector<uint32_t>& sorted_degrees, double epsilon,
+    uint32_t num_nodes, Rng& rng, const PrivateDegreeOptions& options) {
+  DPKRON_CHECK_GT(epsilon, 0.0);
+  std::vector<double> noisy(sorted_degrees.size());
+  const double scale = kDegreeSequenceSensitivity / epsilon;
+  for (size_t i = 0; i < sorted_degrees.size(); ++i) {
+    noisy[i] = static_cast<double>(sorted_degrees[i]) + rng.NextLaplace(scale);
+  }
+  if (options.postprocess) {
+    noisy = IsotonicRegression(noisy);
+  }
+  if (options.clamp_to_range) {
+    const double max_degree =
+        num_nodes > 0 ? static_cast<double>(num_nodes - 1) : 0.0;
+    for (double& d : noisy) d = std::clamp(d, 0.0, max_degree);
+  }
+  return noisy;
+}
+
+std::vector<double> PrivateDegreeSequence(const Graph& graph, double epsilon,
+                                          Rng& rng,
+                                          const PrivateDegreeOptions& options) {
+  return PrivatizeSortedDegrees(SortedDegreeVector(graph), epsilon,
+                                graph.NumNodes(), rng, options);
+}
+
+}  // namespace dpkron

@@ -1,0 +1,39 @@
+#include "src/dp/isotonic.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dpkron {
+
+std::vector<double> IsotonicRegression(const std::vector<double>& values) {
+  const size_t n = values.size();
+  // Blocks of pooled entries: value = mean, weight = length.
+  std::vector<double> block_mean;
+  std::vector<uint64_t> block_size;
+  block_mean.reserve(n);
+  block_size.reserve(n);
+  for (double x : values) {
+    block_mean.push_back(x);
+    block_size.push_back(1);
+    // Merge backwards while the monotonicity constraint is violated.
+    while (block_mean.size() >= 2 &&
+           block_mean[block_mean.size() - 2] > block_mean.back()) {
+      const double m2 = block_mean.back();
+      const uint64_t s2 = block_size.back();
+      block_mean.pop_back();
+      block_size.pop_back();
+      const double m1 = block_mean.back();
+      const uint64_t s1 = block_size.back();
+      block_mean.back() = (m1 * s1 + m2 * s2) / double(s1 + s2);
+      block_size.back() = s1 + s2;
+    }
+  }
+  std::vector<double> fitted;
+  fitted.reserve(n);
+  for (size_t b = 0; b < block_mean.size(); ++b) {
+    fitted.insert(fitted.end(), block_size[b], block_mean[b]);
+  }
+  return fitted;
+}
+
+}  // namespace dpkron

@@ -1,0 +1,22 @@
+// Isotonic (monotone) least-squares regression via pool-adjacent-violators.
+//
+// Hay et al.'s constrained-inference post-processing of the noisy sorted
+// degree sequence is exactly the projection of the noisy vector onto the
+// cone of non-decreasing sequences under L2 — which PAVA computes in
+// linear time. Post-processing cannot weaken differential privacy, and it
+// removes most of the Laplace noise in long constant runs of the degree
+// sequence.
+
+#ifndef DPKRON_DP_ISOTONIC_H_
+#define DPKRON_DP_ISOTONIC_H_
+
+#include <vector>
+
+namespace dpkron {
+
+// The non-decreasing vector s minimizing Σ (s_i − values_i)². O(n).
+std::vector<double> IsotonicRegression(const std::vector<double>& values);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_DP_ISOTONIC_H_

@@ -1,0 +1,27 @@
+#include "src/dp/laplace_mechanism.h"
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+double AddLaplaceNoise(double value, double sensitivity, double epsilon,
+                       Rng& rng) {
+  DPKRON_CHECK_GT(sensitivity, 0.0);
+  DPKRON_CHECK_GT(epsilon, 0.0);
+  return value + rng.NextLaplace(sensitivity / epsilon);
+}
+
+std::vector<double> AddLaplaceNoiseVector(const std::vector<double>& values,
+                                          double sensitivity, double epsilon,
+                                          Rng& rng) {
+  DPKRON_CHECK_GT(sensitivity, 0.0);
+  DPKRON_CHECK_GT(epsilon, 0.0);
+  const double scale = sensitivity / epsilon;
+  std::vector<double> noisy(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    noisy[i] = values[i] + rng.NextLaplace(scale);
+  }
+  return noisy;
+}
+
+}  // namespace dpkron

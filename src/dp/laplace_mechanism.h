@@ -1,0 +1,27 @@
+// The Laplace mechanism (Dwork, McSherry, Nissim & Smith — Theorem 4.5 of
+// the paper): adding Lap(GS_Q/ε) noise to a query with global sensitivity
+// GS_Q gives (ε, 0)-differential privacy.
+
+#ifndef DPKRON_DP_LAPLACE_MECHANISM_H_
+#define DPKRON_DP_LAPLACE_MECHANISM_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace dpkron {
+
+// value + Lap(sensitivity/epsilon). Requires sensitivity > 0, epsilon > 0.
+double AddLaplaceNoise(double value, double sensitivity, double epsilon,
+                       Rng& rng);
+
+// Element-wise noisy copy of `values`, i.i.d. Lap(sensitivity/epsilon) —
+// for vector queries whose L1 global sensitivity is `sensitivity`
+// (e.g. the sorted degree sequence, GS = 2).
+std::vector<double> AddLaplaceNoiseVector(const std::vector<double>& values,
+                                          double sensitivity, double epsilon,
+                                          Rng& rng);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_DP_LAPLACE_MECHANISM_H_

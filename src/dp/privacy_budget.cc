@@ -1,0 +1,55 @@
+#include "src/dp/privacy_budget.h"
+
+#include <cstdio>
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+namespace {
+// Tolerance for floating-point budget comparisons: spending exactly the
+// remaining ε must succeed even after accumulation error.
+constexpr double kSlack = 1e-12;
+}  // namespace
+
+PrivacyBudget::PrivacyBudget(double epsilon_total, double delta_total)
+    : epsilon_total_(epsilon_total), delta_total_(delta_total) {
+  DPKRON_CHECK_GT(epsilon_total, 0.0);
+  DPKRON_CHECK_GE(delta_total, 0.0);
+  DPKRON_CHECK_LT(delta_total, 1.0);
+}
+
+Status PrivacyBudget::Spend(double epsilon, double delta,
+                            const std::string& label) {
+  if (epsilon < 0.0 || delta < 0.0) {
+    return Status::InvalidArgument("negative privacy charge: " + label);
+  }
+  if (epsilon == 0.0 && delta == 0.0) {
+    return Status::InvalidArgument("empty privacy charge: " + label);
+  }
+  if (epsilon_spent_ + epsilon > epsilon_total_ + kSlack) {
+    return Status::FailedPrecondition("epsilon budget exhausted at: " + label);
+  }
+  if (delta_spent_ + delta > delta_total_ + kSlack) {
+    return Status::FailedPrecondition("delta budget exhausted at: " + label);
+  }
+  epsilon_spent_ += epsilon;
+  delta_spent_ += delta;
+  ledger_.push_back({label, epsilon, delta});
+  return Status::Ok();
+}
+
+std::string PrivacyBudget::ToString() const {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "PrivacyBudget: spent (%.6g, %.6g) of (%.6g, %.6g)\n",
+                epsilon_spent_, delta_spent_, epsilon_total_, delta_total_);
+  std::string out = line;
+  for (const LedgerEntry& entry : ledger_) {
+    std::snprintf(line, sizeof(line), "  %-40s eps=%.6g delta=%.6g\n",
+                  entry.label.c_str(), entry.epsilon, entry.delta);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dpkron

@@ -1,0 +1,53 @@
+// Sequential-composition privacy accounting (Theorem 4.9).
+//
+// A PrivacyBudget is handed to a release pipeline with a total (ε, δ);
+// each mechanism invocation Spend()s its share and is refused once the
+// budget would be exceeded. The ledger makes the composition argument of
+// Theorem 4.10 / Corollary 4.11 auditable in code.
+
+#ifndef DPKRON_DP_PRIVACY_BUDGET_H_
+#define DPKRON_DP_PRIVACY_BUDGET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dpkron {
+
+class PrivacyBudget {
+ public:
+  PrivacyBudget(double epsilon_total, double delta_total);
+
+  // Records a charge of (epsilon, delta) for mechanism `label`.
+  // Fails (without recording) if the remaining budget is insufficient.
+  Status Spend(double epsilon, double delta, const std::string& label);
+
+  double epsilon_total() const { return epsilon_total_; }
+  double delta_total() const { return delta_total_; }
+  double epsilon_spent() const { return epsilon_spent_; }
+  double delta_spent() const { return delta_spent_; }
+  double epsilon_remaining() const { return epsilon_total_ - epsilon_spent_; }
+  double delta_remaining() const { return delta_total_ - delta_spent_; }
+
+  struct LedgerEntry {
+    std::string label;
+    double epsilon;
+    double delta;
+  };
+  const std::vector<LedgerEntry>& ledger() const { return ledger_; }
+
+  // Multi-line human-readable account of all charges.
+  std::string ToString() const;
+
+ private:
+  double epsilon_total_;
+  double delta_total_;
+  double epsilon_spent_ = 0.0;
+  double delta_spent_ = 0.0;
+  std::vector<LedgerEntry> ledger_;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_DP_PRIVACY_BUDGET_H_

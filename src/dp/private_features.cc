@@ -1,0 +1,60 @@
+#include "src/dp/private_features.h"
+
+#include "src/common/macros.h"
+#include "src/dp/smooth_sensitivity.h"
+
+namespace dpkron {
+
+Result<PrivateFeaturesResult> ComputePrivateFeatures(
+    const Graph& graph, double epsilon, double delta, PrivacyBudget& budget,
+    Rng& rng, const PrivateFeaturesOptions& options) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  // Reserve the full charge up front; a partially-run mechanism must not
+  // happen after a budget refusal.
+  if (Status s = budget.Spend(epsilon / 2, 0.0, "degree_sequence (Hay et al.)");
+      !s.ok()) {
+    return s;
+  }
+  if (Status s =
+          budget.Spend(epsilon / 2, delta, "triangle_count (NRS smooth)");
+      !s.ok()) {
+    return s;
+  }
+
+  PrivateFeaturesResult result;
+  // Steps 1–3: private degree sequence -> Ẽ, H̃, T̃.
+  result.noisy_degrees =
+      PrivateDegreeSequence(graph, epsilon / 2, rng, options.degrees);
+  // Steps 4–5: smooth-sensitivity private triangle count -> ∆̃.
+  const PrivateTriangleResult triangles =
+      PrivateTriangleCount(graph, epsilon / 2, delta, rng);
+  result.smooth_sensitivity = triangles.smooth_sensitivity;
+  result.beta = triangles.beta;
+
+  result.raw = FeaturesFromDegrees(result.noisy_degrees, triangles.value);
+  result.features = ClampFeatures(result.raw, options.feature_floor);
+  return result;
+}
+
+Result<PrivateFeaturesResult> ComputePrivateFeatures(
+    const Graph& graph, double epsilon, double delta, Rng& rng,
+    const PrivateFeaturesOptions& options) {
+  // Validate before provisioning: PrivacyBudget treats invalid totals as
+  // a programming error and aborts, but bad (ε, δ) here is a recoverable
+  // caller mistake.
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  PrivacyBudget budget(epsilon, delta);
+  return ComputePrivateFeatures(graph, epsilon, delta, budget, rng, options);
+}
+
+}  // namespace dpkron

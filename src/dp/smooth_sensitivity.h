@@ -1,0 +1,89 @@
+// Smooth sensitivity of the triangle count (Nissim, Raskhodnikova & Smith,
+// STOC'07) — steps 4–5 of Algorithm 1.
+//
+// For a node pair (i, j) let
+//   a_ij = number of common neighbors of i and j,
+//   b_ij = number of nodes adjacent to exactly one of i, j (excl. i, j).
+// Flipping edge {i,j} changes ∆ by a_ij, so LS_∆(G) = max_ij a_ij. With s
+// edge modifications an adversary can raise a_ij to
+//   c_ij(s) = min( a_ij + ⌊(s + min(s, b_ij)) / 2⌋ , n − 2 ),
+// giving the local sensitivity at distance s, LS^(s)(G) = max_ij c_ij(s),
+// and the β-smooth sensitivity SS_β(G) = max_{s≥0} e^{−βs} · LS^(s)(G).
+//
+// c_ij(s) is non-decreasing in both a_ij and b_ij, so the max over pairs
+// is attained on the Pareto frontier of {(a_ij, b_ij)}. The profile is
+// computed EXACTLY (this matters: an inexact upper bound is easy to
+// produce but can silently lose the β-smoothness property the privacy
+// proof needs). Pairs fall into three classes:
+//   * distance ≤ 2 with a common neighbor — enumerated exactly;
+//   * adjacent — covered exactly by the dominated-or-exact candidate
+//     (0, d_u + d_v − 2) per edge;
+//   * distance > 2 — a = 0 and b = d_i + d_j exactly, so only the
+//     maximum degree sum over far pairs matters; found exactly by
+//     best-first enumeration of degree-sorted pairs. If that enumeration
+//     exceeds its budget (pathological dense-core graphs) we fall back to
+//     the conservative d(1)+d(2) bound and say so in `exact()`.
+
+#ifndef DPKRON_DP_SMOOTH_SENSITIVITY_H_
+#define DPKRON_DP_SMOOTH_SENSITIVITY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+// The per-distance local-sensitivity profile of ∆ at a fixed graph.
+class TriangleSensitivityProfile {
+ public:
+  // Computes the profile of `graph` (O(Σ_w deg(w)²) time, O(N) memory).
+  explicit TriangleSensitivityProfile(const Graph& graph);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  // False if the far-pair search hit its budget and a conservative (still
+  // valid upper-bound, but possibly non-smooth) candidate was used.
+  bool exact() const { return exact_; }
+
+  // LS^(s)(G).
+  uint64_t LocalSensitivityAtDistance(uint64_t s) const;
+
+  // LS_∆(G) = LS^(0).
+  uint64_t LocalSensitivity() const { return LocalSensitivityAtDistance(0); }
+
+  // SS_{β,∆}(G). Requires beta > 0.
+  double SmoothSensitivity(double beta) const;
+
+  // The Pareto-maximal (a, b) candidates (exposed for tests).
+  const std::vector<std::pair<uint64_t, uint64_t>>& frontier() const {
+    return frontier_;
+  }
+
+ private:
+  uint32_t num_nodes_;
+  bool exact_ = true;
+  std::vector<std::pair<uint64_t, uint64_t>> frontier_;  // (a, b), a desc
+};
+
+// Convenience wrapper: SS_{β,∆}(graph).
+double SmoothSensitivityTriangles(const Graph& graph, double beta);
+
+struct PrivateTriangleResult {
+  double value = 0.0;               // ∆̃
+  double exact = 0.0;               // ∆ (kept private by callers!)
+  double smooth_sensitivity = 0.0;  // SS_{β,∆}(G)
+  double beta = 0.0;
+};
+
+// (ε, δ)-differentially private triangle count via Theorem 4.8:
+//   ∆̃ = ∆ + (2·SS_β/ε)·Lap(1),  β = ε / (2 ln(2/δ)).
+// Requires epsilon > 0 and delta ∈ (0, 1).
+PrivateTriangleResult PrivateTriangleCount(const Graph& graph, double epsilon,
+                                           double delta, Rng& rng);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_DP_SMOOTH_SENSITIVITY_H_

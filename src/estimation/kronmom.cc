@@ -1,0 +1,84 @@
+#include "src/estimation/kronmom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+uint32_t ChooseKroneckerOrder(uint64_t num_nodes) {
+  DPKRON_CHECK_GE(num_nodes, 2u);
+  uint32_t k = 0;
+  uint64_t capacity = 1;
+  while (capacity < num_nodes) {
+    capacity <<= 1;
+    ++k;
+  }
+  return k;
+}
+
+KronMomResult FitKronMomToFeatures(const GraphFeatures& observed, uint32_t k,
+                                   const KronMomOptions& options) {
+  DPKRON_CHECK_GE(k, 1u);
+  DPKRON_CHECK_GE(options.grid_points, 2u);
+  DPKRON_CHECK_GE(options.num_starts, 1u);
+
+  auto objective = [&](const std::vector<double>& x) {
+    return MomentObjective(Initiator2{x[0], x[1], x[2]}, k, observed,
+                           options.objective);
+  };
+
+  // Rank coarse-lattice candidates; the lattice spans the closed box.
+  struct Candidate {
+    Initiator2 theta;
+    double value;
+  };
+  std::vector<Candidate> candidates;
+  const uint32_t g = options.grid_points;
+  candidates.reserve(static_cast<size_t>(g) * g * g);
+  for (uint32_t ia = 0; ia < g; ++ia) {
+    for (uint32_t ib = 0; ib < g; ++ib) {
+      for (uint32_t ic = 0; ic < g; ++ic) {
+        const Initiator2 theta{double(ia) / (g - 1), double(ib) / (g - 1),
+                               double(ic) / (g - 1)};
+        candidates.push_back(
+            {theta, MomentObjective(theta, k, observed, options.objective)});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              return x.value < y.value;
+            });
+
+  KronMomResult best;
+  best.k = k;
+  best.objective = std::numeric_limits<double>::infinity();
+  const uint32_t starts =
+      std::min<uint32_t>(options.num_starts,
+                         static_cast<uint32_t>(candidates.size()));
+  for (uint32_t s = 0; s < starts; ++s) {
+    const Initiator2& start = candidates[s].theta;
+    NelderMeadResult run = NelderMead(
+        objective, {start.a, start.b, start.c}, options.solver);
+    if (run.value < best.objective) {
+      best.objective = run.value;
+      best.theta = Initiator2{run.point[0], run.point[1], run.point[2]}
+                       .Clamped()
+                       .Canonical();
+      best.converged = run.converged;
+    }
+  }
+  return best;
+}
+
+KronMomResult FitKronMom(const Graph& graph, const KronMomOptions& options) {
+  const GraphFeatures observed = ComputeFeatures(graph);
+  const uint32_t k = ChooseKroneckerOrder(graph.NumNodes());
+  return FitKronMomToFeatures(observed, k, options);
+}
+
+}  // namespace dpkron

@@ -1,0 +1,51 @@
+// KronMom: the Gleich–Owen moment-matching estimator of the SKG initiator
+// (§3.4). Multi-start Nelder–Mead over (a, b, c) on the Eq. (2) objective.
+//
+// This is the non-private estimator the paper's "KronMom" columns/series
+// refer to, and the optimization core that Algorithm 1 reuses with
+// privatized features.
+
+#ifndef DPKRON_ESTIMATION_KRONMOM_H_
+#define DPKRON_ESTIMATION_KRONMOM_H_
+
+#include <cstdint>
+
+#include "src/estimation/features.h"
+#include "src/estimation/nelder_mead.h"
+#include "src/estimation/objective.h"
+#include "src/graph/graph.h"
+#include "src/skg/initiator.h"
+
+namespace dpkron {
+
+struct KronMomOptions {
+  ObjectiveOptions objective;
+  NelderMeadOptions solver;
+  // Coarse-lattice resolution per axis for start-point selection.
+  uint32_t grid_points = 7;
+  // How many of the best lattice points seed a full Nelder–Mead run.
+  uint32_t num_starts = 5;
+};
+
+struct KronMomResult {
+  Initiator2 theta;        // canonical (a ≥ c)
+  double objective = 0.0;  // Eq. (2) value at theta
+  uint32_t k = 0;          // Kronecker order used
+  bool converged = false;
+};
+
+// Smallest k with 2^k ≥ num_nodes — the model-selection rule the paper
+// uses (N is padded up to the next power of two).
+uint32_t ChooseKroneckerOrder(uint64_t num_nodes);
+
+// Fits Θ to pre-computed observed features at Kronecker order k.
+KronMomResult FitKronMomToFeatures(const GraphFeatures& observed, uint32_t k,
+                                   const KronMomOptions& options = {});
+
+// Convenience: extracts exact features from `graph`, chooses k, fits.
+KronMomResult FitKronMom(const Graph& graph,
+                         const KronMomOptions& options = {});
+
+}  // namespace dpkron
+
+#endif  // DPKRON_ESTIMATION_KRONMOM_H_

@@ -1,0 +1,47 @@
+// Derivative-free simplex minimizer (Nelder & Mead, 1965).
+//
+// The Eq. (2) objective is a smooth rational function of (a, b, c) but its
+// derivatives are unwieldy and the landscape has flat valleys near the
+// box boundary; Nelder–Mead with a box penalty (built into the objective)
+// plus multi-start is what Gleich's reference code effectively does, and
+// is robust here.
+
+#ifndef DPKRON_ESTIMATION_NELDER_MEAD_H_
+#define DPKRON_ESTIMATION_NELDER_MEAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dpkron {
+
+struct NelderMeadOptions {
+  uint32_t max_iterations = 2000;
+  // Stop when the simplex's value spread and diameter both drop below
+  // these tolerances.
+  double value_tolerance = 1e-12;
+  double point_tolerance = 1e-10;
+  // Initial simplex edge length around the start point.
+  double initial_step = 0.1;
+  // Standard coefficients.
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> point;
+  double value = 0.0;
+  uint32_t iterations = 0;
+  bool converged = false;
+};
+
+// Minimizes `objective` starting from `start` (dimension = start.size()).
+NelderMeadResult NelderMead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& start, const NelderMeadOptions& options = {});
+
+}  // namespace dpkron
+
+#endif  // DPKRON_ESTIMATION_NELDER_MEAD_H_

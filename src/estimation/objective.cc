@@ -1,0 +1,103 @@
+#include "src/estimation/objective.h"
+
+#include <cmath>
+
+#include "src/common/macros.h"
+#include "src/skg/moments.h"
+
+namespace dpkron {
+namespace {
+
+// Norms can vanish (e.g. a candidate with no expected triangles); floor
+// the denominator so a term contributes a large-but-finite cost instead of
+// an infinity that would wedge the simplex.
+constexpr double kNormFloor = 1e-9;
+
+double Dist(DistKind kind, double x, double y) {
+  switch (kind) {
+    case DistKind::kSquared:
+      return (x - y) * (x - y);
+    case DistKind::kAbsolute:
+      return std::fabs(x - y);
+  }
+  return 0.0;
+}
+
+double Norm(NormKind kind, double observed, double expected) {
+  switch (kind) {
+    case NormKind::kF:
+      return observed;
+    case NormKind::kF2:
+      return observed * observed;
+    case NormKind::kE:
+      return expected;
+    case NormKind::kE2:
+      return expected * expected;
+  }
+  return 1.0;
+}
+
+double Term(const ObjectiveOptions& options, double observed,
+            double expected) {
+  const double numerator = Dist(options.dist, observed, expected);
+  const double denominator =
+      std::max(std::fabs(Norm(options.norm, observed, expected)), kNormFloor);
+  return numerator / denominator;
+}
+
+}  // namespace
+
+const char* DistKindName(DistKind dist) {
+  switch (dist) {
+    case DistKind::kSquared:
+      return "DistSq";
+    case DistKind::kAbsolute:
+      return "DistAbs";
+  }
+  return "?";
+}
+
+const char* NormKindName(NormKind norm) {
+  switch (norm) {
+    case NormKind::kF:
+      return "NormF";
+    case NormKind::kF2:
+      return "NormF2";
+    case NormKind::kE:
+      return "NormE";
+    case NormKind::kE2:
+      return "NormE2";
+  }
+  return "?";
+}
+
+double MomentObjective(const Initiator2& theta, uint32_t k,
+                       const GraphFeatures& observed,
+                       const ObjectiveOptions& options) {
+  DPKRON_CHECK_GE(k, 1u);
+  const Initiator2 inside = theta.Clamped();
+  // Quadratic penalty for leaving the box, scaled to dominate any
+  // in-box objective value.
+  const double overshoot = std::fabs(theta.a - inside.a) +
+                           std::fabs(theta.b - inside.b) +
+                           std::fabs(theta.c - inside.c);
+  const double penalty = 1e6 * overshoot * overshoot + 1e3 * overshoot;
+
+  const SkgMoments expected = ExpectedMoments(inside, k);
+  double value = 0.0;
+  if (options.use_edges) {
+    value += Term(options, observed.edges, expected.edges);
+  }
+  if (options.use_hairpins) {
+    value += Term(options, observed.hairpins, expected.hairpins);
+  }
+  if (options.use_triangles) {
+    value += Term(options, observed.triangles, expected.triangles);
+  }
+  if (options.use_tripins) {
+    value += Term(options, observed.tripins, expected.tripins);
+  }
+  return value + penalty;
+}
+
+}  // namespace dpkron

@@ -1,0 +1,57 @@
+// The moment-matching objective of Equation (2):
+//
+//   min_{a,b,c}  Σ_F  Dist(F, E_{a,b,c}(F)) / Norm(F, E_{a,b,c}(F))
+//
+// with Dist ∈ {squared, absolute} and Norm ∈ {F, F², E, E²} (F = observed
+// count, E = model-expected count). Gleich & Owen report DistSq + NormF²
+// as the robust combination; that is the default everywhere in dpkron.
+
+#ifndef DPKRON_ESTIMATION_OBJECTIVE_H_
+#define DPKRON_ESTIMATION_OBJECTIVE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/estimation/features.h"
+#include "src/skg/initiator.h"
+
+namespace dpkron {
+
+enum class DistKind {
+  kSquared,   // (x − y)²
+  kAbsolute,  // |x − y|
+};
+
+enum class NormKind {
+  kF,   // observed count
+  kF2,  // observed count squared
+  kE,   // expected count
+  kE2,  // expected count squared
+};
+
+const char* DistKindName(DistKind dist);
+const char* NormKindName(NormKind norm);
+
+struct ObjectiveOptions {
+  DistKind dist = DistKind::kSquared;
+  NormKind norm = NormKind::kF2;
+  // Feature subset. Gleich & Owen fit on subsets of {E, H, ∆, T};
+  // all four is the default and what Table 1 uses.
+  bool use_edges = true;
+  bool use_hairpins = true;
+  bool use_triangles = true;
+  bool use_tripins = true;
+};
+
+// Evaluates the Eq. (2) objective for candidate Θ = (a, b, c) at Kronecker
+// order k against observed features. Entries of theta may lie outside
+// [0,1] during optimization: they are clamped for the moment evaluation
+// and a quadratic out-of-box penalty is added, which keeps the simplex
+// method inside the feasible region without hard walls.
+double MomentObjective(const Initiator2& theta, uint32_t k,
+                       const GraphFeatures& observed,
+                       const ObjectiveOptions& options = {});
+
+}  // namespace dpkron
+
+#endif  // DPKRON_ESTIMATION_OBJECTIVE_H_

@@ -1,0 +1,92 @@
+#include "src/graph/anf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+namespace {
+
+// Flajolet–Martin bias correction constant: E[2^R] ≈ n / 0.77351.
+constexpr double kFmPhi = 0.77351;
+
+// Index of the lowest zero bit of x (0-based); 64 if x is all ones.
+inline uint32_t LowestZeroBit(uint64_t x) {
+  const uint64_t inverted = ~x;
+  if (inverted == 0) return 64;
+  return static_cast<uint32_t>(__builtin_ctzll(inverted));
+}
+
+// Draws an FM-distributed bit: bit j set with probability 2^-(j+1).
+inline uint64_t FmBit(Rng& rng) {
+  // Equivalent to a geometric(1/2) draw; clamp to 63.
+  const uint32_t leading = static_cast<uint32_t>(
+      __builtin_ctzll(rng.NextU64() | (1ULL << 63)));
+  return 1ULL << (leading < 64 ? leading : 63);
+}
+
+}  // namespace
+
+std::vector<uint64_t> ApproxHopPlot(const Graph& graph, Rng& rng,
+                                    const AnfOptions& options) {
+  DPKRON_CHECK_GT(options.num_trials, 0u);
+  const uint32_t n = graph.NumNodes();
+  const uint32_t trials = options.num_trials;
+  if (n == 0) return {0};
+
+  // masks[u*trials + t]: sketch of the ball around u in trial t.
+  std::vector<uint64_t> masks(static_cast<size_t>(n) * trials);
+  for (Graph::NodeId u = 0; u < n; ++u) {
+    for (uint32_t t = 0; t < trials; ++t) {
+      masks[static_cast<size_t>(u) * trials + t] = FmBit(rng);
+    }
+  }
+
+  auto estimate_total = [&]() {
+    double total = 0.0;
+    for (Graph::NodeId u = 0; u < n; ++u) {
+      double mean_r = 0.0;
+      for (uint32_t t = 0; t < trials; ++t) {
+        mean_r += LowestZeroBit(masks[static_cast<size_t>(u) * trials + t]);
+      }
+      mean_r /= trials;
+      total += std::pow(2.0, mean_r) / kFmPhi;
+    }
+    return static_cast<uint64_t>(total);
+  };
+
+  std::vector<uint64_t> hop_plot;
+  hop_plot.push_back(estimate_total());  // h = 0
+
+  std::vector<uint64_t> next(masks.size());
+  for (uint32_t hop = 1; hop <= options.max_hops; ++hop) {
+    next = masks;
+    bool changed = false;
+    for (Graph::NodeId u = 0; u < n; ++u) {
+      uint64_t* dst = &next[static_cast<size_t>(u) * trials];
+      for (Graph::NodeId v : graph.Neighbors(u)) {
+        const uint64_t* src = &masks[static_cast<size_t>(v) * trials];
+        for (uint32_t t = 0; t < trials; ++t) {
+          const uint64_t merged = dst[t] | src[t];
+          changed |= (merged != dst[t]);
+          dst[t] = merged;
+        }
+      }
+    }
+    masks.swap(next);
+    if (!changed) break;  // All balls saturated: N(h) has converged.
+    hop_plot.push_back(estimate_total());
+  }
+  // N(0) = n and N(1) = n + 2E are known exactly; pin them (the FM
+  // sketch's multiplicative bias is worst at tiny per-node counts) and
+  // restore monotonicity for the estimated tail.
+  hop_plot[0] = n;
+  if (hop_plot.size() > 1) hop_plot[1] = n + 2 * graph.NumEdges();
+  for (size_t h = 1; h < hop_plot.size(); ++h) {
+    hop_plot[h] = std::max(hop_plot[h], hop_plot[h - 1]);
+  }
+  return hop_plot;
+}
+
+}  // namespace dpkron

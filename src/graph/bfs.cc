@@ -1,0 +1,44 @@
+#include "src/graph/bfs.h"
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+std::vector<int32_t> BfsDistances(const Graph& graph, Graph::NodeId source) {
+  BfsScratch scratch(graph.NumNodes());
+  scratch.Run(graph, source);
+  std::vector<int32_t> distances(graph.NumNodes());
+  for (Graph::NodeId v = 0; v < graph.NumNodes(); ++v) {
+    distances[v] = scratch.Distance(v);
+  }
+  return distances;
+}
+
+BfsScratch::BfsScratch(uint32_t num_nodes)
+    : distance_(num_nodes, 0), stamp_(num_nodes, 0) {
+  queue_.reserve(num_nodes);
+}
+
+uint32_t BfsScratch::Run(const Graph& graph, Graph::NodeId source) {
+  DPKRON_CHECK_EQ(graph.NumNodes(), distance_.size());
+  DPKRON_CHECK_LT(source, graph.NumNodes());
+  ++current_stamp_;
+  queue_.clear();
+  queue_.push_back(source);
+  stamp_[source] = current_stamp_;
+  distance_[source] = 0;
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    const Graph::NodeId u = queue_[head];
+    const int32_t next = distance_[u] + 1;
+    for (Graph::NodeId v : graph.Neighbors(u)) {
+      if (stamp_[v] != current_stamp_) {
+        stamp_[v] = current_stamp_;
+        distance_[v] = next;
+        queue_.push_back(v);
+      }
+    }
+  }
+  return static_cast<uint32_t>(queue_.size());
+}
+
+}  // namespace dpkron

@@ -1,0 +1,45 @@
+// Breadth-first search primitives.
+
+#ifndef DPKRON_GRAPH_BFS_H_
+#define DPKRON_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+// Marker for nodes not reachable from the BFS source.
+inline constexpr int32_t kUnreachable = -1;
+
+// Hop distances from `source` to every node (kUnreachable if none).
+std::vector<int32_t> BfsDistances(const Graph& graph, Graph::NodeId source);
+
+// Reusable BFS workspace: amortizes the O(N) distance-array reset across
+// many sources (the exact hop plot runs one BFS per node).
+class BfsScratch {
+ public:
+  explicit BfsScratch(uint32_t num_nodes);
+
+  // Runs BFS from `source`; afterwards Distance(v) is valid until the next
+  // Run. Returns the number of nodes reached (including the source).
+  uint32_t Run(const Graph& graph, Graph::NodeId source);
+
+  int32_t Distance(Graph::NodeId v) const {
+    return stamp_[v] == current_stamp_ ? distance_[v] : kUnreachable;
+  }
+
+  // Nodes visited by the last Run, in BFS order.
+  const std::vector<Graph::NodeId>& Visited() const { return queue_; }
+
+ private:
+  std::vector<int32_t> distance_;
+  std::vector<uint32_t> stamp_;
+  std::vector<Graph::NodeId> queue_;
+  uint32_t current_stamp_ = 0;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_GRAPH_BFS_H_

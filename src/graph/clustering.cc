@@ -1,0 +1,63 @@
+#include "src/graph/clustering.h"
+
+#include "src/graph/degree.h"
+#include "src/graph/triangles.h"
+
+namespace dpkron {
+
+std::vector<double> LocalClustering(const Graph& graph) {
+  const std::vector<uint64_t> triangles = PerNodeTriangles(graph);
+  std::vector<double> clustering(graph.NumNodes(), 0.0);
+  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
+    const uint64_t d = graph.Degree(u);
+    if (d >= 2) {
+      clustering[u] =
+          2.0 * static_cast<double>(triangles[u]) / (double(d) * (d - 1));
+    }
+  }
+  return clustering;
+}
+
+double AverageClustering(const Graph& graph) {
+  const std::vector<double> clustering = LocalClustering(graph);
+  double sum = 0.0;
+  uint64_t eligible = 0;
+  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
+    if (graph.Degree(u) >= 2) {
+      sum += clustering[u];
+      ++eligible;
+    }
+  }
+  return eligible == 0 ? 0.0 : sum / static_cast<double>(eligible);
+}
+
+double GlobalClustering(const Graph& graph) {
+  const uint64_t wedges = CountWedges(graph);
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(graph)) /
+         static_cast<double>(wedges);
+}
+
+std::vector<std::pair<uint32_t, double>> ClusteringByDegree(
+    const Graph& graph) {
+  const std::vector<double> clustering = LocalClustering(graph);
+  const uint32_t max_degree = MaxDegree(graph);
+  std::vector<double> sum(max_degree + 1, 0.0);
+  std::vector<uint64_t> count(max_degree + 1, 0);
+  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
+    const uint32_t d = graph.Degree(u);
+    if (d >= 2) {
+      sum[d] += clustering[u];
+      ++count[d];
+    }
+  }
+  std::vector<std::pair<uint32_t, double>> by_degree;
+  for (uint32_t d = 2; d <= max_degree; ++d) {
+    if (count[d] > 0) {
+      by_degree.emplace_back(d, sum[d] / static_cast<double>(count[d]));
+    }
+  }
+  return by_degree;
+}
+
+}  // namespace dpkron

@@ -1,0 +1,35 @@
+// Clustering coefficients.
+//
+// The "clustering" panels of Figs 1–4 plot the average clustering
+// coefficient of degree-d nodes against d (log-log), the convention of
+// Leskovec et al.'s Kronecker-graph evaluations.
+
+#ifndef DPKRON_GRAPH_CLUSTERING_H_
+#define DPKRON_GRAPH_CLUSTERING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+// c_u = 2·t_u / (d_u (d_u − 1)) for d_u ≥ 2, else 0.
+std::vector<double> LocalClustering(const Graph& graph);
+
+// Mean of c_u over all nodes with degree ≥ 2.
+double AverageClustering(const Graph& graph);
+
+// Global (transitivity) coefficient: 3∆ / H. Returns 0 for wedge-free
+// graphs.
+double GlobalClustering(const Graph& graph);
+
+// (degree d, mean clustering of degree-d nodes) for every d ≥ 2 present in
+// the graph, ascending.
+std::vector<std::pair<uint32_t, double>> ClusteringByDegree(
+    const Graph& graph);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_GRAPH_CLUSTERING_H_

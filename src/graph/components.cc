@@ -1,0 +1,53 @@
+#include "src/graph/components.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/graph/bfs.h"
+#include "src/graph/graph_builder.h"
+
+namespace dpkron {
+
+ComponentInfo ConnectedComponents(const Graph& graph) {
+  const uint32_t n = graph.NumNodes();
+  ComponentInfo info;
+  info.component_of.assign(n, UINT32_MAX);
+  BfsScratch scratch(n);
+  for (Graph::NodeId u = 0; u < n; ++u) {
+    if (info.component_of[u] != UINT32_MAX) continue;
+    const uint32_t id = info.num_components();
+    scratch.Run(graph, u);
+    for (Graph::NodeId v : scratch.Visited()) info.component_of[v] = id;
+    info.sizes.push_back(static_cast<uint32_t>(scratch.Visited().size()));
+  }
+  return info;
+}
+
+ExtractedComponent LargestComponent(const Graph& graph) {
+  const ComponentInfo info = ConnectedComponents(graph);
+  ExtractedComponent out;
+  if (info.sizes.empty()) {
+    out.graph = Graph();
+    return out;
+  }
+  const uint32_t target = static_cast<uint32_t>(
+      std::max_element(info.sizes.begin(), info.sizes.end()) -
+      info.sizes.begin());
+  std::vector<Graph::NodeId> new_id(graph.NumNodes(), UINT32_MAX);
+  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
+    if (info.component_of[u] == target) {
+      new_id[u] = static_cast<Graph::NodeId>(out.original_id.size());
+      out.original_id.push_back(u);
+    }
+  }
+  GraphBuilder builder(static_cast<uint32_t>(out.original_id.size()));
+  graph.ForEachEdge([&](Graph::NodeId u, Graph::NodeId v) {
+    if (new_id[u] != UINT32_MAX && new_id[v] != UINT32_MAX) {
+      builder.AddEdge(new_id[u], new_id[v]);
+    }
+  });
+  out.graph = builder.Build();
+  return out;
+}
+
+}  // namespace dpkron

@@ -1,0 +1,38 @@
+// Connected components and largest-component extraction.
+
+#ifndef DPKRON_GRAPH_COMPONENTS_H_
+#define DPKRON_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+struct ComponentInfo {
+  // Component id of each node (ids are 0..num_components-1, assigned in
+  // order of smallest contained node).
+  std::vector<uint32_t> component_of;
+  // Node count per component id.
+  std::vector<uint32_t> sizes;
+
+  uint32_t num_components() const {
+    return static_cast<uint32_t>(sizes.size());
+  }
+};
+
+ComponentInfo ConnectedComponents(const Graph& graph);
+
+// The induced subgraph on the largest connected component, with nodes
+// relabelled 0..n'-1 (order preserved). Returns the graph plus the mapping
+// new-id -> old-id.
+struct ExtractedComponent {
+  Graph graph;
+  std::vector<Graph::NodeId> original_id;
+};
+ExtractedComponent LargestComponent(const Graph& graph);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_GRAPH_COMPONENTS_H_

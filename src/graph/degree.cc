@@ -1,0 +1,78 @@
+#include "src/graph/degree.h"
+
+#include <algorithm>
+
+namespace dpkron {
+
+std::vector<uint32_t> DegreeVector(const Graph& graph) {
+  std::vector<uint32_t> degrees(graph.NumNodes());
+  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
+    degrees[u] = graph.Degree(u);
+  }
+  return degrees;
+}
+
+std::vector<uint32_t> SortedDegreeVector(const Graph& graph) {
+  std::vector<uint32_t> degrees = DegreeVector(graph);
+  std::sort(degrees.begin(), degrees.end());
+  return degrees;
+}
+
+uint32_t MaxDegree(const Graph& graph) {
+  uint32_t max_degree = 0;
+  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
+    max_degree = std::max(max_degree, graph.Degree(u));
+  }
+  return max_degree;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> DegreeHistogram(
+    const Graph& graph) {
+  std::vector<uint64_t> counts(MaxDegree(graph) + 1, 0);
+  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
+    ++counts[graph.Degree(u)];
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> histogram;
+  for (uint32_t d = 0; d < counts.size(); ++d) {
+    if (counts[d] > 0) histogram.emplace_back(d, counts[d]);
+  }
+  return histogram;
+}
+
+double EdgesFromDegrees(const std::vector<double>& degrees) {
+  double sum = 0.0;
+  for (double d : degrees) sum += d;
+  return sum / 2.0;
+}
+
+double HairpinsFromDegrees(const std::vector<double>& degrees) {
+  double sum = 0.0;
+  for (double d : degrees) sum += d * (d - 1.0);
+  return sum / 2.0;
+}
+
+double TripinsFromDegrees(const std::vector<double>& degrees) {
+  double sum = 0.0;
+  for (double d : degrees) sum += d * (d - 1.0) * (d - 2.0);
+  return sum / 6.0;
+}
+
+uint64_t CountWedges(const Graph& graph) {
+  uint64_t wedges = 0;
+  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
+    const uint64_t d = graph.Degree(u);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+uint64_t CountTripins(const Graph& graph) {
+  uint64_t tripins = 0;
+  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
+    const uint64_t d = graph.Degree(u);
+    tripins += d * (d - 1) * (d - 2) / 6;
+  }
+  return tripins;
+}
+
+}  // namespace dpkron

@@ -1,0 +1,47 @@
+// Degree-based statistics: degree vectors, histograms, and the exact
+// degree-derived feature counts (edges E, hairpins H, tripins T) used by
+// the moment estimator (paper §3.4 / §4.1).
+
+#ifndef DPKRON_GRAPH_DEGREE_H_
+#define DPKRON_GRAPH_DEGREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+// d_i for every node i.
+std::vector<uint32_t> DegreeVector(const Graph& graph);
+
+// The sorted (ascending) degree sequence d_S of the paper — the quantity
+// Hay et al.'s mechanism privatizes (global sensitivity 2 under edge
+// neighborhood).
+std::vector<uint32_t> SortedDegreeVector(const Graph& graph);
+
+uint32_t MaxDegree(const Graph& graph);
+
+// (degree, count) pairs for every degree value with count > 0, ascending —
+// the "degree distribution" panels of Figs 1–4.
+std::vector<std::pair<uint32_t, uint64_t>> DegreeHistogram(const Graph& graph);
+
+// Exact degree-derived features, computed from any degree vector d:
+//   E = (1/2) Σ d_i            (number of edges)
+//   H = (1/2) Σ d_i (d_i − 1)  (hairpins / wedges / 2-stars)
+//   T = (1/6) Σ d_i (d_i −1)(d_i − 2)   (tripins / 3-stars)
+// These are the formulas Algorithm 1 applies to the *noisy* degree vector;
+// on real degree vectors they coincide with the combinatorial counts.
+// Declared on doubles so they accept privatized (fractional) degrees.
+double EdgesFromDegrees(const std::vector<double>& degrees);
+double HairpinsFromDegrees(const std::vector<double>& degrees);
+double TripinsFromDegrees(const std::vector<double>& degrees);
+
+// Integer-exact counterparts for true degree vectors.
+uint64_t CountWedges(const Graph& graph);   // H
+uint64_t CountTripins(const Graph& graph);  // T
+
+}  // namespace dpkron
+
+#endif  // DPKRON_GRAPH_DEGREE_H_

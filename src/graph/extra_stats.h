@@ -1,0 +1,39 @@
+// Additional whole-graph statistics from the Kronecker-graphs evaluation
+// toolbox: node triangle participation (named explicitly by the paper in
+// §3.1's list of studied patterns), degree assortativity, and k-core
+// decomposition. Used by extended tests and the release diagnostics.
+
+#ifndef DPKRON_GRAPH_EXTRA_STATS_H_
+#define DPKRON_GRAPH_EXTRA_STATS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+// (t, number of nodes participating in exactly t triangles), ascending t,
+// only t values with non-zero counts.
+std::vector<std::pair<uint64_t, uint64_t>> TriangleParticipation(
+    const Graph& graph);
+
+// Pearson correlation of endpoint degrees over edges (Newman's degree
+// assortativity, in [−1, 1]). Returns 0 for graphs with < 2 edges or a
+// degree-regular edge set (undefined correlation).
+double DegreeAssortativity(const Graph& graph);
+
+// Core number of every node (largest k such that the node survives in
+// the k-core). O(N + M) bucket peeling.
+std::vector<uint32_t> CoreNumbers(const Graph& graph);
+
+// Largest non-empty core index (0 for edgeless graphs).
+uint32_t Degeneracy(const Graph& graph);
+
+// (k, number of nodes with core number exactly k), ascending k.
+std::vector<std::pair<uint32_t, uint64_t>> CoreHistogram(const Graph& graph);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_GRAPH_EXTRA_STATS_H_

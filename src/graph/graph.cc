@@ -1,0 +1,44 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+Graph Graph::FromCsr(std::vector<uint32_t> offsets,
+                     std::vector<NodeId> adjacency) {
+  DPKRON_CHECK(!offsets.empty());
+  DPKRON_CHECK_EQ(offsets.front(), 0u);
+  DPKRON_CHECK_EQ(offsets.back(), adjacency.size());
+  DPKRON_CHECK_EQ(adjacency.size() % 2, 0u);
+  const uint32_t n = static_cast<uint32_t>(offsets.size() - 1);
+  for (uint32_t u = 0; u < n; ++u) {
+    DPKRON_CHECK_LE(offsets[u], offsets[u + 1]);
+    for (uint32_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      DPKRON_CHECK_LT(adjacency[i], n);
+      DPKRON_CHECK_MSG(adjacency[i] != u, "self-loop in CSR input");
+      if (i > offsets[u]) {
+        DPKRON_CHECK_MSG(adjacency[i - 1] < adjacency[i],
+                         "adjacency list not strictly sorted");
+      }
+    }
+  }
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  DPKRON_CHECK_LT(u, NumNodes());
+  DPKRON_CHECK_LT(v, NumNodes());
+  const auto neighbors = Neighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+std::vector<std::pair<Graph::NodeId, Graph::NodeId>> Graph::Edges() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(NumEdges());
+  ForEachEdge([&edges](NodeId u, NodeId v) { edges.emplace_back(u, v); });
+  return edges;
+}
+
+}  // namespace dpkron

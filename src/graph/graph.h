@@ -1,0 +1,83 @@
+// Immutable undirected simple graph in CSR (compressed sparse row) form.
+//
+// This is the substrate every other dpkron component operates on: the
+// "sensitive graph database" of the paper, the synthetic realizations
+// sampled from SKG distributions, and the inputs to every statistic.
+//
+// Invariants (validated at construction):
+//   * no self-loops, no parallel edges;
+//   * each undirected edge {u,v} stored twice (u→v and v→u);
+//   * every adjacency list sorted ascending (enables O(log d) HasEdge and
+//     linear-merge triangle counting).
+
+#ifndef DPKRON_GRAPH_GRAPH_H_
+#define DPKRON_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dpkron {
+
+class Graph {
+ public:
+  using NodeId = uint32_t;
+
+  // An empty graph (0 nodes).
+  Graph() : offsets_(1, 0) {}
+
+  // Takes ownership of validated CSR arrays. `offsets` has num_nodes+1
+  // entries; `adjacency` holds both directions of every edge with each
+  // list sorted. Aborts (DPKRON_CHECK) if the invariants don't hold —
+  // construction from untrusted data should go through GraphBuilder,
+  // which establishes them.
+  static Graph FromCsr(std::vector<uint32_t> offsets,
+                       std::vector<NodeId> adjacency);
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  uint32_t NumNodes() const {
+    return static_cast<uint32_t>(offsets_.size() - 1);
+  }
+
+  // Number of undirected edges.
+  uint64_t NumEdges() const { return adjacency_.size() / 2; }
+
+  uint32_t Degree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  // Sorted neighbor list of u.
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  // O(log deg(u)). u and v must be valid node ids.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  // Invokes f(u, v) once per undirected edge, with u < v.
+  template <typename F>
+  void ForEachEdge(F&& f) const {
+    for (NodeId u = 0; u < NumNodes(); ++u) {
+      for (NodeId v : Neighbors(u)) {
+        if (u < v) f(u, v);
+      }
+    }
+  }
+
+  // All edges as (u, v) pairs with u < v, in lexicographic order.
+  std::vector<std::pair<NodeId, NodeId>> Edges() const;
+
+ private:
+  Graph(std::vector<uint32_t> offsets, std::vector<NodeId> adjacency)
+      : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {}
+
+  std::vector<uint32_t> offsets_;
+  std::vector<NodeId> adjacency_;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_GRAPH_GRAPH_H_

@@ -1,0 +1,53 @@
+#include "src/graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+GraphBuilder::GraphBuilder(uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+void GraphBuilder::AddEdge(Graph::NodeId u, Graph::NodeId v) {
+  DPKRON_CHECK_LT(u, num_nodes_);
+  DPKRON_CHECK_LT(v, num_nodes_);
+  if (u == v) return;  // Simple graph: ignore loops at the door.
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<uint32_t> degree(num_nodes_, 0);
+  for (const auto& [u, v] : edges_) {
+    ++degree[u];
+    ++degree[v];
+  }
+  std::vector<uint32_t> offsets(num_nodes_ + 1, 0);
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    offsets[u + 1] = offsets[u] + degree[u];
+  }
+  std::vector<Graph::NodeId> adjacency(offsets.back());
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  // Edges are sorted by (u, v), so filling forward keeps each adjacency
+  // list sorted: u's list receives v's in increasing order, and v's list
+  // receives u's in increasing order because edges are grouped by u.
+  for (const auto& [u, v] : edges_) {
+    adjacency[cursor[u]++] = v;
+    adjacency[cursor[v]++] = u;
+  }
+  edges_.clear();
+  return Graph::FromCsr(std::move(offsets), std::move(adjacency));
+}
+
+Graph GraphBuilder::FromEdges(
+    uint32_t num_nodes,
+    const std::vector<std::pair<Graph::NodeId, Graph::NodeId>>& edges) {
+  GraphBuilder builder(num_nodes);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+}  // namespace dpkron

@@ -1,0 +1,51 @@
+// Mutable edge accumulator that produces validated Graph objects.
+//
+// Accepts edges in any order, with duplicates, reversed duplicates and
+// self-loops; Build() canonicalizes (drops loops, dedupes, sorts) so the
+// resulting Graph satisfies the CSR invariants. This is also where the
+// paper's §3.2 "symmetrize and drop loops" transformation of directed SKG
+// realizations lands: the sampler just feeds every realized arc in here.
+
+#ifndef DPKRON_GRAPH_GRAPH_BUILDER_H_
+#define DPKRON_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+class GraphBuilder {
+ public:
+  // Creates a builder for a graph on `num_nodes` nodes (fixed up front:
+  // SKG graphs have exactly N1^k nodes whether or not all are touched).
+  explicit GraphBuilder(uint32_t num_nodes);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  // Records an undirected edge {u, v}. Self-loops and duplicates are
+  // accepted and removed at Build(). Aborts if u or v is out of range.
+  void AddEdge(Graph::NodeId u, Graph::NodeId v);
+
+  // Number of AddEdge calls so far (pre-dedup).
+  size_t PendingEdges() const { return edges_.size(); }
+
+  // Canonicalizes and produces the Graph. The builder is left empty and
+  // reusable for the same node count.
+  Graph Build();
+
+  // Convenience: one-shot construction from an edge list.
+  static Graph FromEdges(
+      uint32_t num_nodes,
+      const std::vector<std::pair<Graph::NodeId, Graph::NodeId>>& edges);
+
+ private:
+  uint32_t num_nodes_;
+  std::vector<std::pair<Graph::NodeId, Graph::NodeId>> edges_;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,71 @@
+#include "src/graph/graph_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph_builder.h"
+
+namespace dpkron {
+namespace {
+
+Result<Graph> ParseStream(std::istream& in, const std::string& origin) {
+  std::unordered_map<uint64_t, Graph::NodeId> dense_id;
+  std::vector<std::pair<Graph::NodeId, Graph::NodeId>> edges;
+  auto intern = [&dense_id](uint64_t raw) {
+    auto [it, inserted] = dense_id.emplace(
+        raw, static_cast<Graph::NodeId>(dense_id.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Skip blanks and comments.
+    size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    std::istringstream fields(line);
+    uint64_t raw_u = 0, raw_v = 0;
+    if (!(fields >> raw_u >> raw_v)) {
+      return Status::InvalidArgument(origin + ":" +
+                                     std::to_string(line_number) +
+                                     ": expected 'u v', got: " + line);
+    }
+    edges.emplace_back(intern(raw_u), intern(raw_v));
+  }
+  GraphBuilder builder(static_cast<uint32_t>(dense_id.size()));
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<Graph> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open edge list: " + path);
+  return ParseStream(in, path);
+}
+
+Result<Graph> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in, "<string>");
+}
+
+Status WriteEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << "# dpkron edge list: " << graph.NumNodes() << " nodes, "
+      << graph.NumEdges() << " edges\n";
+  graph.ForEachEdge(
+      [&out](Graph::NodeId u, Graph::NodeId v) { out << u << '\t' << v << '\n'; });
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace dpkron

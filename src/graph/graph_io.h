@@ -1,0 +1,29 @@
+// Plain-text edge-list I/O in the SNAP dataset format.
+//
+// Format: one "u<whitespace>v" pair per line; lines starting with '#' are
+// comments. Node ids in the file may be arbitrary (sparse) — the reader
+// densifies them to 0..n-1 preserving first-appearance order, exactly the
+// preprocessing one applies to the real SNAP files the paper used.
+
+#ifndef DPKRON_GRAPH_GRAPH_IO_H_
+#define DPKRON_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+// Reads an undirected graph from a SNAP-style edge list file.
+Result<Graph> ReadEdgeList(const std::string& path);
+
+// Parses an edge list from an in-memory string (same format).
+Result<Graph> ParseEdgeList(const std::string& text);
+
+// Writes `graph` as an edge list (u < v per line) with a comment header.
+Status WriteEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,44 @@
+#include "src/graph/hop_plot.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/graph/bfs.h"
+
+namespace dpkron {
+
+std::vector<uint64_t> ExactHopPlot(const Graph& graph) {
+  const uint32_t n = graph.NumNodes();
+  std::vector<uint64_t> reached_at;  // reached_at[h] = #pairs at distance h
+  BfsScratch scratch(n);
+  for (Graph::NodeId source = 0; source < n; ++source) {
+    scratch.Run(graph, source);
+    for (Graph::NodeId v : scratch.Visited()) {
+      const uint32_t h = static_cast<uint32_t>(scratch.Distance(v));
+      if (h >= reached_at.size()) reached_at.resize(h + 1, 0);
+      ++reached_at[h];
+    }
+  }
+  // Cumulate: N(h) = Σ_{h' ≤ h} reached_at[h'].
+  std::vector<uint64_t> hop_plot(reached_at.size());
+  uint64_t running = 0;
+  for (size_t h = 0; h < reached_at.size(); ++h) {
+    running += reached_at[h];
+    hop_plot[h] = running;
+  }
+  return hop_plot;
+}
+
+uint32_t EffectiveDiameter(const std::vector<uint64_t>& hop_plot,
+                           double fraction) {
+  DPKRON_CHECK(!hop_plot.empty());
+  DPKRON_CHECK_GT(fraction, 0.0);
+  DPKRON_CHECK_LE(fraction, 1.0);
+  const double target = fraction * static_cast<double>(hop_plot.back());
+  for (uint32_t h = 0; h < hop_plot.size(); ++h) {
+    if (static_cast<double>(hop_plot[h]) >= target) return h;
+  }
+  return static_cast<uint32_t>(hop_plot.size() - 1);
+}
+
+}  // namespace dpkron

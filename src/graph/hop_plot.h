@@ -1,0 +1,29 @@
+// Hop plot: N(h) = number of ordered node pairs (u, v), including u = v,
+// with hop distance ≤ h — the quantity plotted in panel (a) of every
+// figure in the paper. Exact computation runs one BFS per node.
+// For bench-scale graphs prefer ApproxHopPlot (anf.h).
+
+#ifndef DPKRON_GRAPH_HOP_PLOT_H_
+#define DPKRON_GRAPH_HOP_PLOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+// Exact hop plot. Entry h (0-based) is N(h); the vector extends to the
+// graph's effective diameter, i.e. until N(h) stops growing. N(0) equals
+// NumNodes(). O(N·M) time, O(N) memory.
+std::vector<uint64_t> ExactHopPlot(const Graph& graph);
+
+// Smallest h such that N(h) ≥ fraction·N(∞) (the standard "effective
+// diameter" with fraction = 0.9). `hop_plot` must be a (possibly
+// approximate) hop plot vector.
+uint32_t EffectiveDiameter(const std::vector<uint64_t>& hop_plot,
+                           double fraction = 0.9);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_GRAPH_HOP_PLOT_H_

@@ -1,0 +1,91 @@
+#include "src/graph/triangles.h"
+
+#include <algorithm>
+
+namespace dpkron {
+namespace {
+
+// Rank nodes by (degree, id); orienting every edge from lower to higher
+// rank makes each triangle counted exactly once and bounds the forward
+// out-degree by O(sqrt(m)).
+struct RankOrder {
+  const Graph& graph;
+  bool Less(Graph::NodeId a, Graph::NodeId b) const {
+    const uint32_t da = graph.Degree(a), db = graph.Degree(b);
+    return da != db ? da < db : a < b;
+  }
+};
+
+template <typename OnTriangle>
+void ForEachTriangle(const Graph& graph, OnTriangle&& on_triangle) {
+  const RankOrder rank{graph};
+  const uint32_t n = graph.NumNodes();
+  // forward[u] = neighbors of u with higher rank, sorted by node id.
+  std::vector<std::vector<Graph::NodeId>> forward(n);
+  for (Graph::NodeId u = 0; u < n; ++u) {
+    for (Graph::NodeId v : graph.Neighbors(u)) {
+      if (rank.Less(u, v)) forward[u].push_back(v);
+    }
+  }
+  for (Graph::NodeId u = 0; u < n; ++u) {
+    const auto& fu = forward[u];
+    for (Graph::NodeId v : fu) {
+      const auto& fv = forward[v];
+      // Sorted-merge intersection of fu and fv.
+      size_t i = 0, j = 0;
+      while (i < fu.size() && j < fv.size()) {
+        if (fu[i] < fv[j]) {
+          ++i;
+        } else if (fu[i] > fv[j]) {
+          ++j;
+        } else {
+          on_triangle(u, v, fu[i]);
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t CountTriangles(const Graph& graph) {
+  uint64_t triangles = 0;
+  ForEachTriangle(graph, [&triangles](Graph::NodeId, Graph::NodeId,
+                                      Graph::NodeId) { ++triangles; });
+  return triangles;
+}
+
+std::vector<uint64_t> PerNodeTriangles(const Graph& graph) {
+  std::vector<uint64_t> per_node(graph.NumNodes(), 0);
+  ForEachTriangle(graph,
+                  [&per_node](Graph::NodeId u, Graph::NodeId v, Graph::NodeId w) {
+                    ++per_node[u];
+                    ++per_node[v];
+                    ++per_node[w];
+                  });
+  return per_node;
+}
+
+uint32_t CommonNeighbors(const Graph& graph, Graph::NodeId u,
+                         Graph::NodeId v) {
+  const auto nu = graph.Neighbors(u);
+  const auto nv = graph.Neighbors(v);
+  uint32_t common = 0;
+  size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] < nv[j]) {
+      ++i;
+    } else if (nu[i] > nv[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+}  // namespace dpkron

@@ -1,0 +1,32 @@
+// Exact triangle counting.
+//
+// Node-iterator over sorted adjacency lists restricted to higher-degree
+// "forward" neighbors (the compact-forward algorithm): O(m^{3/2}) worst
+// case, exact, no hashing. Also provides per-node and per-edge triangle
+// counts — the latter feed the smooth-sensitivity computation (number of
+// common neighbors a_ij, NRS'07).
+
+#ifndef DPKRON_GRAPH_TRIANGLES_H_
+#define DPKRON_GRAPH_TRIANGLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+// Total number of triangles ∆(G).
+uint64_t CountTriangles(const Graph& graph);
+
+// t_u = number of triangles through node u (Σ_u t_u = 3∆).
+std::vector<uint64_t> PerNodeTriangles(const Graph& graph);
+
+// Number of common neighbors of u and v (= triangles through edge {u,v}
+// when the edge exists, but defined for any pair). O(deg u + deg v).
+uint32_t CommonNeighbors(const Graph& graph, Graph::NodeId u,
+                         Graph::NodeId v);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_GRAPH_TRIANGLES_H_

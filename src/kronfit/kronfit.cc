@@ -1,0 +1,114 @@
+#include "src/kronfit/kronfit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+#include "src/estimation/kronmom.h"
+#include "src/graph/graph_builder.h"
+#include "src/kronfit/likelihood.h"
+#include "src/kronfit/permutation.h"
+
+namespace dpkron {
+
+Graph PadWithIsolatedNodes(const Graph& graph, uint32_t num_nodes) {
+  DPKRON_CHECK_GE(num_nodes, graph.NumNodes());
+  GraphBuilder builder(num_nodes);
+  graph.ForEachEdge(
+      [&builder](Graph::NodeId u, Graph::NodeId v) { builder.AddEdge(u, v); });
+  return builder.Build();
+}
+
+namespace {
+
+// Runs `count` Metropolis swap steps on sigma under the current model.
+void RunSwaps(const Graph& graph, const KronFitLikelihood& model,
+              PermutationState* sigma, Rng& rng, uint64_t count) {
+  const uint32_t n = graph.NumNodes();
+  for (uint64_t step = 0; step < count; ++step) {
+    const uint32_t u = static_cast<uint32_t>(rng.NextBounded(n));
+    const uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
+    if (u == v) continue;
+    const double delta = model.SwapDelta(graph, *sigma, u, v);
+    if (delta >= 0.0 || rng.NextDouble() < std::exp(delta)) {
+      sigma->SwapNodes(u, v);
+    }
+  }
+}
+
+}  // namespace
+
+KronFitResult FitKronFit(const Graph& graph, Rng& rng,
+                         const KronFitOptions& options) {
+  DPKRON_CHECK_GE(graph.NumNodes(), 2u);
+  const uint32_t k = ChooseKroneckerOrder(graph.NumNodes());
+  const uint32_t n = uint32_t{1} << k;
+  const Graph padded =
+      graph.NumNodes() == n ? graph : PadWithIsolatedNodes(graph, n);
+
+  Initiator2 theta = options.init.Clamped(0.005, 0.995);
+  PermutationState sigma = DegreeGuidedInit(padded, k);
+
+  // Initial burn-in under the starting parameters.
+  {
+    const KronFitLikelihood model(theta, k);
+    RunSwaps(padded, model, &sigma, rng,
+             static_cast<uint64_t>(options.warmup_factor * n));
+  }
+
+  double tail_a = 0.0, tail_b = 0.0, tail_c = 0.0;
+  uint32_t tail_count = 0;
+  const uint32_t tail_start =
+      options.iterations > options.tail_average
+          ? options.iterations - options.tail_average
+          : 0;
+
+  for (uint32_t it = 0; it < options.iterations; ++it) {
+    const KronFitLikelihood model(theta, k);
+    // Average the edge-term gradient over several sampled alignments.
+    Gradient3 gradient{0.0, 0.0, 0.0};
+    for (uint32_t s = 0; s < options.samples_per_iteration; ++s) {
+      RunSwaps(padded, model, &sigma, rng,
+               static_cast<uint64_t>(options.decorrelation_factor * n));
+      const Gradient3 edge_grad = model.EdgeGradient(padded, sigma);
+      for (int i = 0; i < 3; ++i) gradient[i] += edge_grad[i];
+    }
+    const Gradient3 no_edge = model.NoEdgeGradient();
+    for (int i = 0; i < 3; ++i) {
+      gradient[i] =
+          gradient[i] / options.samples_per_iteration - no_edge[i];
+    }
+
+    // Ascent step, rescaled to the trust region.
+    const double limit = options.max_step / (1.0 + options.step_decay * it);
+    const double magnitude = std::max(
+        {std::fabs(gradient[0]), std::fabs(gradient[1]),
+         std::fabs(gradient[2]), 1e-30});
+    const double scale = std::min(limit / magnitude, 1e-4);
+    theta = Initiator2{theta.a + scale * gradient[0],
+                       theta.b + scale * gradient[1],
+                       theta.c + scale * gradient[2]}
+                .Clamped(0.005, 0.995);
+
+    if (it >= tail_start) {
+      tail_a += theta.a;
+      tail_b += theta.b;
+      tail_c += theta.c;
+      ++tail_count;
+    }
+  }
+
+  if (tail_count > 0) {
+    theta = Initiator2{tail_a / tail_count, tail_b / tail_count,
+                       tail_c / tail_count};
+  }
+
+  KronFitResult result;
+  result.k = k;
+  result.theta = theta.Canonical();
+  const KronFitLikelihood final_model(result.theta, k);
+  result.log_likelihood = final_model.LogLikelihood(padded, sigma);
+  return result;
+}
+
+}  // namespace dpkron

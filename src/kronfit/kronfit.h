@@ -1,0 +1,58 @@
+// KronFit: approximate maximum-likelihood estimation of the SKG initiator
+// (Leskovec & Faloutsos, ICML'07) — the paper's "KronFit" baseline.
+//
+// Stochastic gradient ascent on the Taylor-approximated log-likelihood,
+// with the node-to-position alignment σ marginalized by a Metropolis swap
+// chain (permutation sampling). The observed graph is padded with
+// isolated nodes to 2^k, as in the original implementation.
+
+#ifndef DPKRON_KRONFIT_KRONFIT_H_
+#define DPKRON_KRONFIT_KRONFIT_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+#include "src/skg/initiator.h"
+
+namespace dpkron {
+
+struct KronFitOptions {
+  // Gradient-ascent iterations.
+  uint32_t iterations = 60;
+  // Metropolis warm-up swaps before the first sample, as a multiple of N.
+  double warmup_factor = 10.0;
+  // Permutation samples averaged per gradient estimate.
+  uint32_t samples_per_iteration = 4;
+  // Swaps between consecutive samples, as a multiple of N.
+  double decorrelation_factor = 2.0;
+  // Largest per-iteration movement of any parameter; the raw gradient is
+  // rescaled to respect it (the likelihood gradients are O(E/θ), so a raw
+  // step would leave the box immediately).
+  double max_step = 0.02;
+  // Linear decay: step limit at iteration t is max_step/(1 + t·decay).
+  double step_decay = 0.05;
+  // Average the iterates of the last `tail_average` iterations (Polyak
+  // tail averaging smooths the permutation-sampling noise).
+  uint32_t tail_average = 10;
+  Initiator2 init{0.9, 0.6, 0.2};
+};
+
+struct KronFitResult {
+  Initiator2 theta;              // canonical (a ≥ c)
+  double log_likelihood = 0.0;   // approx. ll of the final theta
+  uint32_t k = 0;
+};
+
+// Fits Θ to `graph`. The graph is padded to 2^k nodes internally with
+// k = ChooseKroneckerOrder(NumNodes()).
+KronFitResult FitKronFit(const Graph& graph, Rng& rng,
+                         const KronFitOptions& options = {});
+
+// `graph` with isolated nodes appended until NumNodes() == num_nodes.
+// Requires num_nodes >= graph.NumNodes().
+Graph PadWithIsolatedNodes(const Graph& graph, uint32_t num_nodes);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_KRONFIT_KRONFIT_H_

@@ -1,0 +1,106 @@
+#include "src/kronfit/likelihood.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+KronFitLikelihood::KronFitLikelihood(const Initiator2& theta, uint32_t k)
+    : theta_(Initiator2{std::max(theta.a, kThetaFloor),
+                        std::max(theta.b, kThetaFloor),
+                        std::max(theta.c, kThetaFloor)}
+                 .Clamped()),
+      k_(k),
+      prob_(theta_, k) {
+  DPKRON_CHECK_GE(k, 1u);
+}
+
+std::array<uint32_t, 3> KronFitLikelihood::DigitCounts(uint32_t p,
+                                                       uint32_t q) const {
+  const uint32_t mask = (k_ >= 32) ? 0xFFFFFFFFu : ((1u << k_) - 1);
+  const uint32_t both = (p & q) & mask;
+  const uint32_t only = (p ^ q) & mask;
+  const uint32_t n11 = static_cast<uint32_t>(__builtin_popcount(both));
+  const uint32_t nb = static_cast<uint32_t>(__builtin_popcount(only));
+  return {k_ - n11 - nb, nb, n11};
+}
+
+double KronFitLikelihood::EdgeTerm(uint32_t p, uint32_t q) const {
+  const double P = prob_(p, q);
+  return std::log(P) + P + 0.5 * P * P;
+}
+
+double KronFitLikelihood::NoEdgeTerm() const {
+  const double a = theta_.a, b = theta_.b, c = theta_.c;
+  const double first =
+      0.5 * (PowInt(a + 2 * b + c, k_) - PowInt(a + c, k_));
+  const double second = 0.25 * (PowInt(a * a + 2 * b * b + c * c, k_) -
+                                PowInt(a * a + c * c, k_));
+  return first + second;
+}
+
+Gradient3 KronFitLikelihood::NoEdgeGradient() const {
+  const double a = theta_.a, b = theta_.b, c = theta_.c;
+  const double s1 = PowInt(a + 2 * b + c, k_ - 1);
+  const double t1 = PowInt(a + c, k_ - 1);
+  const double s2 = PowInt(a * a + 2 * b * b + c * c, k_ - 1);
+  const double t2 = PowInt(a * a + c * c, k_ - 1);
+  const double kk = static_cast<double>(k_);
+  Gradient3 grad;
+  grad[0] = 0.5 * kk * (s1 - t1) + 0.5 * kk * a * (s2 - t2);
+  grad[1] = kk * s1 + kk * b * s2;
+  grad[2] = 0.5 * kk * (s1 - t1) + 0.5 * kk * c * (s2 - t2);
+  return grad;
+}
+
+double KronFitLikelihood::LogLikelihood(const Graph& graph,
+                                        const PermutationState& sigma) const {
+  double edge_sum = 0.0;
+  graph.ForEachEdge([&](Graph::NodeId u, Graph::NodeId v) {
+    edge_sum += EdgeTerm(sigma.Position(u), sigma.Position(v));
+  });
+  return edge_sum - NoEdgeTerm();
+}
+
+double KronFitLikelihood::SwapDelta(const Graph& graph,
+                                    const PermutationState& sigma, uint32_t u,
+                                    uint32_t v) const {
+  if (u == v) return 0.0;
+  const uint32_t pu = sigma.Position(u), pv = sigma.Position(v);
+  double delta = 0.0;
+  // Edges incident to u (skip the shared edge {u,v}: handled once below).
+  for (Graph::NodeId w : graph.Neighbors(u)) {
+    if (w == v) continue;
+    const uint32_t pw = sigma.Position(w);
+    delta += EdgeTerm(pv, pw) - EdgeTerm(pu, pw);
+  }
+  for (Graph::NodeId w : graph.Neighbors(v)) {
+    if (w == u) continue;
+    const uint32_t pw = sigma.Position(w);
+    delta += EdgeTerm(pu, pw) - EdgeTerm(pv, pw);
+  }
+  // The edge {u, v} itself keeps its unordered position pair — P is
+  // symmetric, so its term is unchanged.
+  return delta;
+}
+
+Gradient3 KronFitLikelihood::EdgeGradient(const Graph& graph,
+                                          const PermutationState& sigma) const {
+  Gradient3 grad{0.0, 0.0, 0.0};
+  const double a = theta_.a, b = theta_.b, c = theta_.c;
+  graph.ForEachEdge([&](Graph::NodeId u, Graph::NodeId v) {
+    const uint32_t p = sigma.Position(u), q = sigma.Position(v);
+    const auto [n00, nb, n11] = DigitCounts(p, q);
+    const double P = prob_(p, q);
+    // d/dθ [log P + P + P²/2] = (n_θ/θ)(1 + P + P²).
+    const double factor = 1.0 + P + P * P;
+    grad[0] += n00 / a * factor;
+    grad[1] += nb / b * factor;
+    grad[2] += n11 / c * factor;
+  });
+  return grad;
+}
+
+}  // namespace dpkron

@@ -1,0 +1,76 @@
+// Approximate SKG log-likelihood and its gradient (Leskovec–Faloutsos).
+//
+// For an observed undirected graph G aligned to Kronecker ids by σ, the
+// exact log-likelihood under our unordered-pair convention is
+//   l(Θ, σ) = Σ_{{u,v}∈E} log P_σ(u)σ(v) + Σ_{{u,v}∉E} log(1 − P_σ(u)σ(v)).
+// Evaluating the second sum costs O(N²); KronFit's trick is the Taylor
+// expansion log(1−p) ≈ −p − p²/2 whose sum over *all* pairs has a closed
+// form under the Kronecker structure (and is independent of σ), plus a
+// per-edge correction:
+//   l ≈ Σ_{E} [log P + P + P²/2] − C(Θ),
+//   C(Θ) = ½[(a+2b+c)^k − (a+c)^k] + ¼[(a²+2b²+c²)^k − (a²+c²)^k].
+// Both C and the edge terms have cheap analytic (a,b,c)-gradients.
+
+#ifndef DPKRON_KRONFIT_LIKELIHOOD_H_
+#define DPKRON_KRONFIT_LIKELIHOOD_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/graph/graph.h"
+#include "src/kronfit/permutation.h"
+#include "src/skg/initiator.h"
+#include "src/skg/kronecker.h"
+
+namespace dpkron {
+
+// Gradient with respect to (a, b, c).
+using Gradient3 = std::array<double, 3>;
+
+// Evaluator bound to one (Θ, k); rebuild when Θ changes (cheap: three pow
+// tables).
+class KronFitLikelihood {
+ public:
+  // theta entries are clamped to [kThetaFloor, 1] internally so that
+  // log P stays finite.
+  KronFitLikelihood(const Initiator2& theta, uint32_t k);
+
+  static constexpr double kThetaFloor = 1e-9;
+
+  uint32_t k() const { return k_; }
+  const Initiator2& theta() const { return theta_; }
+
+  // Per-edge contribution for Kronecker positions (p, q):
+  // log P_pq + P_pq + P_pq²/2.
+  double EdgeTerm(uint32_t p, uint32_t q) const;
+
+  // Closed-form no-edge mass C(Θ) (σ-independent).
+  double NoEdgeTerm() const;
+  Gradient3 NoEdgeGradient() const;
+
+  // Full approximate log-likelihood of `graph` under alignment σ.
+  double LogLikelihood(const Graph& graph, const PermutationState& sigma) const;
+
+  // Change in Σ_E EdgeTerm if nodes u and v exchanged positions; O(deg u +
+  // deg v). (The no-edge term does not move.) `sigma` is the state
+  // *before* the swap.
+  double SwapDelta(const Graph& graph, const PermutationState& sigma,
+                   uint32_t u, uint32_t v) const;
+
+  // ∇_(a,b,c) Σ_E EdgeTerm at alignment σ. Combined with NoEdgeGradient()
+  // this is the full likelihood gradient.
+  Gradient3 EdgeGradient(const Graph& graph,
+                         const PermutationState& sigma) const;
+
+ private:
+  // (n00, nb, n11) digit-pair counts for positions (p, q).
+  std::array<uint32_t, 3> DigitCounts(uint32_t p, uint32_t q) const;
+
+  Initiator2 theta_;
+  uint32_t k_;
+  EdgeProbability2 prob_;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_KRONFIT_LIKELIHOOD_H_

@@ -1,0 +1,62 @@
+#include "src/kronfit/permutation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+PermutationState::PermutationState(uint32_t n)
+    : sigma_(n), inverse_(n) {
+  std::iota(sigma_.begin(), sigma_.end(), 0u);
+  std::iota(inverse_.begin(), inverse_.end(), 0u);
+}
+
+PermutationState::PermutationState(std::vector<uint32_t> sigma)
+    : sigma_(std::move(sigma)), inverse_(sigma_.size(), UINT32_MAX) {
+  for (uint32_t u = 0; u < sigma_.size(); ++u) {
+    DPKRON_CHECK_LT(sigma_[u], sigma_.size());
+    DPKRON_CHECK_MSG(inverse_[sigma_[u]] == UINT32_MAX,
+                     "sigma is not a permutation");
+    inverse_[sigma_[u]] = u;
+  }
+}
+
+void PermutationState::SwapNodes(uint32_t u, uint32_t v) {
+  DPKRON_CHECK_LT(u, sigma_.size());
+  DPKRON_CHECK_LT(v, sigma_.size());
+  std::swap(sigma_[u], sigma_[v]);
+  inverse_[sigma_[u]] = u;
+  inverse_[sigma_[v]] = v;
+}
+
+PermutationState DegreeGuidedInit(const Graph& graph, uint32_t k) {
+  const uint32_t n = graph.NumNodes();
+  DPKRON_CHECK_LE(n, uint64_t{1} << k);
+  DPKRON_CHECK_EQ(n, uint64_t{1} << k);  // callers pad the graph to 2^k
+
+  // Nodes by degree, descending.
+  std::vector<uint32_t> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), 0u);
+  std::sort(nodes.begin(), nodes.end(), [&graph](uint32_t x, uint32_t y) {
+    const uint32_t dx = graph.Degree(x), dy = graph.Degree(y);
+    return dx != dy ? dx > dy : x < y;
+  });
+
+  // Kronecker positions by popcount, ascending (ties by id).
+  std::vector<uint32_t> positions(n);
+  std::iota(positions.begin(), positions.end(), 0u);
+  std::sort(positions.begin(), positions.end(), [](uint32_t x, uint32_t y) {
+    const int px = __builtin_popcount(x), py = __builtin_popcount(y);
+    return px != py ? px < py : x < y;
+  });
+
+  std::vector<uint32_t> sigma(n);
+  for (uint32_t rank = 0; rank < n; ++rank) {
+    sigma[nodes[rank]] = positions[rank];
+  }
+  return PermutationState(std::move(sigma));
+}
+
+}  // namespace dpkron

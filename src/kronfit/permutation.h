@@ -1,0 +1,51 @@
+// Node-to-Kronecker-position permutations for KronFit (§3.3).
+//
+// The SKG likelihood P(G | Θ) marginalizes over the unknown alignment σ
+// between observed nodes and Kronecker node ids. KronFit samples σ with a
+// Metropolis swap chain; this header provides the permutation state and
+// the degree-guided initialization heuristic.
+
+#ifndef DPKRON_KRONFIT_PERMUTATION_H_
+#define DPKRON_KRONFIT_PERMUTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+// σ and σ⁻¹ with O(1) swap application.
+class PermutationState {
+ public:
+  // Identity permutation on n elements.
+  explicit PermutationState(uint32_t n);
+  // Takes an explicit mapping node -> position (must be a permutation).
+  explicit PermutationState(std::vector<uint32_t> sigma);
+
+  uint32_t size() const { return static_cast<uint32_t>(sigma_.size()); }
+
+  // Position of node u in the Kronecker id space.
+  uint32_t Position(uint32_t u) const { return sigma_[u]; }
+  // Node occupying Kronecker position p.
+  uint32_t NodeAt(uint32_t p) const { return inverse_[p]; }
+
+  // Exchanges the positions of nodes u and v.
+  void SwapNodes(uint32_t u, uint32_t v);
+
+  const std::vector<uint32_t>& sigma() const { return sigma_; }
+
+ private:
+  std::vector<uint32_t> sigma_;    // node -> position
+  std::vector<uint32_t> inverse_;  // position -> node
+};
+
+// Degree-guided initial alignment: the SKG expected degree of Kronecker
+// id p is decreasing in popcount(p) (given a + b ≥ b + c), so the highest-
+// degree observed nodes are mapped to the lowest-popcount ids. A good
+// initial σ shortens the Metropolis burn-in considerably.
+PermutationState DegreeGuidedInit(const Graph& graph, uint32_t k);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_KRONFIT_PERMUTATION_H_

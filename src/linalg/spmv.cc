@@ -1,0 +1,41 @@
+#include "src/linalg/spmv.h"
+
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+void AdjacencyMatVec(const Graph& graph, const std::vector<double>& x,
+                     std::vector<double>* y) {
+  DPKRON_CHECK_EQ(x.size(), graph.NumNodes());
+  DPKRON_CHECK_EQ(y->size(), graph.NumNodes());
+  DPKRON_CHECK(&x != y);
+  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
+    double sum = 0.0;
+    for (Graph::NodeId v : graph.Neighbors(u)) sum += x[v];
+    (*y)[u] = sum;
+  }
+}
+
+double Norm2(const std::vector<double>& x) {
+  return std::sqrt(Dot(x, x));
+}
+
+double Dot(const std::vector<double>& x, const std::vector<double>& y) {
+  DPKRON_CHECK_EQ(x.size(), y.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  DPKRON_CHECK_EQ(x.size(), y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::vector<double>* x) {
+  for (double& value : *x) value *= alpha;
+}
+
+}  // namespace dpkron

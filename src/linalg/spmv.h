@@ -1,0 +1,32 @@
+// Sparse symmetric matrix–vector products for graph adjacency matrices.
+//
+// The Graph CSR *is* the sparse matrix; no separate copy is made. These
+// kernels back the Lanczos eigensolver used for the scree and
+// network-value panels.
+
+#ifndef DPKRON_LINALG_SPMV_H_
+#define DPKRON_LINALG_SPMV_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+// y = A x for the (symmetric, 0/1) adjacency matrix A of `graph`.
+// x.size() and y.size() must equal NumNodes(); x and y must not alias.
+void AdjacencyMatVec(const Graph& graph, const std::vector<double>& x,
+                     std::vector<double>* y);
+
+// Euclidean norm, dot product, and axpy helpers used by the iterative
+// solvers (kept here so the solvers stay readable).
+double Norm2(const std::vector<double>& x);
+double Dot(const std::vector<double>& x, const std::vector<double>& y);
+// y += alpha * x
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+// x *= alpha
+void Scale(double alpha, std::vector<double>* x);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_LINALG_SPMV_H_

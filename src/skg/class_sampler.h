@@ -1,0 +1,56 @@
+// Exact O(E)-expected-time SKG sampling by probability-class skipping
+// ("grass-hopping" in the later Gleich et al. terminology).
+//
+// Under a symmetric 2×2 initiator every unordered pair {u, v} (u ≠ v) of
+// the 2^k-node graph falls into one of O(k²) probability classes indexed
+// by (i, j) = (#digit positions where both bits are 1, #positions where
+// the bits differ): P_uv = a^(k−i−j) · b^j · c^i. Within a class all
+// pairs are exchangeable, so the exact sampler is:
+//   for each class: walk its pairs with geometric skips of parameter
+//   p(i, j) (the exact Binomial thinning), unranking each hit index into
+//   a concrete pair via combinadics.
+// Expected cost O(E[E] + k²) versus O(4^k) for the naive exact sampler,
+// with the *identical* per-pair Bernoulli distribution — unlike the
+// ball-dropping generator, which is approximate.
+
+#ifndef DPKRON_SKG_CLASS_SAMPLER_H_
+#define DPKRON_SKG_CLASS_SAMPLER_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+#include "src/skg/initiator.h"
+
+namespace dpkron {
+
+// One realization, exact distribution. Requires 1 <= k <= 30.
+Graph SampleSkgClassSkip(const Initiator2& theta, uint32_t k, Rng& rng);
+
+namespace internal_class_sampler {
+
+// Number of unordered pairs {u, v}, u ≠ v, in class (i, j) of order k:
+// C(k, i) · C(k−i, j) · 2^(j−1) for j ≥ 1, and 0 for j = 0 (equal-digit
+// pairs are the diagonal, which the undirected convention discards).
+uint64_t ClassSize(uint32_t k, uint32_t i, uint32_t j);
+
+// Unranks `rank` ∈ [0, ClassSize) into the pair (u, v), u ≠ v, of class
+// (i, j). The mapping is a bijection; used by the sampler and the tests.
+struct PairUV {
+  uint64_t u;
+  uint64_t v;
+};
+PairUV UnrankPair(uint32_t k, uint32_t i, uint32_t j, uint64_t rank);
+
+// Lexicographic unranking of an m-combination of {0, ..., n−1}.
+// out must have room for m entries.
+void UnrankCombination(uint32_t n, uint32_t m, uint64_t rank, uint32_t* out);
+
+// Binomial coefficient with saturation guard (aborts past uint64).
+uint64_t Choose(uint32_t n, uint32_t m);
+
+}  // namespace internal_class_sampler
+
+}  // namespace dpkron
+
+#endif  // DPKRON_SKG_CLASS_SAMPLER_H_

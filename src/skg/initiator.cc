@@ -1,0 +1,76 @@
+#include "src/skg/initiator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+bool Initiator2::IsValid() const {
+  auto in_unit = [](double x) { return x >= 0.0 && x <= 1.0; };
+  return in_unit(a) && in_unit(b) && in_unit(c);
+}
+
+Initiator2 Initiator2::Canonical() const {
+  return a >= c ? *this : Initiator2{c, b, a};
+}
+
+Initiator2 Initiator2::Clamped(double lo, double hi) const {
+  auto clamp = [lo, hi](double x) { return std::min(hi, std::max(lo, x)); };
+  return Initiator2{clamp(a), clamp(b), clamp(c)};
+}
+
+std::string Initiator2::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%.4f %.4f; %.4f %.4f]", a, b, b, c);
+  return buf;
+}
+
+double MaxAbsDifference(const Initiator2& x, const Initiator2& y) {
+  return std::max({std::fabs(x.a - y.a), std::fabs(x.b - y.b),
+                   std::fabs(x.c - y.c)});
+}
+
+Result<InitiatorN> InitiatorN::Create(uint32_t dim,
+                                      std::vector<double> entries) {
+  if (dim == 0) return Status::InvalidArgument("initiator dim must be >= 1");
+  if (entries.size() != static_cast<size_t>(dim) * dim) {
+    return Status::InvalidArgument("initiator entries size != dim*dim");
+  }
+  for (double value : entries) {
+    if (!(value >= 0.0 && value <= 1.0)) {
+      return Status::InvalidArgument("initiator entry outside [0,1]");
+    }
+  }
+  return InitiatorN(dim, std::move(entries));
+}
+
+InitiatorN InitiatorN::From2x2(const Initiator2& theta) {
+  DPKRON_CHECK_MSG(theta.IsValid(), "initiator entries outside [0,1]");
+  return InitiatorN(2, {theta.a, theta.b, theta.b, theta.c});
+}
+
+double InitiatorN::EntrySum() const {
+  double sum = 0.0;
+  for (double value : entries_) sum += value;
+  return sum;
+}
+
+double InitiatorN::TraceSum() const {
+  double sum = 0.0;
+  for (uint32_t i = 0; i < dim_; ++i) sum += At(i, i);
+  return sum;
+}
+
+bool InitiatorN::IsSymmetric(double tol) const {
+  for (uint32_t i = 0; i < dim_; ++i) {
+    for (uint32_t j = i + 1; j < dim_; ++j) {
+      if (std::fabs(At(i, j) - At(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dpkron

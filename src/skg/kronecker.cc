@@ -1,0 +1,70 @@
+#include "src/skg/kronecker.h"
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+double PowInt(double x, uint32_t n) {
+  double result = 1.0;
+  double base = x;
+  while (n > 0) {
+    if (n & 1) result *= base;
+    base *= base;
+    n >>= 1;
+  }
+  return result;
+}
+
+uint64_t KroneckerNodeCount(uint32_t initiator_dim, uint32_t k) {
+  DPKRON_CHECK_GE(initiator_dim, 1u);
+  uint64_t n = 1;
+  for (uint32_t i = 0; i < k; ++i) {
+    DPKRON_CHECK_MSG(n <= UINT64_MAX / initiator_dim,
+                     "Kronecker node count overflows uint64");
+    n *= initiator_dim;
+  }
+  return n;
+}
+
+double EdgeProbabilityN(const InitiatorN& theta, uint32_t k, uint64_t u,
+                        uint64_t v) {
+  const uint32_t dim = theta.dim();
+  double p = 1.0;
+  for (uint32_t t = 0; t < k; ++t) {
+    p *= theta.At(static_cast<uint32_t>(u % dim),
+                  static_cast<uint32_t>(v % dim));
+    u /= dim;
+    v /= dim;
+  }
+  return p;
+}
+
+EdgeProbability2::EdgeProbability2(const Initiator2& theta, uint32_t k)
+    : k_(k) {
+  DPKRON_CHECK_MSG(theta.IsValid(), "initiator entries outside [0,1]");
+  DPKRON_CHECK_LT(k, 64u);
+  pow_a_.resize(k + 1);
+  pow_b_.resize(k + 1);
+  pow_c_.resize(k + 1);
+  pow_a_[0] = pow_b_[0] = pow_c_[0] = 1.0;
+  for (uint32_t i = 1; i <= k; ++i) {
+    pow_a_[i] = pow_a_[i - 1] * theta.a;
+    pow_b_[i] = pow_b_[i - 1] * theta.b;
+    pow_c_[i] = pow_c_[i - 1] * theta.c;
+  }
+}
+
+std::vector<double> DenseKroneckerPower(const InitiatorN& theta, uint32_t k) {
+  const uint64_t n = KroneckerNodeCount(theta.dim(), k);
+  DPKRON_CHECK_MSG(n * n <= (uint64_t{1} << 26),
+                   "dense Kronecker power too large");
+  std::vector<double> dense(n * n);
+  for (uint64_t u = 0; u < n; ++u) {
+    for (uint64_t v = 0; v < n; ++v) {
+      dense[u * n + v] = EdgeProbabilityN(theta, k, u, v);
+    }
+  }
+  return dense;
+}
+
+}  // namespace dpkron

@@ -1,0 +1,103 @@
+#include "src/skg/moments.h"
+
+#include "src/common/macros.h"
+#include "src/skg/kronecker.h"
+
+namespace dpkron {
+
+double ExpectedEdges(const Initiator2& theta, uint32_t k) {
+  const double a = theta.a, b = theta.b, c = theta.c;
+  return 0.5 * (PowInt(a + 2 * b + c, k) - PowInt(a + c, k));
+}
+
+double ExpectedHairpins(const Initiator2& theta, uint32_t k) {
+  const double a = theta.a, b = theta.b, c = theta.c;
+  const double s1 = (a + b) * (a + b) + (b + c) * (b + c);
+  const double s2 = a * (a + b) + c * (c + b);
+  const double s3 = a * a + 2 * b * b + c * c;
+  const double s4 = a * a + c * c;
+  return 0.5 * (PowInt(s1, k) - 2 * PowInt(s2, k) - PowInt(s3, k) +
+                2 * PowInt(s4, k));
+}
+
+double ExpectedTriangles(const Initiator2& theta, uint32_t k) {
+  const double a = theta.a, b = theta.b, c = theta.c;
+  const double s1 = a * a * a + 3 * b * b * (a + c) + c * c * c;
+  const double s2 = a * (a * a + b * b) + c * (b * b + c * c);
+  const double s3 = a * a * a + c * c * c;
+  return (PowInt(s1, k) - 3 * PowInt(s2, k) + 2 * PowInt(s3, k)) / 6.0;
+}
+
+// Derivation (the printed Eq. (1) tripin formula is garbled in the
+// paper's text; this is re-derived from scratch and verified against
+// brute-force summation over the dense Kronecker power in moments_test):
+// T = Σ_c e3({P_cu : u ≠ c}) and e3 = (p1³ − 3p1p2 + 2p3)/6 with power
+// sums p_j = R_j(c) − P_cc^j, where R_j(c) = Σ_u P_cu^j factorizes per
+// digit. Expanding and pushing Σ_c through each product gives
+//   6·E[T] = S1 − 3·S2 − 3·S3 + 6·S4 + 3·S5 + 2·S6 − 6·S7.
+double ExpectedTripins(const Initiator2& theta, uint32_t k) {
+  const double a = theta.a, b = theta.b, c = theta.c;
+  const double ab = a + b, bc = b + c;
+  const double a2b2 = a * a + b * b, b2c2 = b * b + c * c;
+  const double s1 = ab * ab * ab + bc * bc * bc;           // Σ R³
+  const double s2 = a * ab * ab + c * bc * bc;             // Σ R²·d
+  const double s3 = ab * a2b2 + bc * b2c2;                 // Σ R·R2
+  const double s4 = a * a * ab + c * c * bc;               // Σ R·d²
+  const double s5 = a * a2b2 + c * b2c2;                   // Σ R2·d
+  const double s6 = a * a * a + 2 * b * b * b + c * c * c; // Σ R3
+  const double s7 = a * a * a + c * c * c;                 // Σ d³
+  return (PowInt(s1, k) - 3 * PowInt(s2, k) - 3 * PowInt(s3, k) +
+          6 * PowInt(s4, k) + 3 * PowInt(s5, k) + 2 * PowInt(s6, k) -
+          6 * PowInt(s7, k)) /
+         6.0;
+}
+
+SkgMoments ExpectedMoments(const Initiator2& theta, uint32_t k) {
+  DPKRON_CHECK_MSG(theta.IsValid(), "initiator entries outside [0,1]");
+  DPKRON_CHECK_GE(k, 1u);
+  SkgMoments m;
+  m.edges = ExpectedEdges(theta, k);
+  m.hairpins = ExpectedHairpins(theta, k);
+  m.triangles = ExpectedTriangles(theta, k);
+  m.tripins = ExpectedTripins(theta, k);
+  return m;
+}
+
+SkgMoments ExpectedMomentsBruteForce(const Initiator2& theta, uint32_t k) {
+  const EdgeProbability2 prob(theta, k);
+  const uint64_t n = prob.num_nodes();
+  DPKRON_CHECK_MSG(n <= 256, "brute-force moments limited to k <= 8");
+  SkgMoments m;
+  // E = Σ_{u<v} P_uv.
+  for (uint64_t u = 0; u < n; ++u) {
+    for (uint64_t v = u + 1; v < n; ++v) m.edges += prob(u, v);
+  }
+  // H = Σ_center Σ_{u<v, u,v≠center} P_cu P_cv;
+  // T = Σ_center Σ_{u<v<w distinct} P_cu P_cv P_cw — computed via the
+  // elementary symmetric polynomials of {P_cu}.
+  for (uint64_t center = 0; center < n; ++center) {
+    double e1 = 0.0, e2 = 0.0, e3 = 0.0;  // elementary symmetric sums
+    for (uint64_t u = 0; u < n; ++u) {
+      if (u == center) continue;
+      const double p = prob(center, u);
+      e3 += e2 * p;
+      e2 += e1 * p;
+      e1 += p;
+    }
+    m.hairpins += e2;
+    m.tripins += e3;
+  }
+  // ∆ = Σ_{u<v<w} P_uv P_vw P_uw.
+  for (uint64_t u = 0; u < n; ++u) {
+    for (uint64_t v = u + 1; v < n; ++v) {
+      const double puv = prob(u, v);
+      if (puv == 0.0) continue;
+      for (uint64_t w = v + 1; w < n; ++w) {
+        m.triangles += puv * prob(v, w) * prob(u, w);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace dpkron

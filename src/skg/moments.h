@@ -1,0 +1,44 @@
+// Closed-form expected feature counts under the SKG distribution —
+// Equation (1) of the paper (derived by Gleich & Owen).
+//
+// For Θ = [a b; b c] and P = Θ^[k] on 2^k nodes, with the undirected
+// convention of §3.2 (one Bernoulli coin per unordered pair {u,v}, u ≠ v,
+// with bias P_uv), these give the exact expectations of
+//   E  — number of edges,
+//   H  — number of hairpins (wedges / 2-stars),
+//   ∆  — number of triangles,
+//   T  — number of tripins (3-stars).
+
+#ifndef DPKRON_SKG_MOMENTS_H_
+#define DPKRON_SKG_MOMENTS_H_
+
+#include <cstdint>
+
+#include "src/skg/initiator.h"
+
+namespace dpkron {
+
+struct SkgMoments {
+  double edges = 0.0;      // E[E]
+  double hairpins = 0.0;   // E[H]
+  double triangles = 0.0;  // E[∆]
+  double tripins = 0.0;    // E[T]
+};
+
+// Full Eq. (1). Requires theta valid and k ≥ 1.
+SkgMoments ExpectedMoments(const Initiator2& theta, uint32_t k);
+
+// Individual formulas (exposed for focused tests).
+double ExpectedEdges(const Initiator2& theta, uint32_t k);
+double ExpectedHairpins(const Initiator2& theta, uint32_t k);
+double ExpectedTriangles(const Initiator2& theta, uint32_t k);
+double ExpectedTripins(const Initiator2& theta, uint32_t k);
+
+// Brute-force reference: evaluates the same expectations directly from the
+// dense Kronecker power by summing over node pairs/triples. O(4^k) to
+// O(8^k) — only for cross-validating Eq. (1) in tests at small k.
+SkgMoments ExpectedMomentsBruteForce(const Initiator2& theta, uint32_t k);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_SKG_MOMENTS_H_

@@ -1,0 +1,133 @@
+#include "src/skg/moments_n.h"
+
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/skg/kronecker.h"
+
+namespace dpkron {
+namespace {
+
+// Per-digit aggregates of a symmetric initiator.
+struct DigitSums {
+  double entry_sum = 0.0;      // Σ_ij θ_ij
+  double trace = 0.0;          // Σ_i θ_ii
+  double entry_sq = 0.0;       // Σ_ij θ_ij²
+  double entry_cube = 0.0;     // Σ_ij θ_ij³
+  double trace_sq = 0.0;       // Σ_i θ_ii²
+  double trace_cube = 0.0;     // Σ_i θ_ii³
+  double row_sq = 0.0;         // Σ_i row_i²
+  double row_cube = 0.0;       // Σ_i row_i³
+  double row_diag = 0.0;       // Σ_i row_i·θ_ii
+  double row_diag_sq = 0.0;    // Σ_i row_i·θ_ii²
+  double rowsq_row = 0.0;      // Σ_i row_i·rowsq_i
+  double rowsq_diag = 0.0;     // Σ_i rowsq_i·θ_ii
+  double rowsq2_diag = 0.0;    // Σ_i row_i²·θ_ii
+  double cyclic = 0.0;         // Σ_ijl θ_ij·θ_jl·θ_li
+  double diag_rowsq = 0.0;     // Σ_i θ_ii·rowsq_i  (== rowsq_diag)
+};
+
+DigitSums ComputeDigitSums(const InitiatorN& theta) {
+  const uint32_t n = theta.dim();
+  DigitSums s;
+  std::vector<double> row(n, 0.0), rowsq(n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      const double x = theta.At(i, j);
+      row[i] += x;
+      rowsq[i] += x * x;
+      s.entry_sum += x;
+      s.entry_sq += x * x;
+      s.entry_cube += x * x * x;
+    }
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    const double d = theta.At(i, i);
+    s.trace += d;
+    s.trace_sq += d * d;
+    s.trace_cube += d * d * d;
+    s.row_sq += row[i] * row[i];
+    s.row_cube += row[i] * row[i] * row[i];
+    s.row_diag += row[i] * d;
+    s.row_diag_sq += row[i] * d * d;
+    s.rowsq_row += row[i] * rowsq[i];
+    s.rowsq_diag += rowsq[i] * d;
+    s.rowsq2_diag += row[i] * row[i] * d;
+  }
+  s.diag_rowsq = s.rowsq_diag;
+  // Cyclic triangle tensor: Σ_ijl θ_ij θ_jl θ_li = tr(Θ³) for symmetric Θ.
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      for (uint32_t l = 0; l < n; ++l) {
+        s.cyclic += theta.At(i, j) * theta.At(j, l) * theta.At(l, i);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+SkgMoments ExpectedMomentsN(const InitiatorN& theta, uint32_t k) {
+  DPKRON_CHECK_MSG(theta.IsSymmetric(),
+                   "general moments require a symmetric initiator");
+  DPKRON_CHECK_GE(k, 1u);
+  const DigitSums s = ComputeDigitSums(theta);
+  SkgMoments m;
+
+  // E = ½[Σ_{u,v} P_uv − Σ_u P_uu].
+  m.edges = 0.5 * (PowInt(s.entry_sum, k) - PowInt(s.trace, k));
+
+  // H = Σ_c e2 = ½ Σ_c [R² − 2Rd − R2 + 2d²].
+  m.hairpins = 0.5 * (PowInt(s.row_sq, k) - 2.0 * PowInt(s.row_diag, k) -
+                      PowInt(s.entry_sq, k) + 2.0 * PowInt(s.trace_sq, k));
+
+  // ∆ = (1/6)[Σ_{uvw} cyc − 3 Σ_{u=v} + 2 Σ_{u=v=w}].
+  m.triangles = (PowInt(s.cyclic, k) - 3.0 * PowInt(s.diag_rowsq, k) +
+                 2.0 * PowInt(s.trace_cube, k)) /
+                6.0;
+
+  // T = Σ_c e3 = (1/6) Σ_c [R³ − 3R²d − 3R·R2 + 6Rd² + 3R2·d + 2R3 − 6d³].
+  m.tripins = (PowInt(s.row_cube, k) - 3.0 * PowInt(s.rowsq2_diag, k) -
+               3.0 * PowInt(s.rowsq_row, k) + 6.0 * PowInt(s.row_diag_sq, k) +
+               3.0 * PowInt(s.rowsq_diag, k) + 2.0 * PowInt(s.entry_cube, k) -
+               6.0 * PowInt(s.trace_cube, k)) /
+              6.0;
+  return m;
+}
+
+SkgMoments ExpectedMomentsBruteForceN(const InitiatorN& theta, uint32_t k) {
+  const uint64_t n = KroneckerNodeCount(theta.dim(), k);
+  DPKRON_CHECK_MSG(n <= 256, "brute-force moments limited to 256 nodes");
+  auto p = [&](uint64_t u, uint64_t v) {
+    return EdgeProbabilityN(theta, k, u, v);
+  };
+  SkgMoments m;
+  for (uint64_t u = 0; u < n; ++u) {
+    for (uint64_t v = u + 1; v < n; ++v) m.edges += p(u, v);
+  }
+  for (uint64_t c = 0; c < n; ++c) {
+    double e1 = 0.0, e2 = 0.0, e3 = 0.0;
+    for (uint64_t u = 0; u < n; ++u) {
+      if (u == c) continue;
+      const double x = p(c, u);
+      e3 += e2 * x;
+      e2 += e1 * x;
+      e1 += x;
+    }
+    m.hairpins += e2;
+    m.tripins += e3;
+  }
+  for (uint64_t u = 0; u < n; ++u) {
+    for (uint64_t v = u + 1; v < n; ++v) {
+      const double puv = p(u, v);
+      if (puv == 0.0) continue;
+      for (uint64_t w = v + 1; w < n; ++w) {
+        m.triangles += puv * p(v, w) * p(u, w);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace dpkron

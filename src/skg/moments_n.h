@@ -1,0 +1,35 @@
+// Expected feature counts E, H, ∆, T for a general symmetric N1×N1
+// initiator — the generalization of Eq. (1) beyond the paper's 2×2 case.
+//
+// The paper fixes N1 = 2 to compare with Gleich & Owen, noting (§3.3)
+// that N1 is ordinarily chosen by model selection. These formulas enable
+// exactly that: moment-matching estimation at any initiator size.
+//
+// Derivation (same power-sum machinery as the corrected 2×2 tripins; see
+// moments.cc): with R_j(c) = Σ_u P_cu^j and d(c) = P_cc, all of
+//   Σ_c R^α d^β R2^γ ...
+// factorize per digit into k-th powers of O(N1²) sums over the initiator,
+// and the triangle term uses the cyclic tensor sum Σ_ijl θ_ij θ_jl θ_li.
+
+#ifndef DPKRON_SKG_MOMENTS_N_H_
+#define DPKRON_SKG_MOMENTS_N_H_
+
+#include <cstdint>
+
+#include "src/skg/initiator.h"
+#include "src/skg/moments.h"
+
+namespace dpkron {
+
+// Expected (E, H, ∆, T) of the SKG Θ^[k] under the unordered-pair
+// convention. Requires a symmetric initiator (aborts otherwise) and
+// k ≥ 1.
+SkgMoments ExpectedMomentsN(const InitiatorN& theta, uint32_t k);
+
+// Brute-force reference over the dense Kronecker power (tests only;
+// O(N1^3k)).
+SkgMoments ExpectedMomentsBruteForceN(const InitiatorN& theta, uint32_t k);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_SKG_MOMENTS_N_H_

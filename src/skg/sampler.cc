@@ -1,0 +1,118 @@
+#include "src/skg/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/macros.h"
+#include "src/graph/graph_builder.h"
+#include "src/skg/class_sampler.h"
+#include "src/skg/kronecker.h"
+#include "src/skg/moments.h"
+
+namespace dpkron {
+namespace {
+
+Graph SampleExact2(const Initiator2& theta, uint32_t k, Rng& rng) {
+  DPKRON_CHECK_MSG(k <= 14, "exact sampler limited to k <= 14 (O(4^k))");
+  const EdgeProbability2 prob(theta, k);
+  const uint32_t n = static_cast<uint32_t>(prob.num_nodes());
+  GraphBuilder builder(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      if (rng.NextBernoulli(prob(u, v))) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Graph SampleBallDrop(const Initiator2& theta, uint32_t k, Rng& rng,
+                     const SkgSampleOptions& options) {
+  DPKRON_CHECK_LT(k, 32u);
+  const uint32_t n = uint32_t{1} << k;
+  const double mean_edges = ExpectedEdges(theta, k);
+  // Edge count is Poisson-binomial over ~N²/2 pairs with small biases:
+  // variance = Σ p(1−p) ≈ mean. Normal approximation, clamped.
+  double target_d = mean_edges + std::sqrt(std::max(mean_edges, 1.0)) *
+                                     rng.NextGaussian();
+  const double max_edges = 0.5 * double(n) * (double(n) - 1.0);
+  target_d = std::min(std::max(target_d, 0.0), max_edges);
+  const uint64_t target = static_cast<uint64_t>(std::llround(target_d));
+
+  const double sum = theta.EntrySum();
+  GraphBuilder builder(n);
+  if (sum <= 0.0 || target == 0) return builder.Build();
+  // Quadrant CDF over (bit_u, bit_v) ∈ {(0,0),(0,1),(1,0),(1,1)}.
+  const double cdf0 = theta.a / sum;
+  const double cdf1 = cdf0 + theta.b / sum;
+  const double cdf2 = cdf1 + theta.b / sum;
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(target * 2);
+  uint64_t placed = 0;
+  const uint64_t max_attempts = static_cast<uint64_t>(
+      options.attempt_factor * static_cast<double>(target)) + 64;
+  for (uint64_t attempt = 0; attempt < max_attempts && placed < target;
+       ++attempt) {
+    uint32_t u = 0, v = 0;
+    for (uint32_t level = 0; level < k; ++level) {
+      const double r = rng.NextDouble();
+      uint32_t bu = 0, bv = 0;
+      if (r >= cdf2) {
+        bu = 1;
+        bv = 1;
+      } else if (r >= cdf1) {
+        bu = 1;
+      } else if (r >= cdf0) {
+        bv = 1;
+      }
+      u = (u << 1) | bu;
+      v = (v << 1) | bv;
+    }
+    if (u == v) continue;
+    const uint64_t key = (uint64_t{std::min(u, v)} << 32) | std::max(u, v);
+    if (seen.insert(key).second) {
+      builder.AddEdge(u, v);
+      ++placed;
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Graph SampleSkg(const Initiator2& theta, uint32_t k, Rng& rng,
+                const SkgSampleOptions& options) {
+  DPKRON_CHECK_MSG(theta.IsValid(), "initiator entries outside [0,1]");
+  DPKRON_CHECK_GE(k, 1u);
+  switch (options.method) {
+    case SkgSampleMethod::kExact:
+      return SampleExact2(theta, k, rng);
+    case SkgSampleMethod::kBallDrop:
+      return SampleBallDrop(theta, k, rng, options);
+    case SkgSampleMethod::kClassSkip:
+      return SampleSkgClassSkip(theta, k, rng);
+  }
+  DPKRON_CHECK_MSG(false, "unknown sample method");
+  return Graph();
+}
+
+Graph SampleSkgN(const InitiatorN& theta, uint32_t k, Rng& rng) {
+  const uint64_t n64 = KroneckerNodeCount(theta.dim(), k);
+  DPKRON_CHECK_MSG(n64 <= (uint64_t{1} << 14),
+                   "general exact sampler limited to 2^14 nodes");
+  const uint32_t n = static_cast<uint32_t>(n64);
+  GraphBuilder builder(n);
+  // Directed realization restricted to the lower triangle (u > v): this is
+  // precisely "symmetrize A* by keeping A*_uv for u > v and drop loops".
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = 0; v < u; ++v) {
+      if (rng.NextBernoulli(EdgeProbabilityN(theta, k, u, v))) {
+        builder.AddEdge(u, v);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace dpkron

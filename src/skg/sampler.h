@@ -1,0 +1,57 @@
+// Sampling realizations G = R(P) of a stochastic Kronecker graph (§3.2).
+//
+// Undirected convention (matching the paper's symmetrize-and-drop-loops
+// transformation and the Gleich–Owen moment formulas): every unordered
+// pair {u, v}, u ≠ v, receives one Bernoulli coin with bias P_uv.
+//
+// Two samplers:
+//   * Exact: flips all N(N−1)/2 coins. O(4^k) time, exact distribution.
+//     Practical through k = 14 (~1.3·10^8 coin flips).
+//   * BallDrop: the standard fast Kronecker generator (krongen-style
+//     recursive quadrant descent). Samples a target edge count from the
+//     normal approximation of the Poisson-binomial edge-count law, then
+//     places that many distinct edges with probability ∝ P_uv. O(E·k)
+//     expected time; the per-pair law is approximate but the aggregate
+//     statistics match the exact sampler closely (tested).
+
+#ifndef DPKRON_SKG_SAMPLER_H_
+#define DPKRON_SKG_SAMPLER_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+#include "src/skg/initiator.h"
+
+namespace dpkron {
+
+enum class SkgSampleMethod {
+  // All-pairs Bernoulli sweep: exact distribution, O(4^k).
+  kExact,
+  // krongen-style recursive quadrant descent: fast, approximate.
+  kBallDrop,
+  // Probability-class skipping (class_sampler.h): exact distribution in
+  // O(E) expected time — the best default for k > 12.
+  kClassSkip,
+};
+
+struct SkgSampleOptions {
+  SkgSampleMethod method = SkgSampleMethod::kExact;
+  // BallDrop: give up on duplicate-avoidance after
+  // attempt_factor × target placements (dense corners can make distinct
+  // placements scarce).
+  double attempt_factor = 30.0;
+};
+
+// One realization of the SKG defined by Θ^[k] on 2^k nodes.
+Graph SampleSkg(const Initiator2& theta, uint32_t k, Rng& rng,
+                const SkgSampleOptions& options = {});
+
+// Exact sampler for a general (possibly asymmetric) N1×N1 initiator: the
+// directed stochastic matrix is realized and then symmetrized per §3.2
+// (loops dropped, lower triangle kept). Limited to small N1^k.
+Graph SampleSkgN(const InitiatorN& theta, uint32_t k, Rng& rng);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_SKG_SAMPLER_H_

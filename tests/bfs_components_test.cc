@@ -1,0 +1,102 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "src/graph/bfs.h"
+#include "src/graph/components.h"
+#include "tests/test_util.h"
+
+namespace dpkron {
+namespace {
+
+using testing::CompleteGraph;
+using testing::CycleGraph;
+using testing::MakeGraph;
+using testing::PathGraph;
+
+TEST(BfsTest, PathDistances) {
+  const Graph g = PathGraph(5);
+  const auto d = BfsDistances(g, 0);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(BfsTest, CycleDistances) {
+  const Graph g = CycleGraph(6);
+  const auto d = BfsDistances(g, 0);
+  const std::vector<int32_t> expected = {0, 1, 2, 3, 2, 1};
+  EXPECT_EQ(d, std::vector<int32_t>(expected));
+}
+
+TEST(BfsTest, UnreachableMarked) {
+  const Graph g = MakeGraph(4, {{0, 1}});
+  const auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(BfsTest, ScratchReusableAcrossSources) {
+  const Graph g = PathGraph(6);
+  BfsScratch scratch(6);
+  EXPECT_EQ(scratch.Run(g, 0), 6u);
+  EXPECT_EQ(scratch.Distance(5), 5);
+  EXPECT_EQ(scratch.Run(g, 5), 6u);
+  EXPECT_EQ(scratch.Distance(0), 5);
+  EXPECT_EQ(scratch.Distance(5), 0);
+}
+
+TEST(BfsTest, VisitedInBfsOrder) {
+  const Graph g = testing::StarGraph(5);
+  BfsScratch scratch(5);
+  scratch.Run(g, 0);
+  const auto& visited = scratch.Visited();
+  ASSERT_EQ(visited.size(), 5u);
+  EXPECT_EQ(visited[0], 0u);
+}
+
+TEST(ComponentsTest, SingleComponent) {
+  const ComponentInfo info = ConnectedComponents(CompleteGraph(5));
+  EXPECT_EQ(info.num_components(), 1u);
+  EXPECT_EQ(info.sizes[0], 5u);
+}
+
+TEST(ComponentsTest, MultipleComponentsAndIsolates) {
+  // {0,1,2} triangle, {3,4} edge, {5} isolated.
+  const Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
+  const ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components(), 3u);
+  EXPECT_EQ(info.sizes[0], 3u);
+  EXPECT_EQ(info.sizes[1], 2u);
+  EXPECT_EQ(info.sizes[2], 1u);
+  EXPECT_EQ(info.component_of[0], info.component_of[2]);
+  EXPECT_NE(info.component_of[0], info.component_of[3]);
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  const ComponentInfo info = ConnectedComponents(Graph());
+  EXPECT_EQ(info.num_components(), 0u);
+}
+
+TEST(LargestComponentTest, ExtractsAndRelabels) {
+  // Large component {2,3,4,5} path; small {0,1}.
+  const Graph g = MakeGraph(6, {{0, 1}, {2, 3}, {3, 4}, {4, 5}});
+  const ExtractedComponent extracted = LargestComponent(g);
+  EXPECT_EQ(extracted.graph.NumNodes(), 4u);
+  EXPECT_EQ(extracted.graph.NumEdges(), 3u);
+  ASSERT_EQ(extracted.original_id.size(), 4u);
+  EXPECT_EQ(extracted.original_id[0], 2u);
+  EXPECT_EQ(extracted.original_id[3], 5u);
+}
+
+TEST(LargestComponentTest, WholeGraphWhenConnected) {
+  const Graph g = CycleGraph(7);
+  const ExtractedComponent extracted = LargestComponent(g);
+  EXPECT_EQ(extracted.graph.NumNodes(), 7u);
+  EXPECT_EQ(extracted.graph.NumEdges(), 7u);
+}
+
+TEST(LargestComponentTest, EmptyGraph) {
+  const ExtractedComponent extracted = LargestComponent(Graph());
+  EXPECT_EQ(extracted.graph.NumNodes(), 0u);
+}
+
+}  // namespace
+}  // namespace dpkron

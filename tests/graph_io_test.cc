@@ -1,0 +1,79 @@
+#include "src/graph/graph_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+#include "src/graph/degree.h"
+#include "tests/test_util.h"
+
+namespace dpkron {
+namespace {
+
+TEST(GraphIoTest, ParsesSimpleEdgeList) {
+  const auto result = ParseEdgeList("0 1\n1 2\n2 0\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumNodes(), 3u);
+  EXPECT_EQ(result.value().NumEdges(), 3u);
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  const auto result = ParseEdgeList(
+      "# SNAP header\n# Nodes: 3 Edges: 2\n\n0\t1\n\n  # inline\n1\t2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumEdges(), 2u);
+}
+
+TEST(GraphIoTest, DensifiesSparseIds) {
+  const auto result = ParseEdgeList("1000 2000\n2000 500\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumNodes(), 3u);
+  EXPECT_EQ(result.value().NumEdges(), 2u);
+}
+
+TEST(GraphIoTest, DeduplicatesAndDropsLoops) {
+  const auto result = ParseEdgeList("0 1\n1 0\n5 5\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumEdges(), 1u);
+  EXPECT_EQ(result.value().NumNodes(), 3u);  // nodes 0, 1, 5 all interned
+}
+
+TEST(GraphIoTest, RejectsMalformedLine) {
+  const auto result = ParseEdgeList("0 1\nnot numbers\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find(":2"), std::string::npos);
+}
+
+TEST(GraphIoTest, EmptyInputGivesEmptyGraph) {
+  const auto result = ParseEdgeList("# only comments\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumNodes(), 0u);
+}
+
+TEST(GraphIoTest, ReadMissingFileFails) {
+  const auto result = ReadEdgeList("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphIoTest, WriteReadRoundTrip) {
+  const Graph g = testing::PetersenGraph();
+  const std::string path = ::testing::TempDir() + "/petersen.txt";
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  const auto back = ReadEdgeList(path);
+  ASSERT_TRUE(back.ok());
+  // The reader renumbers by first appearance, so compare isomorphism-
+  // safe invariants rather than literal edge lists.
+  EXPECT_EQ(back.value().NumNodes(), g.NumNodes());
+  EXPECT_EQ(back.value().NumEdges(), g.NumEdges());
+  EXPECT_EQ(SortedDegreeVector(back.value()), SortedDegreeVector(g));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, WriteToUnwritablePathFails) {
+  EXPECT_FALSE(WriteEdgeList(Graph(), "/nonexistent/dir/out.txt").ok());
+}
+
+}  // namespace
+}  // namespace dpkron

@@ -1,0 +1,146 @@
+#include "src/graph/graph.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "src/graph/graph_builder.h"
+#include "tests/test_util.h"
+
+namespace dpkron {
+namespace {
+
+using testing::CompleteGraph;
+using testing::MakeGraph;
+using testing::PathGraph;
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, SingleEdge) {
+  const Graph g = MakeGraph(2, {{0, 1}});
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(GraphTest, BuilderDropsSelfLoops) {
+  const Graph g = MakeGraph(3, {{0, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, BuilderDeduplicatesBothOrientations) {
+  const Graph g = MakeGraph(3, {{0, 1}, {1, 0}, {0, 1}, {2, 1}, {1, 2}});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  const Graph g = MakeGraph(6, {{3, 5}, {3, 1}, {3, 4}, {3, 0}, {3, 2}});
+  const auto neighbors = g.Neighbors(3);
+  ASSERT_EQ(neighbors.size(), 5u);
+  for (size_t i = 1; i < neighbors.size(); ++i) {
+    EXPECT_LT(neighbors[i - 1], neighbors[i]);
+  }
+}
+
+TEST(GraphTest, IsolatedNodesHaveNoNeighbors) {
+  const Graph g = MakeGraph(5, {{0, 1}});
+  for (Graph::NodeId u = 2; u < 5; ++u) {
+    EXPECT_EQ(g.Degree(u), 0u);
+    EXPECT_TRUE(g.Neighbors(u).empty());
+  }
+}
+
+TEST(GraphTest, ForEachEdgeVisitsEachOnceOrdered) {
+  const Graph g = CompleteGraph(5);
+  uint64_t count = 0;
+  g.ForEachEdge([&count](Graph::NodeId u, Graph::NodeId v) {
+    EXPECT_LT(u, v);
+    ++count;
+  });
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(GraphTest, EdgesMatchesForEachEdge) {
+  const Graph g = PathGraph(6);
+  const auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(edges[i].first, i);
+    EXPECT_EQ(edges[i].second, i + 1);
+  }
+}
+
+TEST(GraphTest, HasEdgeNegativeCases) {
+  const Graph g = PathGraph(4);
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+}
+
+TEST(GraphTest, CopyIsIndependent) {
+  Graph g = PathGraph(3);
+  Graph copy = g;
+  g = CompleteGraph(4);
+  EXPECT_EQ(copy.NumNodes(), 3u);
+  EXPECT_EQ(copy.NumEdges(), 2u);
+}
+
+TEST(GraphTest, FromCsrAcceptsValidInput) {
+  // Triangle 0-1-2.
+  const Graph g = Graph::FromCsr({0, 2, 4, 6}, {1, 2, 0, 2, 0, 1});
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+}
+
+TEST(GraphDeathTest, FromCsrRejectsSelfLoop) {
+  EXPECT_DEATH(Graph::FromCsr({0, 2, 4}, {0, 1, 0, 1}), "self-loop");
+}
+
+TEST(GraphDeathTest, FromCsrRejectsUnsortedAdjacency) {
+  EXPECT_DEATH(Graph::FromCsr({0, 2, 3, 4}, {2, 1, 0, 0}), "sorted");
+}
+
+TEST(GraphDeathTest, BuilderRejectsOutOfRangeNode) {
+  GraphBuilder builder(3);
+  EXPECT_DEATH(builder.AddEdge(0, 3), "CHECK");
+}
+
+TEST(GraphBuilderTest, ReusableAfterBuild) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  const Graph first = builder.Build();
+  EXPECT_EQ(first.NumEdges(), 1u);
+  builder.AddEdge(2, 3);
+  const Graph second = builder.Build();
+  EXPECT_EQ(second.NumEdges(), 1u);
+  EXPECT_TRUE(second.HasEdge(2, 3));
+  EXPECT_FALSE(second.HasEdge(0, 1));
+}
+
+TEST(GraphBuilderTest, PendingEdgesCountsRawInsertions) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(1, 1);  // loop dropped at the door
+  EXPECT_EQ(builder.PendingEdges(), 2u);
+}
+
+TEST(GraphBuilderTest, LargeStarDegrees) {
+  const uint32_t n = 10001;
+  GraphBuilder builder(n);
+  for (uint32_t v = 1; v < n; ++v) builder.AddEdge(0, v);
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.Degree(0), n - 1);
+  EXPECT_EQ(g.NumEdges(), uint64_t{n - 1});
+}
+
+}  // namespace
+}  // namespace dpkron

@@ -1,0 +1,107 @@
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "src/common/rng.h"
+#include "src/graph/anf.h"
+#include "src/graph/hop_plot.h"
+#include "src/skg/sampler.h"
+#include "tests/test_util.h"
+
+namespace dpkron {
+namespace {
+
+using testing::CompleteGraph;
+using testing::CycleGraph;
+using testing::MakeGraph;
+using testing::PathGraph;
+
+TEST(HopPlotTest, CompleteGraphSaturatesAtOneHop) {
+  const Graph g = CompleteGraph(6);
+  const auto plot = ExactHopPlot(g);
+  ASSERT_EQ(plot.size(), 2u);
+  EXPECT_EQ(plot[0], 6u);        // self-pairs
+  EXPECT_EQ(plot[1], 36u);       // all ordered pairs
+}
+
+TEST(HopPlotTest, PathGraphGrowsLinearly) {
+  const Graph g = PathGraph(4);
+  const auto plot = ExactHopPlot(g);
+  // h=0: 4; h=1: 4+2·3=10; h=2: +2·2=14; h=3: +2·1=16.
+  const std::vector<uint64_t> expected = {4, 10, 14, 16};
+  EXPECT_EQ(plot, expected);
+}
+
+TEST(HopPlotTest, DisconnectedPairsNeverCounted) {
+  const Graph g = MakeGraph(4, {{0, 1}, {2, 3}});
+  const auto plot = ExactHopPlot(g);
+  EXPECT_EQ(plot.back(), 4u + 4u);  // 4 self + 2 pairs each component x2
+}
+
+TEST(HopPlotTest, CycleDiameter) {
+  const Graph g = CycleGraph(8);
+  const auto plot = ExactHopPlot(g);
+  EXPECT_EQ(plot.size(), 5u);  // diameter 4
+  EXPECT_EQ(plot.back(), 64u);
+}
+
+TEST(HopPlotTest, MonotoneNonDecreasing) {
+  Rng rng(123);
+  const Graph g = SampleSkg({0.9, 0.5, 0.3}, 8, rng);
+  const auto plot = ExactHopPlot(g);
+  for (size_t h = 1; h < plot.size(); ++h) {
+    EXPECT_GE(plot[h], plot[h - 1]);
+  }
+}
+
+TEST(EffectiveDiameterTest, KnownValues) {
+  // Hop plot reaching 90% at h=2.
+  const std::vector<uint64_t> plot = {10, 50, 95, 100};
+  EXPECT_EQ(EffectiveDiameter(plot, 0.9), 2u);
+  EXPECT_EQ(EffectiveDiameter(plot, 1.0), 3u);
+  EXPECT_EQ(EffectiveDiameter(plot, 0.05), 0u);
+}
+
+TEST(AnfTest, ApproximatesExactHopPlot) {
+  Rng graph_rng(7);
+  const Graph g = SampleSkg({0.95, 0.55, 0.25}, 9, graph_rng);  // 512 nodes
+  const auto exact = ExactHopPlot(g);
+
+  Rng anf_rng(99);
+  AnfOptions options;
+  options.num_trials = 64;
+  const auto approx = ApproxHopPlot(g, anf_rng, options);
+
+  // Same saturation value within 15% and same general length.
+  ASSERT_GE(approx.size(), 2u);
+  const double exact_total = double(exact.back());
+  const double approx_total = double(approx.back());
+  EXPECT_NEAR(approx_total / exact_total, 1.0, 0.15);
+  // Pointwise sanity on overlapping prefix (h >= 1 where counts are large).
+  for (size_t h = 1; h < std::min(exact.size(), approx.size()); ++h) {
+    if (exact[h] > 1000) {
+      EXPECT_NEAR(double(approx[h]) / double(exact[h]), 1.0, 0.35)
+          << "hop " << h;
+    }
+  }
+}
+
+TEST(AnfTest, MonotoneAndTerminates) {
+  Rng rng(3);
+  const Graph g = testing::CycleGraph(64);
+  const auto plot = ApproxHopPlot(g, rng);
+  ASSERT_GE(plot.size(), 2u);
+  for (size_t h = 1; h < plot.size(); ++h) EXPECT_GE(plot[h], plot[h - 1]);
+  EXPECT_LE(plot.size(), 34u);  // cycle of 64: diameter 32
+}
+
+TEST(AnfTest, EmptyGraph) {
+  Rng rng(1);
+  const auto plot = ApproxHopPlot(Graph(), rng);
+  ASSERT_EQ(plot.size(), 1u);
+  EXPECT_EQ(plot[0], 0u);
+}
+
+}  // namespace
+}  // namespace dpkron

@@ -1,0 +1,114 @@
+#include "src/dp/isotonic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "src/common/rng.h"
+
+namespace dpkron {
+namespace {
+
+bool IsNonDecreasing(const std::vector<double>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] < v[i - 1]) return false;
+  }
+  return true;
+}
+
+double L2(const std::vector<double>& x, const std::vector<double>& y) {
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) sum += (x[i] - y[i]) * (x[i] - y[i]);
+  return sum;
+}
+
+TEST(IsotonicTest, SortedInputUnchanged) {
+  const std::vector<double> v = {1, 2, 2, 3, 10};
+  EXPECT_EQ(IsotonicRegression(v), v);
+}
+
+TEST(IsotonicTest, TwoElementViolationPools) {
+  const auto fit = IsotonicRegression({3.0, 1.0});
+  EXPECT_DOUBLE_EQ(fit[0], 2.0);
+  EXPECT_DOUBLE_EQ(fit[1], 2.0);
+}
+
+TEST(IsotonicTest, DecreasingInputPoolsToMean) {
+  const auto fit = IsotonicRegression({5, 4, 3, 2, 1});
+  for (double x : fit) EXPECT_DOUBLE_EQ(x, 3.0);
+}
+
+TEST(IsotonicTest, KnownMixedCase) {
+  // Classic PAVA example.
+  const auto fit = IsotonicRegression({1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(fit[0], 1.0);
+  EXPECT_DOUBLE_EQ(fit[1], 2.5);
+  EXPECT_DOUBLE_EQ(fit[2], 2.5);
+  EXPECT_DOUBLE_EQ(fit[3], 4.0);
+}
+
+TEST(IsotonicTest, EmptyAndSingleton) {
+  EXPECT_TRUE(IsotonicRegression({}).empty());
+  EXPECT_EQ(IsotonicRegression({7.0}), std::vector<double>{7.0});
+}
+
+TEST(IsotonicTest, OutputAlwaysMonotoneAndMeanPreserving) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> v(100);
+    for (double& x : v) x = rng.NextGaussian() * 10;
+    const auto fit = IsotonicRegression(v);
+    ASSERT_EQ(fit.size(), v.size());
+    EXPECT_TRUE(IsNonDecreasing(fit));
+    double sum_v = 0, sum_f = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      sum_v += v[i];
+      sum_f += fit[i];
+    }
+    EXPECT_NEAR(sum_v, sum_f, 1e-9 * (1 + std::fabs(sum_v)));
+  }
+}
+
+TEST(IsotonicTest, Idempotent) {
+  Rng rng(7);
+  std::vector<double> v(50);
+  for (double& x : v) x = rng.NextGaussian();
+  const auto once = IsotonicRegression(v);
+  EXPECT_EQ(IsotonicRegression(once), once);
+}
+
+TEST(IsotonicTest, IsProjectionNoMonotoneVectorCloser) {
+  // The PAVA fit must beat (or tie) a batch of random monotone candidates.
+  Rng rng(13);
+  std::vector<double> v(30);
+  for (double& x : v) x = rng.NextGaussian() * 5;
+  const auto fit = IsotonicRegression(v);
+  const double fit_error = L2(fit, v);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> candidate(v.size());
+    for (double& x : candidate) x = rng.NextGaussian() * 5;
+    std::sort(candidate.begin(), candidate.end());
+    EXPECT_GE(L2(candidate, v), fit_error - 1e-9);
+  }
+}
+
+TEST(IsotonicTest, PerturbedFitNeverBeatsFit) {
+  // Local optimality: nudging any block boundary of the fit increases L2.
+  Rng rng(29);
+  std::vector<double> v(40);
+  for (double& x : v) x = rng.NextGaussian() * 3;
+  const auto fit = IsotonicRegression(v);
+  const double fit_error = L2(fit, v);
+  for (size_t i = 0; i < fit.size(); ++i) {
+    for (double eps : {-0.05, 0.05}) {
+      std::vector<double> candidate = fit;
+      candidate[i] += eps;
+      if (!IsNonDecreasing(candidate)) continue;
+      EXPECT_GE(L2(candidate, v), fit_error - 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpkron

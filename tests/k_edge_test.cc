@@ -1,0 +1,58 @@
+#include "src/core/k_edge.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "src/common/rng.h"
+#include "src/skg/sampler.h"
+#include "tests/test_util.h"
+
+namespace dpkron {
+namespace {
+
+TEST(KEdgeTest, KOneMatchesPlainEstimator) {
+  Rng g_rng(1);
+  const Graph g = SampleSkg({0.9, 0.5, 0.2}, 9, g_rng);
+  Rng rng1(7), rng2(7);
+  const auto plain = EstimatePrivateSkg(g, 0.4, 0.02, rng1);
+  const auto k_edge = EstimateKEdgePrivateSkg(g, 1, 0.4, 0.02, rng2);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(k_edge.ok());
+  EXPECT_DOUBLE_EQ(plain.value().theta.a, k_edge.value().theta.a);
+  EXPECT_DOUBLE_EQ(plain.value().theta.b, k_edge.value().theta.b);
+}
+
+TEST(KEdgeTest, LargerKMeansMoreNoise) {
+  Rng g_rng(2);
+  const Graph g = SampleSkg({0.95, 0.55, 0.3}, 10, g_rng);
+  const GraphFeatures exact = ComputeFeatures(g);
+  double err_k1 = 0, err_k10 = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng_a(100 + t), rng_b(100 + t);
+    const auto fit1 = EstimateKEdgePrivateSkg(g, 1, 2.0, 0.05, rng_a);
+    const auto fit10 = EstimateKEdgePrivateSkg(g, 10, 2.0, 0.05, rng_b);
+    ASSERT_TRUE(fit1.ok());
+    ASSERT_TRUE(fit10.ok());
+    err_k1 += std::fabs(fit1.value().private_features.edges - exact.edges);
+    err_k10 += std::fabs(fit10.value().private_features.edges - exact.edges);
+  }
+  EXPECT_GT(err_k10, 2 * err_k1);
+}
+
+TEST(KEdgeTest, RejectsInvalidArguments) {
+  Rng rng(3);
+  const Graph g = testing::CycleGraph(32);
+  EXPECT_FALSE(EstimateKEdgePrivateSkg(g, 0, 0.2, 0.01, rng).ok());
+}
+
+TEST(KEdgeTest, StillProducesValidModelAtHighK) {
+  Rng rng(4);
+  const Graph g = SampleSkg({0.9, 0.5, 0.2}, 9, rng);
+  const auto fit = EstimateKEdgePrivateSkg(g, 25, 5.0, 0.25, rng);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit.value().theta.IsValid());
+}
+
+}  // namespace
+}  // namespace dpkron

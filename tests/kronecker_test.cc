@@ -1,0 +1,148 @@
+#include "src/skg/kronecker.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "src/skg/initiator.h"
+
+namespace dpkron {
+namespace {
+
+TEST(PowIntTest, MatchesStdPow) {
+  for (double x : {0.0, 0.3, 1.0, 1.7, 3.9}) {
+    for (uint32_t n : {0u, 1u, 2u, 5u, 14u, 31u}) {
+      EXPECT_NEAR(PowInt(x, n), std::pow(x, n), 1e-9 * std::pow(x, n) + 1e-30)
+          << x << "^" << n;
+    }
+  }
+}
+
+TEST(PowIntTest, ZeroToZeroIsOne) { EXPECT_DOUBLE_EQ(PowInt(0.0, 0), 1.0); }
+
+TEST(KroneckerNodeCountTest, PowersOfDim) {
+  EXPECT_EQ(KroneckerNodeCount(2, 0), 1u);
+  EXPECT_EQ(KroneckerNodeCount(2, 14), 16384u);
+  EXPECT_EQ(KroneckerNodeCount(3, 4), 81u);
+}
+
+TEST(InitiatorTest, ValidityAndCanonical) {
+  EXPECT_TRUE((Initiator2{0.5, 0.5, 0.5}).IsValid());
+  EXPECT_FALSE((Initiator2{-0.1, 0.5, 0.5}).IsValid());
+  EXPECT_FALSE((Initiator2{0.5, 1.2, 0.5}).IsValid());
+  const Initiator2 swapped = Initiator2{0.2, 0.4, 0.9}.Canonical();
+  EXPECT_DOUBLE_EQ(swapped.a, 0.9);
+  EXPECT_DOUBLE_EQ(swapped.c, 0.2);
+  EXPECT_DOUBLE_EQ(swapped.b, 0.4);
+}
+
+TEST(InitiatorTest, ClampedAndSum) {
+  const Initiator2 theta = Initiator2{1.5, -0.2, 0.5}.Clamped();
+  EXPECT_DOUBLE_EQ(theta.a, 1.0);
+  EXPECT_DOUBLE_EQ(theta.b, 0.0);
+  EXPECT_DOUBLE_EQ(theta.c, 0.5);
+  EXPECT_DOUBLE_EQ((Initiator2{0.9, 0.45, 0.25}).EntrySum(), 2.05);
+}
+
+TEST(InitiatorTest, MaxAbsDifference) {
+  EXPECT_DOUBLE_EQ(
+      MaxAbsDifference({0.9, 0.5, 0.1}, {0.8, 0.45, 0.4}), 0.3);
+}
+
+TEST(InitiatorNTest, CreateValidates) {
+  EXPECT_TRUE(InitiatorN::Create(2, {0.1, 0.2, 0.3, 0.4}).ok());
+  EXPECT_FALSE(InitiatorN::Create(2, {0.1, 0.2, 0.3}).ok());
+  EXPECT_FALSE(InitiatorN::Create(2, {0.1, 0.2, 0.3, 1.4}).ok());
+  EXPECT_FALSE(InitiatorN::Create(0, {}).ok());
+}
+
+TEST(InitiatorNTest, From2x2Symmetric) {
+  const InitiatorN theta = InitiatorN::From2x2({0.9, 0.45, 0.25});
+  EXPECT_EQ(theta.dim(), 2u);
+  EXPECT_TRUE(theta.IsSymmetric());
+  EXPECT_DOUBLE_EQ(theta.At(0, 0), 0.9);
+  EXPECT_DOUBLE_EQ(theta.At(0, 1), 0.45);
+  EXPECT_DOUBLE_EQ(theta.At(1, 0), 0.45);
+  EXPECT_DOUBLE_EQ(theta.At(1, 1), 0.25);
+  EXPECT_DOUBLE_EQ(theta.EntrySum(), 2.05);
+  EXPECT_DOUBLE_EQ(theta.TraceSum(), 1.15);
+}
+
+TEST(EdgeProbability2Test, KOneIsInitiator) {
+  const Initiator2 theta{0.9, 0.45, 0.25};
+  const EdgeProbability2 prob(theta, 1);
+  EXPECT_DOUBLE_EQ(prob(0, 0), 0.9);
+  EXPECT_DOUBLE_EQ(prob(0, 1), 0.45);
+  EXPECT_DOUBLE_EQ(prob(1, 0), 0.45);
+  EXPECT_DOUBLE_EQ(prob(1, 1), 0.25);
+}
+
+TEST(EdgeProbability2Test, MatchesGeneralEvaluator) {
+  const Initiator2 theta{0.9, 0.45, 0.25};
+  const InitiatorN general = InitiatorN::From2x2(theta);
+  const uint32_t k = 5;
+  const EdgeProbability2 fast(theta, k);
+  for (uint64_t u = 0; u < 32; ++u) {
+    for (uint64_t v = 0; v < 32; ++v) {
+      EXPECT_NEAR(fast(u, v), EdgeProbabilityN(general, k, u, v), 1e-14);
+    }
+  }
+}
+
+TEST(EdgeProbability2Test, SymmetricInU_V) {
+  const EdgeProbability2 prob({0.8, 0.6, 0.3}, 7);
+  for (uint64_t u = 0; u < 128; u += 13) {
+    for (uint64_t v = 0; v < 128; v += 7) {
+      EXPECT_DOUBLE_EQ(prob(u, v), prob(v, u));
+    }
+  }
+}
+
+TEST(EdgeProbability2Test, ProductStructure) {
+  // P_{uu} for u = all-zero is a^k; all-ones is c^k.
+  const uint32_t k = 6;
+  const EdgeProbability2 prob({0.9, 0.45, 0.25}, k);
+  EXPECT_NEAR(prob(0, 0), PowInt(0.9, k), 1e-15);
+  EXPECT_NEAR(prob(63, 63), PowInt(0.25, k), 1e-15);
+  EXPECT_NEAR(prob(0, 63), PowInt(0.45, k), 1e-15);
+}
+
+TEST(DenseKroneckerPowerTest, MatchesPerEntryEvaluator) {
+  const auto theta = InitiatorN::Create(2, {0.9, 0.4, 0.5, 0.2}).value();
+  const uint32_t k = 3;
+  const auto dense = DenseKroneckerPower(theta, k);
+  const uint64_t n = 8;
+  ASSERT_EQ(dense.size(), n * n);
+  for (uint64_t u = 0; u < n; ++u) {
+    for (uint64_t v = 0; v < n; ++v) {
+      EXPECT_DOUBLE_EQ(dense[u * n + v], EdgeProbabilityN(theta, k, u, v));
+    }
+  }
+}
+
+TEST(DenseKroneckerPowerTest, KroneckerRecursion) {
+  // Θ^[2] = Θ ⊗ Θ: check the block structure explicitly (Definition 3.1).
+  const auto theta = InitiatorN::Create(2, {0.9, 0.4, 0.5, 0.2}).value();
+  const auto p2 = DenseKroneckerPower(theta, 2);
+  for (uint32_t bi = 0; bi < 2; ++bi) {
+    for (uint32_t bj = 0; bj < 2; ++bj) {
+      for (uint32_t i = 0; i < 2; ++i) {
+        for (uint32_t j = 0; j < 2; ++j) {
+          // Digit convention: level 0 is the least-significant digit.
+          const uint64_t u = bi * 2 + i;
+          const uint64_t v = bj * 2 + j;
+          EXPECT_NEAR(p2[u * 4 + v], theta.At(i, j) * theta.At(bi, bj), 1e-15);
+        }
+      }
+    }
+  }
+}
+
+TEST(EdgeProbabilityNTest, AsymmetricInitiator) {
+  const auto theta = InitiatorN::Create(2, {0.9, 0.4, 0.5, 0.2}).value();
+  EXPECT_DOUBLE_EQ(EdgeProbabilityN(theta, 1, 0, 1), 0.4);
+  EXPECT_DOUBLE_EQ(EdgeProbabilityN(theta, 1, 1, 0), 0.5);
+  EXPECT_NE(EdgeProbabilityN(theta, 3, 1, 6), EdgeProbabilityN(theta, 3, 6, 1));
+}
+
+}  // namespace
+}  // namespace dpkron

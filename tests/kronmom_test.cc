@@ -1,0 +1,93 @@
+#include "src/estimation/kronmom.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+#include "src/common/rng.h"
+#include "src/skg/moments.h"
+#include "src/skg/sampler.h"
+
+namespace dpkron {
+namespace {
+
+TEST(ChooseKroneckerOrderTest, PowersAndBetween) {
+  EXPECT_EQ(ChooseKroneckerOrder(2), 1u);
+  EXPECT_EQ(ChooseKroneckerOrder(3), 2u);
+  EXPECT_EQ(ChooseKroneckerOrder(4), 2u);
+  EXPECT_EQ(ChooseKroneckerOrder(5), 3u);
+  EXPECT_EQ(ChooseKroneckerOrder(5242), 13u);
+  EXPECT_EQ(ChooseKroneckerOrder(9877), 14u);
+  EXPECT_EQ(ChooseKroneckerOrder(16384), 14u);
+}
+
+// Noiseless identifiability: fitting against the model's own expected
+// features must recover the generating parameters.
+class KronMomRecoveryTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(KronMomRecoveryTest, RecoversThetaFromExactMoments) {
+  const auto [a, b, c] = GetParam();
+  const Initiator2 truth = Initiator2{a, b, c}.Canonical();
+  const uint32_t k = 12;
+  const GraphFeatures observed = FromMoments(ExpectedMoments(truth, k));
+  const KronMomResult fit = FitKronMomToFeatures(observed, k);
+  EXPECT_LT(fit.objective, 1e-8);
+  EXPECT_NEAR(fit.theta.a, truth.a, 0.02);
+  EXPECT_NEAR(fit.theta.b, truth.b, 0.02);
+  EXPECT_NEAR(fit.theta.c, truth.c, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThetaSweep, KronMomRecoveryTest,
+    ::testing::Values(std::tuple{0.99, 0.45, 0.25},
+                      std::tuple{0.9, 0.6, 0.1},
+                      std::tuple{0.8, 0.5, 0.4},
+                      std::tuple{1.0, 0.6, 0.0},
+                      std::tuple{0.7, 0.3, 0.6},   // canonicalizes
+                      std::tuple{0.95, 0.2, 0.55}));
+
+TEST(KronMomTest, FitsSampledSyntheticGraph) {
+  const Initiator2 truth{0.99, 0.45, 0.25};
+  const uint32_t k = 12;
+  Rng rng(2024);
+  const Graph g = SampleSkg(truth, k, rng);
+  const KronMomResult fit = FitKronMom(g);
+  EXPECT_EQ(fit.k, k);
+  // Sampling noise at k=12 keeps estimates within a few hundredths
+  // (compare Table 1's synthetic row: KronMom (0.9894, 0.5396, 0.2388)
+  // against truth (0.99, 0.45, 0.25)).
+  EXPECT_NEAR(fit.theta.a, truth.a, 0.08);
+  EXPECT_NEAR(fit.theta.b, truth.b, 0.12);
+  EXPECT_NEAR(fit.theta.c, truth.c, 0.12);
+}
+
+TEST(KronMomTest, CanonicalOutput) {
+  const GraphFeatures observed =
+      FromMoments(ExpectedMoments({0.9, 0.4, 0.3}, 10));
+  const KronMomResult fit = FitKronMomToFeatures(observed, 10);
+  EXPECT_GE(fit.theta.a, fit.theta.c);
+  EXPECT_TRUE(fit.theta.IsValid());
+}
+
+TEST(KronMomTest, ObjectiveOptionsPropagate) {
+  const uint32_t k = 10;
+  const GraphFeatures observed =
+      FromMoments(ExpectedMoments({0.9, 0.5, 0.2}, k));
+  KronMomOptions options;
+  options.objective.dist = DistKind::kAbsolute;
+  options.objective.norm = NormKind::kE;
+  const KronMomResult fit = FitKronMomToFeatures(observed, k, options);
+  EXPECT_LT(fit.objective, 1e-5);
+  EXPECT_NEAR(fit.theta.a, 0.9, 0.03);
+}
+
+TEST(KronMomTest, DegenerateZeroFeatures) {
+  GraphFeatures observed;  // all zeros
+  const KronMomResult fit = FitKronMomToFeatures(observed, 8);
+  // Must terminate and return a valid (low-density) initiator.
+  EXPECT_TRUE(fit.theta.IsValid());
+  EXPECT_LT(ExpectedEdges(fit.theta, 8), 10.0);
+}
+
+}  // namespace
+}  // namespace dpkron

@@ -1,0 +1,66 @@
+#include "src/dp/laplace_mechanism.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "src/common/rng.h"
+
+namespace dpkron {
+namespace {
+
+TEST(LaplaceMechanismTest, UnbiasedAroundTrueValue) {
+  Rng rng(1);
+  const double truth = 1000.0;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += AddLaplaceNoise(truth, 1.0, 0.5, rng);
+  }
+  EXPECT_NEAR(sum / n, truth, 0.05);
+}
+
+TEST(LaplaceMechanismTest, NoiseScaleIsSensitivityOverEpsilon) {
+  Rng rng(2);
+  const double sensitivity = 2.0, epsilon = 0.25;
+  const int n = 100000;
+  double sum_abs = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum_abs += std::fabs(AddLaplaceNoise(0.0, sensitivity, epsilon, rng));
+  }
+  // E[|Lap(b)|] = b = sensitivity / epsilon = 8.
+  EXPECT_NEAR(sum_abs / n, sensitivity / epsilon, 0.1);
+}
+
+TEST(LaplaceMechanismTest, HigherEpsilonLessNoise) {
+  Rng rng(3);
+  double spread_low = 0.0, spread_high = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    spread_low += std::fabs(AddLaplaceNoise(0, 1.0, 0.1, rng));
+    spread_high += std::fabs(AddLaplaceNoise(0, 1.0, 10.0, rng));
+  }
+  EXPECT_GT(spread_low, 10 * spread_high);
+}
+
+TEST(LaplaceMechanismTest, VectorVariantSizeAndIndependence) {
+  Rng rng(4);
+  const std::vector<double> values(100, 5.0);
+  const auto noisy = AddLaplaceNoiseVector(values, 2.0, 1.0, rng);
+  ASSERT_EQ(noisy.size(), values.size());
+  // All coordinates perturbed (probability of any exact tie ~ 0).
+  int unchanged = 0;
+  for (size_t i = 0; i < noisy.size(); ++i) unchanged += noisy[i] == 5.0;
+  EXPECT_EQ(unchanged, 0);
+  // Not all the same noise.
+  EXPECT_NE(noisy[0], noisy[1]);
+}
+
+TEST(LaplaceMechanismDeathTest, RejectsNonPositiveParameters) {
+  Rng rng(5);
+  EXPECT_DEATH(AddLaplaceNoise(0, 0.0, 1.0, rng), "CHECK");
+  EXPECT_DEATH(AddLaplaceNoise(0, 1.0, 0.0, rng), "CHECK");
+}
+
+}  // namespace
+}  // namespace dpkron

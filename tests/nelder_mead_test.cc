@@ -1,0 +1,76 @@
+#include "src/estimation/nelder_mead.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dpkron {
+namespace {
+
+TEST(NelderMeadTest, MinimizesQuadratic1D) {
+  const auto result = NelderMead(
+      [](const std::vector<double>& x) { return (x[0] - 3.0) * (x[0] - 3.0); },
+      {0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.point[0], 3.0, 1e-6);
+  EXPECT_NEAR(result.value, 0.0, 1e-10);
+}
+
+TEST(NelderMeadTest, MinimizesShiftedSphere3D) {
+  const auto result = NelderMead(
+      [](const std::vector<double>& x) {
+        return (x[0] - 1) * (x[0] - 1) + (x[1] + 2) * (x[1] + 2) +
+               (x[2] - 0.5) * (x[2] - 0.5);
+      },
+      {0.0, 0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.point[0], 1.0, 1e-5);
+  EXPECT_NEAR(result.point[1], -2.0, 1e-5);
+  EXPECT_NEAR(result.point[2], 0.5, 1e-5);
+}
+
+TEST(NelderMeadTest, Rosenbrock2D) {
+  NelderMeadOptions options;
+  options.max_iterations = 5000;
+  const auto result = NelderMead(
+      [](const std::vector<double>& x) {
+        const double t1 = 1 - x[0];
+        const double t2 = x[1] - x[0] * x[0];
+        return t1 * t1 + 100 * t2 * t2;
+      },
+      {-1.2, 1.0}, options);
+  EXPECT_NEAR(result.point[0], 1.0, 1e-4);
+  EXPECT_NEAR(result.point[1], 1.0, 1e-4);
+}
+
+TEST(NelderMeadTest, RespectsIterationBudget) {
+  NelderMeadOptions options;
+  options.max_iterations = 5;
+  const auto result = NelderMead(
+      [](const std::vector<double>& x) { return std::fabs(x[0] - 100); },
+      {0.0}, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_LE(result.iterations, 5u);
+}
+
+TEST(NelderMeadTest, StartAtOptimumStaysThere) {
+  const auto result = NelderMead(
+      [](const std::vector<double>& x) { return x[0] * x[0] + x[1] * x[1]; },
+      {0.0, 0.0});
+  EXPECT_NEAR(result.point[0], 0.0, 1e-6);
+  EXPECT_NEAR(result.point[1], 0.0, 1e-6);
+}
+
+TEST(NelderMeadTest, PiecewiseNonSmoothObjective) {
+  const auto result = NelderMead(
+      [](const std::vector<double>& x) {
+        return std::fabs(x[0] - 2) + std::fabs(x[1] + 1);
+      },
+      {5.0, 5.0});
+  EXPECT_NEAR(result.point[0], 2.0, 1e-4);
+  EXPECT_NEAR(result.point[1], -1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace dpkron

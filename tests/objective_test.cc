@@ -1,0 +1,96 @@
+#include "src/estimation/objective.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "src/estimation/features.h"
+#include "src/skg/moments.h"
+
+namespace dpkron {
+namespace {
+
+GraphFeatures FeaturesAt(const Initiator2& theta, uint32_t k) {
+  return FromMoments(ExpectedMoments(theta, k));
+}
+
+TEST(ObjectiveTest, ZeroAtGeneratingParameters) {
+  const Initiator2 theta{0.99, 0.45, 0.25};
+  const uint32_t k = 10;
+  const GraphFeatures observed = FeaturesAt(theta, k);
+  for (DistKind dist : {DistKind::kSquared, DistKind::kAbsolute}) {
+    for (NormKind norm :
+         {NormKind::kF, NormKind::kF2, NormKind::kE, NormKind::kE2}) {
+      ObjectiveOptions options;
+      options.dist = dist;
+      options.norm = norm;
+      EXPECT_NEAR(MomentObjective(theta, k, observed, options), 0.0, 1e-9)
+          << DistKindName(dist) << "/" << NormKindName(norm);
+    }
+  }
+}
+
+TEST(ObjectiveTest, PositiveAwayFromTruth) {
+  const Initiator2 theta{0.99, 0.45, 0.25};
+  const uint32_t k = 10;
+  const GraphFeatures observed = FeaturesAt(theta, k);
+  EXPECT_GT(MomentObjective({0.8, 0.45, 0.25}, k, observed), 1e-4);
+  EXPECT_GT(MomentObjective({0.99, 0.55, 0.25}, k, observed), 1e-4);
+}
+
+TEST(ObjectiveTest, OutOfBoxPenalized) {
+  const GraphFeatures observed = FeaturesAt({0.9, 0.5, 0.2}, 8);
+  const double inside = MomentObjective({0.9, 0.5, 0.2}, 8, observed);
+  const double outside = MomentObjective({1.3, 0.5, 0.2}, 8, observed);
+  EXPECT_GT(outside, inside + 1e4);
+}
+
+TEST(ObjectiveTest, FeatureSubsetsChangeValue) {
+  const uint32_t k = 8;
+  const GraphFeatures observed = FeaturesAt({0.9, 0.5, 0.2}, k);
+  const Initiator2 off{0.85, 0.5, 0.25};
+  ObjectiveOptions all;
+  ObjectiveOptions no_triangles;
+  no_triangles.use_triangles = false;
+  const double with_all = MomentObjective(off, k, observed, all);
+  const double without = MomentObjective(off, k, observed, no_triangles);
+  EXPECT_GT(with_all, without);
+}
+
+TEST(ObjectiveTest, NormFloorPreventsInfinity) {
+  // Observed features of an empty-ish graph with NormF2: denominator would
+  // be 0 for a zero observed count; value must stay finite.
+  GraphFeatures observed;
+  observed.edges = 0.0;
+  observed.hairpins = 0.0;
+  observed.triangles = 0.0;
+  observed.tripins = 0.0;
+  const double value = MomentObjective({0.9, 0.5, 0.2}, 6, observed);
+  EXPECT_TRUE(std::isfinite(value));
+}
+
+TEST(ObjectiveTest, AbsoluteDistanceScalesLinearly) {
+  const uint32_t k = 8;
+  GraphFeatures observed = FeaturesAt({0.9, 0.5, 0.2}, k);
+  ObjectiveOptions options;
+  options.dist = DistKind::kAbsolute;
+  options.norm = NormKind::kF;
+  options.use_hairpins = false;
+  options.use_triangles = false;
+  options.use_tripins = false;
+  // Objective = |E_obs − E_model| / E_obs; doubling the observed count
+  // from the model value gives exactly 1/2... compute two explicit points.
+  const double expected_edges = ExpectedEdges({0.9, 0.5, 0.2}, k);
+  observed.edges = 2 * expected_edges;
+  const double value = MomentObjective({0.9, 0.5, 0.2}, k, observed, options);
+  EXPECT_NEAR(value, 0.5, 1e-9);
+}
+
+TEST(ObjectiveTest, KindNames) {
+  EXPECT_STREQ(DistKindName(DistKind::kSquared), "DistSq");
+  EXPECT_STREQ(DistKindName(DistKind::kAbsolute), "DistAbs");
+  EXPECT_STREQ(NormKindName(NormKind::kF), "NormF");
+  EXPECT_STREQ(NormKindName(NormKind::kE2), "NormE2");
+}
+
+}  // namespace
+}  // namespace dpkron

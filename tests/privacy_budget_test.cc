@@ -1,0 +1,62 @@
+#include "src/dp/privacy_budget.h"
+
+#include <gtest/gtest.h>
+
+namespace dpkron {
+namespace {
+
+TEST(PrivacyBudgetTest, TracksSpending) {
+  PrivacyBudget budget(1.0, 0.01);
+  EXPECT_TRUE(budget.Spend(0.4, 0.0, "degrees").ok());
+  EXPECT_TRUE(budget.Spend(0.4, 0.01, "triangles").ok());
+  EXPECT_NEAR(budget.epsilon_spent(), 0.8, 1e-12);
+  EXPECT_NEAR(budget.epsilon_remaining(), 0.2, 1e-12);
+  EXPECT_NEAR(budget.delta_remaining(), 0.0, 1e-12);
+  EXPECT_EQ(budget.ledger().size(), 2u);
+}
+
+TEST(PrivacyBudgetTest, RefusesOverdraft) {
+  PrivacyBudget budget(0.5, 0.0);
+  EXPECT_TRUE(budget.Spend(0.5, 0.0, "all of it").ok());
+  const Status s = budget.Spend(0.01, 0.0, "one more");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // Failed spend is not recorded.
+  EXPECT_EQ(budget.ledger().size(), 1u);
+  EXPECT_NEAR(budget.epsilon_spent(), 0.5, 1e-12);
+}
+
+TEST(PrivacyBudgetTest, RefusesDeltaOverdraft) {
+  PrivacyBudget budget(10.0, 0.01);
+  EXPECT_TRUE(budget.Spend(1.0, 0.01, "first").ok());
+  EXPECT_FALSE(budget.Spend(1.0, 0.001, "second").ok());
+}
+
+TEST(PrivacyBudgetTest, ExactSpendDespiteFloatAccumulation) {
+  PrivacyBudget budget(0.3, 0.0);
+  EXPECT_TRUE(budget.Spend(0.1, 0.0, "a").ok());
+  EXPECT_TRUE(budget.Spend(0.1, 0.0, "b").ok());
+  EXPECT_TRUE(budget.Spend(0.1, 0.0, "c").ok());  // 3×0.1 != 0.3 exactly
+}
+
+TEST(PrivacyBudgetTest, RejectsInvalidCharges) {
+  PrivacyBudget budget(1.0, 0.1);
+  EXPECT_FALSE(budget.Spend(-0.1, 0.0, "negative").ok());
+  EXPECT_FALSE(budget.Spend(0.0, 0.0, "empty").ok());
+}
+
+TEST(PrivacyBudgetTest, ToStringListsLedger) {
+  PrivacyBudget budget(1.0, 0.01);
+  ASSERT_TRUE(budget.Spend(0.5, 0.0, "degree_sequence").ok());
+  const std::string s = budget.ToString();
+  EXPECT_NE(s.find("degree_sequence"), std::string::npos);
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+TEST(PrivacyBudgetDeathTest, RejectsInvalidTotals) {
+  EXPECT_DEATH(PrivacyBudget(0.0, 0.0), "CHECK");
+  EXPECT_DEATH(PrivacyBudget(1.0, 1.0), "CHECK");
+}
+
+}  // namespace
+}  // namespace dpkron

@@ -1,0 +1,110 @@
+#include "src/core/release.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "src/common/rng.h"
+#include "src/graph/degree.h"
+#include "src/skg/moments.h"
+#include "tests/test_util.h"
+
+namespace dpkron {
+namespace {
+
+TEST(ComputeStatisticsTest, AllPanelsPopulatedOnRealGraph) {
+  Rng rng(1);
+  const Graph g = SampleSyntheticGraph({0.95, 0.55, 0.25}, 9, rng);
+  const GraphStatistics stats = ComputeStatistics(g, rng);
+  EXPECT_FALSE(stats.degree_histogram.empty());
+  EXPECT_GE(stats.hop_plot.size(), 2u);
+  EXPECT_FALSE(stats.scree.empty());
+  EXPECT_FALSE(stats.network_value.empty());
+  EXPECT_FALSE(stats.clustering_by_degree.empty());
+}
+
+TEST(ComputeStatisticsTest, HistogramCountsSumToNodes) {
+  Rng rng(2);
+  const Graph g = SampleSyntheticGraph({0.9, 0.5, 0.2}, 8, rng);
+  const GraphStatistics stats = ComputeStatistics(g, rng);
+  double total = 0.0;
+  for (const auto& [degree, count] : stats.degree_histogram) total += count;
+  EXPECT_DOUBLE_EQ(total, double(g.NumNodes()));
+}
+
+TEST(ComputeStatisticsTest, ScreeSortedDescending) {
+  Rng rng(3);
+  const Graph g = SampleSyntheticGraph({0.9, 0.5, 0.2}, 8, rng);
+  StatisticsOptions options;
+  options.num_singular_values = 20;
+  const GraphStatistics stats = ComputeStatistics(g, rng, options);
+  ASSERT_EQ(stats.scree.size(), 20u);
+  for (size_t i = 1; i < stats.scree.size(); ++i) {
+    EXPECT_GE(stats.scree[i - 1], stats.scree[i]);
+  }
+}
+
+TEST(ComputeStatisticsTest, EdgelessGraphHandled) {
+  Rng rng(4);
+  const GraphStatistics stats =
+      ComputeStatistics(testing::MakeGraph(16, {}), rng);
+  EXPECT_TRUE(stats.scree.empty());
+  EXPECT_TRUE(stats.network_value.empty());
+  EXPECT_TRUE(stats.clustering_by_degree.empty());
+  ASSERT_EQ(stats.degree_histogram.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.degree_histogram[0].second, 16.0);
+}
+
+TEST(ComputeStatisticsTest, AnfKicksInAboveLimit) {
+  Rng rng(5);
+  const Graph g = SampleSyntheticGraph({0.9, 0.5, 0.2}, 9, rng);
+  StatisticsOptions exact_opts;
+  exact_opts.exact_hop_plot_limit = 4096;
+  StatisticsOptions anf_opts;
+  anf_opts.exact_hop_plot_limit = 16;  // force ANF
+  const auto exact = ComputeStatistics(g, rng, exact_opts);
+  const auto approx = ComputeStatistics(g, rng, anf_opts);
+  ASSERT_GE(approx.hop_plot.size(), 2u);
+  // Saturation levels should agree within sketch error.
+  EXPECT_NEAR(approx.hop_plot.back() / exact.hop_plot.back(), 1.0, 0.2);
+}
+
+TEST(ExpectedStatisticsTest, AveragesReduceVariance) {
+  const Initiator2 theta{0.9, 0.5, 0.2};
+  const uint32_t k = 8;
+  Rng rng(6);
+  const GraphStatistics mean = ExpectedStatistics(theta, k, 12, rng);
+  // Total degree mass ≈ 2·E[E] (each realization contributes all nodes).
+  double mass = 0.0;
+  for (const auto& [degree, count] : mean.degree_histogram) {
+    mass += degree * count;
+  }
+  const double expected = 2.0 * ExpectedEdges(theta, k);
+  EXPECT_NEAR(mass, expected, 0.15 * expected);
+}
+
+TEST(ExpectedStatisticsTest, HopPlotMonotone) {
+  Rng rng(7);
+  const GraphStatistics mean = ExpectedStatistics({0.9, 0.5, 0.2}, 8, 5, rng);
+  for (size_t h = 1; h < mean.hop_plot.size(); ++h) {
+    EXPECT_GE(mean.hop_plot[h], mean.hop_plot[h - 1] - 1e-9);
+  }
+}
+
+TEST(SampleSyntheticGraphTest, MethodsProduceSimilarDensity) {
+  const Initiator2 theta{0.95, 0.5, 0.2};
+  const uint32_t k = 9;
+  Rng rng(8);
+  double exact_edges = 0, fast_edges = 0;
+  for (int r = 0; r < 10; ++r) {
+    exact_edges += double(
+        SampleSyntheticGraph(theta, k, rng, SkgSampleMethod::kExact)
+            .NumEdges());
+    fast_edges += double(
+        SampleSyntheticGraph(theta, k, rng, SkgSampleMethod::kBallDrop)
+            .NumEdges());
+  }
+  EXPECT_NEAR(fast_edges / exact_edges, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace dpkron

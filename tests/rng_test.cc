@@ -1,0 +1,181 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dpkron {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += (a.NextU64() != b.NextU64());
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng rng(0);
+  uint64_t x = 0;
+  for (int i = 0; i < 16; ++i) x |= rng.NextU64();
+  EXPECT_NE(x, 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, NextBoundedRange) {
+  Rng rng(3);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedRoughlyUniform) {
+  Rng rng(5);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(bound)];
+  for (uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], n / double(bound), 5 * std::sqrt(n / double(bound)));
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  const double p = 0.3;
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(p);
+  EXPECT_NEAR(hits / double(n), p, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, LaplaceMoments) {
+  Rng rng(19);
+  const double scale = 2.5;
+  const int n = 200000;
+  double sum = 0.0, sum_abs = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextLaplace(scale);
+    sum += x;
+    sum_abs += std::fabs(x);
+  }
+  // E[X] = 0; E[|X|] = scale.
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_abs / n, scale, 0.05);
+}
+
+TEST(RngTest, LaplaceTailProbability) {
+  // P(|X| > t·b) = exp(−t).
+  Rng rng(23);
+  const int n = 100000;
+  int beyond = 0;
+  for (int i = 0; i < n; ++i) beyond += std::fabs(rng.NextLaplace(1.0)) > 2.0;
+  EXPECT_NEAR(beyond / double(n), std::exp(-2.0), 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(29);
+  const double lambda = 3.0;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.01);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(31);
+  const double p = 0.25;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += double(rng.NextGeometric(p));
+  // Mean number of failures: (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, (1 - p) / p, 0.1);
+}
+
+TEST(RngTest, GeometricWithPOneIsZero) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextGeometric(1.0), 0u);
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(41);
+  for (uint32_t n : {0u, 1u, 2u, 10u, 1000u}) {
+    std::vector<uint32_t> perm = rng.Permutation(n);
+    ASSERT_EQ(perm.size(), n);
+    std::vector<uint32_t> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (uint32_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(RngTest, PermutationShuffles) {
+  Rng rng(43);
+  const std::vector<uint32_t> p1 = rng.Permutation(100);
+  const std::vector<uint32_t> p2 = rng.Permutation(100);
+  EXPECT_NE(p1, p2);
+}
+
+TEST(RngTest, SplitStreamsDiffer) {
+  Rng parent(47);
+  Rng child = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.NextU64() == child.NextU64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(51), b(51);
+  Rng ca = a.Split(), cb = b.Split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(ca.NextU64(), cb.NextU64());
+}
+
+}  // namespace
+}  // namespace dpkron

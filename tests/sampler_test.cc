@@ -1,0 +1,159 @@
+#include "src/skg/sampler.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "src/common/rng.h"
+#include "src/graph/degree.h"
+#include "src/graph/triangles.h"
+#include "src/skg/kronecker.h"
+#include "src/skg/moments.h"
+
+namespace dpkron {
+namespace {
+
+TEST(SamplerTest, NodeCountIsTwoToK) {
+  Rng rng(1);
+  for (uint32_t k : {1u, 3u, 8u}) {
+    const Graph g = SampleSkg({0.9, 0.5, 0.2}, k, rng);
+    EXPECT_EQ(g.NumNodes(), uint32_t{1} << k);
+  }
+}
+
+TEST(SamplerTest, AllOnesGivesCompleteGraph) {
+  Rng rng(2);
+  const Graph g = SampleSkg({1.0, 1.0, 1.0}, 4, rng);
+  EXPECT_EQ(g.NumEdges(), 16u * 15 / 2);
+}
+
+TEST(SamplerTest, AllZerosGivesEmptyGraph) {
+  Rng rng(3);
+  const Graph g = SampleSkg({0.0, 0.0, 0.0}, 6, rng);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(SamplerTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  const Graph ga = SampleSkg({0.9, 0.5, 0.2}, 7, a);
+  const Graph gb = SampleSkg({0.9, 0.5, 0.2}, 7, b);
+  EXPECT_EQ(ga.Edges(), gb.Edges());
+}
+
+TEST(SamplerTest, EmpiricalEdgeCountMatchesExpectation) {
+  const Initiator2 theta{0.9, 0.5, 0.3};
+  const uint32_t k = 7;
+  Rng rng(5);
+  double total = 0.0;
+  const int runs = 200;
+  for (int r = 0; r < runs; ++r) {
+    total += double(SampleSkg(theta, k, rng).NumEdges());
+  }
+  const double mean = total / runs;
+  const double expected = ExpectedEdges(theta, k);
+  EXPECT_NEAR(mean, expected, 0.04 * expected);
+}
+
+TEST(SamplerTest, PerPairFrequencyMatchesProbability) {
+  // Single fixed pair sampled many times at k=3.
+  const Initiator2 theta{0.9, 0.6, 0.3};
+  const EdgeProbability2 prob(theta, 3);
+  Rng rng(7);
+  const uint64_t u = 2, v = 5;
+  int hits = 0;
+  const int runs = 4000;
+  for (int r = 0; r < runs; ++r) {
+    hits += SampleSkg(theta, 3, rng).HasEdge(u, v);
+  }
+  EXPECT_NEAR(hits / double(runs), prob(u, v), 0.03);
+}
+
+TEST(BallDropTest, EdgeCountTracksExpectation) {
+  const Initiator2 theta{0.99, 0.45, 0.25};
+  const uint32_t k = 10;
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kBallDrop;
+  Rng rng(11);
+  double total = 0.0;
+  const int runs = 30;
+  for (int r = 0; r < runs; ++r) {
+    total += double(SampleSkg(theta, k, rng, options).NumEdges());
+  }
+  const double mean = total / runs;
+  const double expected = ExpectedEdges(theta, k);
+  EXPECT_NEAR(mean, expected, 0.05 * expected);
+}
+
+TEST(BallDropTest, AggregateStatisticsCloseToExactSampler) {
+  // The fast generator is approximate per-pair, but wedges/triangles —
+  // what the estimators consume — must track the exact sampler closely.
+  const Initiator2 theta{0.95, 0.55, 0.25};
+  const uint32_t k = 9;
+  Rng rng_exact(13), rng_fast(17);
+  SkgSampleOptions fast;
+  fast.method = SkgSampleMethod::kBallDrop;
+
+  double exact_wedges = 0, fast_wedges = 0;
+  double exact_tri = 0, fast_tri = 0;
+  const int runs = 20;
+  for (int r = 0; r < runs; ++r) {
+    const Graph ge = SampleSkg(theta, k, rng_exact);
+    const Graph gf = SampleSkg(theta, k, rng_fast, fast);
+    exact_wedges += double(CountWedges(ge));
+    fast_wedges += double(CountWedges(gf));
+    exact_tri += double(CountTriangles(ge));
+    fast_tri += double(CountTriangles(gf));
+  }
+  EXPECT_NEAR(fast_wedges / exact_wedges, 1.0, 0.15);
+  EXPECT_NEAR(fast_tri / exact_tri, 1.0, 0.30);
+}
+
+TEST(BallDropTest, HandlesDenseInitiator) {
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kBallDrop;
+  Rng rng(19);
+  const Graph g = SampleSkg({1.0, 1.0, 1.0}, 4, rng, options);
+  // Target ≈ all 120 pairs; duplicate-retry must not spin forever.
+  EXPECT_GT(g.NumEdges(), 100u);
+  EXPECT_LE(g.NumEdges(), 120u);
+}
+
+TEST(SampleSkgNTest, MatchesSymmetricConvention) {
+  // For a symmetric initiator the general sampler must produce the same
+  // edge-count law as the 2x2 fast path.
+  const Initiator2 theta{0.9, 0.5, 0.3};
+  const InitiatorN general = InitiatorN::From2x2(theta);
+  const uint32_t k = 5;
+  Rng rng(23);
+  double total = 0.0;
+  const int runs = 300;
+  for (int r = 0; r < runs; ++r) {
+    total += double(SampleSkgN(general, k, rng).NumEdges());
+  }
+  EXPECT_NEAR(total / runs, ExpectedEdges(theta, k),
+              0.06 * ExpectedEdges(theta, k));
+}
+
+TEST(SampleSkgNTest, AsymmetricInitiatorLowerTriangleLaw) {
+  // Directed [0 1; 0 0] initiator: P_uv = 1 iff every digit pair is
+  // (0, 1) — only (u, v) = (0, 2^k − 1) as an ordered pair. The
+  // symmetrization keeps A*_uv for u > v, i.e. probability comes from
+  // EdgeProbabilityN(theta, k, u, v) with u > v: P(2^k−1, 0) = 0 under
+  // this initiator, so the realized graph is empty.
+  const auto theta = InitiatorN::Create(2, {0.0, 1.0, 0.0, 0.0}).value();
+  Rng rng(29);
+  const Graph g = SampleSkgN(theta, 4, rng);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(SampleSkgNTest, TransposedAsymmetricInitiatorRealizesEdge) {
+  // [0 0; 1 0]: P(u, v) = 1 iff digits of (u, v) are all (1, 0), i.e.
+  // u = 2^k − 1, v = 0, which lies in the kept lower triangle.
+  const auto theta = InitiatorN::Create(2, {0.0, 0.0, 1.0, 0.0}).value();
+  Rng rng(31);
+  const Graph g = SampleSkgN(theta, 4, rng);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(15, 0));
+}
+
+}  // namespace
+}  // namespace dpkron

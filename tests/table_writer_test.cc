@@ -1,0 +1,67 @@
+#include "src/common/table_writer.h"
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dpkron {
+namespace {
+
+std::string Capture(const std::function<void(std::FILE*)>& write) {
+  std::FILE* tmp = std::tmpfile();
+  write(tmp);
+  std::fflush(tmp);
+  std::rewind(tmp);
+  std::string out;
+  char buf[256];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), tmp)) > 0) {
+    out.append(buf, got);
+  }
+  std::fclose(tmp);
+  return out;
+}
+
+TEST(SeriesTableTest, EmitsHeaderAndRows) {
+  SeriesTable table("exp/test");
+  table.Add("original", 1, 10);
+  table.Add("private", 2, 20.5);
+  const std::string out =
+      Capture([&table](std::FILE* f) { table.Print(f); });
+  EXPECT_NE(out.find("# experiment\tseries\tx\ty"), std::string::npos);
+  EXPECT_NE(out.find("exp/test\toriginal\t1\t10"), std::string::npos);
+  EXPECT_NE(out.find("exp/test\tprivate\t2\t20.5"), std::string::npos);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SeriesTableTest, EmptyTableStillPrintsHeader) {
+  SeriesTable table("empty");
+  const std::string out =
+      Capture([&table](std::FILE* f) { table.Print(f); });
+  EXPECT_NE(out.find("# experiment"), std::string::npos);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(SeriesTableTest, HighPrecisionValuesSurvive) {
+  SeriesTable table("precision");
+  table.Add("s", 1.0, 1.23456789e-7);
+  const std::string out =
+      Capture([&table](std::FILE* f) { table.Print(f); });
+  EXPECT_NE(out.find("1.23456789e-07"), std::string::npos);
+}
+
+TEST(SummaryBlockTest, PrintsTitleAndItems) {
+  SummaryBlock block("Table 1 row");
+  block.Add("a", 0.999);
+  block.Add("dataset", std::string("CA-GrQC"));
+  const std::string out =
+      Capture([&block](std::FILE* f) { block.Print(f); });
+  EXPECT_NE(out.find("== Table 1 row =="), std::string::npos);
+  EXPECT_NE(out.find("0.999"), std::string::npos);
+  EXPECT_NE(out.find("CA-GrQC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpkron
