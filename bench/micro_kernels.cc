@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/dp/degree_sequence.h"
 #include "src/dp/isotonic.h"
@@ -57,6 +58,54 @@ void BM_SampleSkgClassSkip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SampleSkgClassSkip)->Arg(10)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_SampleSkgEdgeSkip(benchmark::State& state) {
+  Rng rng(9);
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kEdgeSkip;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleSkg({0.99, 0.45, 0.25}, k, rng, options));
+  }
+}
+BENCHMARK(BM_SampleSkgEdgeSkip)->Arg(10)->Arg(14)->Arg(17)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+// Pins the pool width for the duration of one benchmark run and restores
+// the ambient width afterwards (other benchmarks use the default).
+class ScopedBenchThreads {
+ public:
+  explicit ScopedBenchThreads(int threads) : saved_(ParallelThreadCount()) {
+    SetParallelThreadCount(threads);
+  }
+  ~ScopedBenchThreads() { SetParallelThreadCount(saved_); }
+
+ private:
+  int saved_;
+};
+
+// Thread-scaling curves for the two heaviest statistics kernels on the
+// k=12 graph — the perf-trajectory series CI archives as BENCH_micro.json.
+void BM_Triangles(benchmark::State& state) {
+  const Graph& g = TestGraph(12);
+  ScopedBenchThreads threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountTriangles(g));
+  }
+}
+BENCHMARK(BM_Triangles)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Anf(benchmark::State& state) {
+  const Graph& g = TestGraph(12);
+  ScopedBenchThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApproxHopPlot(g, rng));
+  }
+}
+BENCHMARK(BM_Anf)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CountTriangles(benchmark::State& state) {
   const Graph& g = TestGraph(static_cast<uint32_t>(state.range(0)));

@@ -105,6 +105,30 @@ uint64_t Rng::NextGeometric(double p) {
   return static_cast<uint64_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
 }
 
+uint64_t Rng::NextBinomial(uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  // Symmetry keeps the skip parameter ≤ 1/2 (skips stay cheap).
+  if (p > 0.5) return n - NextBinomial(n, 1.0 - p);
+  const double mean = static_cast<double>(n) * p;
+  const double variance = mean * (1.0 - p);
+  if (variance > 1024.0) {
+    double draw = mean + std::sqrt(variance) * NextGaussian();
+    draw = std::min(std::max(draw, 0.0), static_cast<double>(n));
+    return static_cast<uint64_t>(std::llround(draw));
+  }
+  // Geometric skipping: jump over each run of failures in one draw.
+  uint64_t successes = 0;
+  uint64_t remaining = n;
+  for (;;) {
+    const uint64_t failures = NextGeometric(p);
+    if (failures >= remaining) break;
+    ++successes;
+    remaining -= failures + 1;
+  }
+  return successes;
+}
+
 Rng Rng::Split() {
   // Derive a child seed from two outputs; the child re-expands through
   // splitmix64, decorrelating it from the parent's remaining stream.

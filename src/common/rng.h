@@ -54,6 +54,15 @@ class Rng {
   // Geometric: number of failures before first success, p in (0, 1].
   uint64_t NextGeometric(double p);
 
+  // Binomial(n, p): number of successes in n trials. Exact inversion by
+  // geometric skipping (Batagelj–Brandes) when n·p is small — O(n·p + 1)
+  // draws, skipping straight over failure runs — and the clamped normal
+  // approximation once the variance n·p·(1−p) is large enough that the
+  // discrepancy is far below sampling noise. p is clamped to [0, 1].
+  // This is the workhorse of the edge-skipping SKG sampler, which splits
+  // edge counts multinomially across Kronecker quadrants.
+  uint64_t NextBinomial(uint64_t n, double p);
+
   // A new Rng whose stream is independent of this one (and of further
   // outputs of this one), derived from the current state.
   Rng Split();

@@ -1,15 +1,20 @@
 #include "src/graph/anf.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "src/common/macros.h"
+#include "src/common/parallel.h"
 
 namespace dpkron {
 namespace {
 
 // Flajolet–Martin bias correction constant: E[2^R] ≈ n / 0.77351.
 constexpr double kFmPhi = 0.77351;
+
+// Per-node work is O(degree · trials); mid-size chunks balance hubs.
+constexpr size_t kAnfGrain = 512;
 
 // Index of the lowest zero bit of x (0-based); 64 if x is all ones.
 inline uint32_t LowestZeroBit(uint64_t x) {
@@ -35,25 +40,34 @@ std::vector<uint64_t> ApproxHopPlot(const Graph& graph, Rng& rng,
   const uint32_t trials = options.num_trials;
   if (n == 0) return {0};
 
-  // masks[u*trials + t]: sketch of the ball around u in trial t.
+  // masks[u*trials + t]: sketch of the ball around u in trial t. Seeded
+  // from per-chunk split streams so the realization is a function of the
+  // seed and the chunk grain only — not of the thread count.
   std::vector<uint64_t> masks(static_cast<size_t>(n) * trials);
-  for (Graph::NodeId u = 0; u < n; ++u) {
-    for (uint32_t t = 0; t < trials; ++t) {
-      masks[static_cast<size_t>(u) * trials + t] = FmBit(rng);
-    }
-  }
+  ParallelForChunksWithRng(
+      n, kAnfGrain, rng,
+      [&](const ParallelChunk& chunk, Rng& chunk_rng) {
+        for (size_t u = chunk.begin; u < chunk.end; ++u) {
+          for (uint32_t t = 0; t < trials; ++t) {
+            masks[u * trials + t] = FmBit(chunk_rng);
+          }
+        }
+      });
 
   auto estimate_total = [&]() {
-    double total = 0.0;
-    for (Graph::NodeId u = 0; u < n; ++u) {
-      double mean_r = 0.0;
-      for (uint32_t t = 0; t < trials; ++t) {
-        mean_r += LowestZeroBit(masks[static_cast<size_t>(u) * trials + t]);
-      }
-      mean_r /= trials;
-      total += std::pow(2.0, mean_r) / kFmPhi;
-    }
-    return static_cast<uint64_t>(total);
+    return static_cast<uint64_t>(
+        ParallelSum(n, kAnfGrain, [&](size_t begin, size_t end) {
+          double partial = 0.0;
+          for (size_t u = begin; u < end; ++u) {
+            double mean_r = 0.0;
+            for (uint32_t t = 0; t < trials; ++t) {
+              mean_r += LowestZeroBit(masks[u * trials + t]);
+            }
+            mean_r /= trials;
+            partial += std::pow(2.0, mean_r) / kFmPhi;
+          }
+          return partial;
+        }));
   };
 
   std::vector<uint64_t> hop_plot;
@@ -62,20 +76,28 @@ std::vector<uint64_t> ApproxHopPlot(const Graph& graph, Rng& rng,
   std::vector<uint64_t> next(masks.size());
   for (uint32_t hop = 1; hop <= options.max_hops; ++hop) {
     next = masks;
-    bool changed = false;
-    for (Graph::NodeId u = 0; u < n; ++u) {
-      uint64_t* dst = &next[static_cast<size_t>(u) * trials];
-      for (Graph::NodeId v : graph.Neighbors(u)) {
+    // Node u's expand round reads masks[] (previous hop, immutable here)
+    // and writes only next[u·trials ...] — disjoint across nodes, so the
+    // merged sketches are exact at any thread count.
+    std::atomic<bool> changed{false};
+    ParallelFor(n, kAnfGrain, [&](size_t u) {
+      uint64_t* dst = &next[u * trials];
+      bool local_changed = false;
+      for (Graph::NodeId v :
+           graph.Neighbors(static_cast<Graph::NodeId>(u))) {
         const uint64_t* src = &masks[static_cast<size_t>(v) * trials];
         for (uint32_t t = 0; t < trials; ++t) {
           const uint64_t merged = dst[t] | src[t];
-          changed |= (merged != dst[t]);
+          local_changed |= (merged != dst[t]);
           dst[t] = merged;
         }
       }
-    }
+      if (local_changed) changed.store(true, std::memory_order_relaxed);
+    });
     masks.swap(next);
-    if (!changed) break;  // All balls saturated: N(h) has converged.
+    if (!changed.load(std::memory_order_relaxed)) {
+      break;  // All balls saturated: N(h) has converged.
+    }
     hop_plot.push_back(estimate_total());
   }
   // N(0) = n and N(1) = n + 2E are known exactly; pin them (the FM

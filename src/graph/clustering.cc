@@ -1,5 +1,6 @@
 #include "src/graph/clustering.h"
 
+#include "src/common/parallel.h"
 #include "src/graph/degree.h"
 #include "src/graph/triangles.h"
 
@@ -7,26 +8,43 @@ namespace dpkron {
 
 std::vector<double> LocalClustering(const Graph& graph) {
   const std::vector<uint64_t> triangles = PerNodeTriangles(graph);
-  std::vector<double> clustering(graph.NumNodes(), 0.0);
-  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
-    const uint64_t d = graph.Degree(u);
+  const uint32_t n = graph.NumNodes();
+  std::vector<double> clustering(n, 0.0);
+  ParallelFor(n, 4096, [&](size_t u) {
+    const uint64_t d = graph.Degree(static_cast<Graph::NodeId>(u));
     if (d >= 2) {
       clustering[u] =
           2.0 * static_cast<double>(triangles[u]) / (double(d) * (d - 1));
     }
-  }
+  });
   return clustering;
 }
 
 double AverageClustering(const Graph& graph) {
   const std::vector<double> clustering = LocalClustering(graph);
+  const uint32_t n = graph.NumNodes();
+  // Chunk-ordered partial sums: the double reduction is a fixed function
+  // of (n, grain), so the result is thread-count-invariant.
+  constexpr size_t kGrain = 4096;
+  std::vector<double> sums(ParallelChunkCount(n, kGrain), 0.0);
+  std::vector<uint64_t> counts(sums.size(), 0);
+  ParallelForChunks(n, kGrain, [&](const ParallelChunk& chunk) {
+    double sum = 0.0;
+    uint64_t eligible = 0;
+    for (size_t u = chunk.begin; u < chunk.end; ++u) {
+      if (graph.Degree(static_cast<Graph::NodeId>(u)) >= 2) {
+        sum += clustering[u];
+        ++eligible;
+      }
+    }
+    sums[chunk.index] = sum;
+    counts[chunk.index] = eligible;
+  });
   double sum = 0.0;
   uint64_t eligible = 0;
-  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
-    if (graph.Degree(u) >= 2) {
-      sum += clustering[u];
-      ++eligible;
-    }
+  for (size_t chunk = 0; chunk < sums.size(); ++chunk) {
+    sum += sums[chunk];
+    eligible += counts[chunk];
   }
   return eligible == 0 ? 0.0 : sum / static_cast<double>(eligible);
 }
@@ -42,6 +60,9 @@ std::vector<std::pair<uint32_t, double>> ClusteringByDegree(
     const Graph& graph) {
   const std::vector<double> clustering = LocalClustering(graph);
   const uint32_t max_degree = MaxDegree(graph);
+  // The by-degree aggregation is a cheap O(n) pass over already-computed
+  // values; the double sums stay sequential (and therefore exactly
+  // ordered) rather than paying per-degree chunked reductions.
   std::vector<double> sum(max_degree + 1, 0.0);
   std::vector<uint64_t> count(max_degree + 1, 0);
   for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {

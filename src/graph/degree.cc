@@ -2,13 +2,23 @@
 
 #include <algorithm>
 
+#include "src/common/parallel.h"
+
 namespace dpkron {
+namespace {
+
+// Degree reads are O(1) array lookups; coarse chunks keep the dispatch
+// overhead negligible while still covering million-node graphs.
+constexpr size_t kDegreeGrain = 4096;
+
+}  // namespace
 
 std::vector<uint32_t> DegreeVector(const Graph& graph) {
-  std::vector<uint32_t> degrees(graph.NumNodes());
-  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
-    degrees[u] = graph.Degree(u);
-  }
+  const uint32_t n = graph.NumNodes();
+  std::vector<uint32_t> degrees(n);
+  ParallelFor(n, kDegreeGrain, [&](size_t u) {
+    degrees[u] = graph.Degree(static_cast<Graph::NodeId>(u));
+  });
   return degrees;
 }
 
@@ -19,18 +29,38 @@ std::vector<uint32_t> SortedDegreeVector(const Graph& graph) {
 }
 
 uint32_t MaxDegree(const Graph& graph) {
+  const uint32_t n = graph.NumNodes();
+  std::vector<uint32_t> partials(ParallelChunkCount(n, kDegreeGrain), 0);
+  ParallelForChunks(n, kDegreeGrain, [&](const ParallelChunk& chunk) {
+    uint32_t local = 0;
+    for (size_t u = chunk.begin; u < chunk.end; ++u) {
+      local = std::max(local, graph.Degree(static_cast<Graph::NodeId>(u)));
+    }
+    partials[chunk.index] = local;
+  });
   uint32_t max_degree = 0;
-  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
-    max_degree = std::max(max_degree, graph.Degree(u));
-  }
+  for (uint32_t partial : partials) max_degree = std::max(max_degree, partial);
   return max_degree;
 }
 
 std::vector<std::pair<uint32_t, uint64_t>> DegreeHistogram(
     const Graph& graph) {
-  std::vector<uint64_t> counts(MaxDegree(graph) + 1, 0);
-  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
-    ++counts[graph.Degree(u)];
+  const uint32_t n = graph.NumNodes();
+  const uint32_t max_degree = MaxDegree(graph);
+  // Per-worker count arrays; integer merging commutes, so the totals are
+  // thread-count-invariant.
+  std::vector<std::vector<uint64_t>> locals(
+      static_cast<size_t>(ParallelThreadCount()));
+  ParallelForChunks(n, kDegreeGrain, [&](const ParallelChunk& chunk) {
+    auto& local = locals[chunk.worker];
+    if (local.empty()) local.assign(max_degree + 1, 0);
+    for (size_t u = chunk.begin; u < chunk.end; ++u) {
+      ++local[graph.Degree(static_cast<Graph::NodeId>(u))];
+    }
+  });
+  std::vector<uint64_t> counts(max_degree + 1, 0);
+  for (const auto& local : locals) {
+    for (size_t d = 0; d < local.size(); ++d) counts[d] += local[d];
   }
   std::vector<std::pair<uint32_t, uint64_t>> histogram;
   for (uint32_t d = 0; d < counts.size(); ++d) {
@@ -58,20 +88,34 @@ double TripinsFromDegrees(const std::vector<double>& degrees) {
 }
 
 uint64_t CountWedges(const Graph& graph) {
+  const uint32_t n = graph.NumNodes();
+  std::vector<uint64_t> partials(ParallelChunkCount(n, kDegreeGrain), 0);
+  ParallelForChunks(n, kDegreeGrain, [&](const ParallelChunk& chunk) {
+    uint64_t local = 0;
+    for (size_t u = chunk.begin; u < chunk.end; ++u) {
+      const uint64_t d = graph.Degree(static_cast<Graph::NodeId>(u));
+      local += d * (d - 1) / 2;
+    }
+    partials[chunk.index] = local;
+  });
   uint64_t wedges = 0;
-  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
-    const uint64_t d = graph.Degree(u);
-    wedges += d * (d - 1) / 2;
-  }
+  for (uint64_t partial : partials) wedges += partial;
   return wedges;
 }
 
 uint64_t CountTripins(const Graph& graph) {
+  const uint32_t n = graph.NumNodes();
+  std::vector<uint64_t> partials(ParallelChunkCount(n, kDegreeGrain), 0);
+  ParallelForChunks(n, kDegreeGrain, [&](const ParallelChunk& chunk) {
+    uint64_t local = 0;
+    for (size_t u = chunk.begin; u < chunk.end; ++u) {
+      const uint64_t d = graph.Degree(static_cast<Graph::NodeId>(u));
+      local += d * (d - 1) * (d - 2) / 6;
+    }
+    partials[chunk.index] = local;
+  });
   uint64_t tripins = 0;
-  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
-    const uint64_t d = graph.Degree(u);
-    tripins += d * (d - 1) * (d - 2) / 6;
-  }
+  for (uint64_t partial : partials) tripins += partial;
   return tripins;
 }
 

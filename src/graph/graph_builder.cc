@@ -17,29 +17,13 @@ void GraphBuilder::AddEdge(Graph::NodeId u, Graph::NodeId v) {
 }
 
 Graph GraphBuilder::Build() {
-  std::sort(edges_.begin(), edges_.end());
-  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-
-  std::vector<uint32_t> degree(num_nodes_, 0);
+  std::vector<uint64_t> keys;
+  keys.reserve(edges_.size());
   for (const auto& [u, v] : edges_) {
-    ++degree[u];
-    ++degree[v];
-  }
-  std::vector<uint32_t> offsets(num_nodes_ + 1, 0);
-  for (uint32_t u = 0; u < num_nodes_; ++u) {
-    offsets[u + 1] = offsets[u] + degree[u];
-  }
-  std::vector<Graph::NodeId> adjacency(offsets.back());
-  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-  // Edges are sorted by (u, v), so filling forward keeps each adjacency
-  // list sorted: u's list receives v's in increasing order, and v's list
-  // receives u's in increasing order because edges are grouped by u.
-  for (const auto& [u, v] : edges_) {
-    adjacency[cursor[u]++] = v;
-    adjacency[cursor[v]++] = u;
+    keys.push_back((uint64_t{u} << 32) | v);
   }
   edges_.clear();
-  return Graph::FromCsr(std::move(offsets), std::move(adjacency));
+  return FromPackedEdges(num_nodes_, std::move(keys));
 }
 
 Graph GraphBuilder::FromEdges(
@@ -48,6 +32,38 @@ Graph GraphBuilder::FromEdges(
   GraphBuilder builder(num_nodes);
   for (const auto& [u, v] : edges) builder.AddEdge(u, v);
   return builder.Build();
+}
+
+Graph GraphBuilder::FromPackedEdges(uint32_t num_nodes,
+                                    std::vector<uint64_t> keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  std::vector<uint32_t> degree(num_nodes, 0);
+  for (const uint64_t key : keys) {
+    const auto u = static_cast<Graph::NodeId>(key >> 32);
+    const auto v = static_cast<Graph::NodeId>(key);
+    DPKRON_CHECK_LT(u, v);
+    DPKRON_CHECK_LT(v, num_nodes);
+    ++degree[u];
+    ++degree[v];
+  }
+  std::vector<uint32_t> offsets(num_nodes + 1, 0);
+  for (uint32_t u = 0; u < num_nodes; ++u) {
+    offsets[u + 1] = offsets[u] + degree[u];
+  }
+  std::vector<Graph::NodeId> adjacency(offsets.back());
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  // Keys are sorted by (u, v), so filling forward keeps each adjacency
+  // list sorted: u's list receives v's in increasing order, and v's list
+  // receives u's in increasing order because keys are grouped by u.
+  for (const uint64_t key : keys) {
+    const auto u = static_cast<Graph::NodeId>(key >> 32);
+    const auto v = static_cast<Graph::NodeId>(key);
+    adjacency[cursor[u]++] = v;
+    adjacency[cursor[v]++] = u;
+  }
+  return Graph::FromCsr(std::move(offsets), std::move(adjacency));
 }
 
 }  // namespace dpkron

@@ -41,6 +41,14 @@ class GraphBuilder {
       uint32_t num_nodes,
       const std::vector<std::pair<Graph::NodeId, Graph::NodeId>>& edges);
 
+  // Builds directly from packed 64-bit edge keys (u << 32) | v with
+  // u < v — the representation the samplers accumulate per thread and
+  // merge. Takes ownership; sorts and dedupes in place, so duplicates
+  // (including across merged batches) are fine. Self-loops must already
+  // be excluded (keys encode u < v by construction).
+  static Graph FromPackedEdges(uint32_t num_nodes,
+                               std::vector<uint64_t> keys);
+
  private:
   uint32_t num_nodes_;
   std::vector<std::pair<Graph::NodeId, Graph::NodeId>> edges_;

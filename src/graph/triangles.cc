@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/parallel.h"
+
 namespace dpkron {
 namespace {
 
@@ -16,22 +18,36 @@ struct RankOrder {
   }
 };
 
-template <typename OnTriangle>
-void ForEachTriangle(const Graph& graph, OnTriangle&& on_triangle) {
+// Chunk size for the enumeration loops: small, because hub nodes make
+// per-node work heavily skewed and the pool's dynamic chunk claiming is
+// the load balancer.
+constexpr size_t kNodeGrain = 64;
+
+// forward[u] = neighbors of u with higher rank, sorted by node id.
+// Per-node independent, so the fill parallelizes directly.
+std::vector<std::vector<Graph::NodeId>> BuildForwardLists(const Graph& graph) {
   const RankOrder rank{graph};
   const uint32_t n = graph.NumNodes();
-  // forward[u] = neighbors of u with higher rank, sorted by node id.
   std::vector<std::vector<Graph::NodeId>> forward(n);
-  for (Graph::NodeId u = 0; u < n; ++u) {
+  ParallelFor(n, kNodeGrain, [&](size_t u_index) {
+    const auto u = static_cast<Graph::NodeId>(u_index);
     for (Graph::NodeId v : graph.Neighbors(u)) {
-      if (rank.Less(u, v)) forward[u].push_back(v);
+      if (rank.Less(u, v)) forward[u_index].push_back(v);
     }
-  }
-  for (Graph::NodeId u = 0; u < n; ++u) {
+  });
+  return forward;
+}
+
+// Enumerates the triangles whose lowest-rank apex lies in [begin, end):
+// sorted-merge intersection of forward[u] and forward[v].
+template <typename OnTriangle>
+void ForEachTriangleInRange(
+    const std::vector<std::vector<Graph::NodeId>>& forward, size_t begin,
+    size_t end, OnTriangle&& on_triangle) {
+  for (size_t u = begin; u < end; ++u) {
     const auto& fu = forward[u];
     for (Graph::NodeId v : fu) {
       const auto& fv = forward[v];
-      // Sorted-merge intersection of fu and fv.
       size_t i = 0, j = 0;
       while (i < fu.size() && j < fv.size()) {
         if (fu[i] < fv[j]) {
@@ -39,7 +55,7 @@ void ForEachTriangle(const Graph& graph, OnTriangle&& on_triangle) {
         } else if (fu[i] > fv[j]) {
           ++j;
         } else {
-          on_triangle(u, v, fu[i]);
+          on_triangle(static_cast<Graph::NodeId>(u), v, fu[i]);
           ++i;
           ++j;
         }
@@ -51,20 +67,51 @@ void ForEachTriangle(const Graph& graph, OnTriangle&& on_triangle) {
 }  // namespace
 
 uint64_t CountTriangles(const Graph& graph) {
+  const auto forward = BuildForwardLists(graph);
+  const size_t n = forward.size();
+  // Per-chunk integer partials, combined in chunk order: exact and
+  // thread-count-invariant.
+  std::vector<uint64_t> partials(ParallelChunkCount(n, kNodeGrain), 0);
+  ParallelForChunks(n, kNodeGrain, [&](const ParallelChunk& chunk) {
+    uint64_t local = 0;
+    ForEachTriangleInRange(
+        forward, chunk.begin, chunk.end,
+        [&local](Graph::NodeId, Graph::NodeId, Graph::NodeId) { ++local; });
+    partials[chunk.index] = local;
+  });
   uint64_t triangles = 0;
-  ForEachTriangle(graph, [&triangles](Graph::NodeId, Graph::NodeId,
-                                      Graph::NodeId) { ++triangles; });
+  for (uint64_t partial : partials) triangles += partial;
   return triangles;
 }
 
 std::vector<uint64_t> PerNodeTriangles(const Graph& graph) {
-  std::vector<uint64_t> per_node(graph.NumNodes(), 0);
-  ForEachTriangle(graph,
-                  [&per_node](Graph::NodeId u, Graph::NodeId v, Graph::NodeId w) {
-                    ++per_node[u];
-                    ++per_node[v];
-                    ++per_node[w];
-                  });
+  const auto forward = BuildForwardLists(graph);
+  const size_t n = forward.size();
+  // A triangle increments all three of its corners, which live in
+  // arbitrary chunks — so accumulate into per-worker arrays. Integer
+  // addition commutes, so the merged totals are thread-count-invariant
+  // even though worker→chunk assignment is not.
+  std::vector<std::vector<uint64_t>> locals(
+      static_cast<size_t>(ParallelThreadCount()));
+  ParallelForChunks(n, kNodeGrain, [&](const ParallelChunk& chunk) {
+    auto& local = locals[chunk.worker];
+    if (local.empty()) local.assign(n, 0);
+    ForEachTriangleInRange(forward, chunk.begin, chunk.end,
+                           [&local](Graph::NodeId u, Graph::NodeId v,
+                                    Graph::NodeId w) {
+                             ++local[u];
+                             ++local[v];
+                             ++local[w];
+                           });
+  });
+  std::vector<uint64_t> per_node(n, 0);
+  ParallelFor(n, 4096, [&](size_t u) {
+    uint64_t total = 0;
+    for (const auto& local : locals) {
+      if (!local.empty()) total += local[u];
+    }
+    per_node[u] = total;
+  });
   return per_node;
 }
 

@@ -3,19 +3,32 @@
 #include <cmath>
 
 #include "src/common/macros.h"
+#include "src/common/parallel.h"
 
 namespace dpkron {
+namespace {
+
+// Row work is proportional to degree; modest chunks let the pool balance
+// hub-heavy CSR rows. Vector helpers use coarser chunks (O(1) per item).
+constexpr size_t kRowGrain = 256;
+constexpr size_t kVectorGrain = 8192;
+
+}  // namespace
 
 void AdjacencyMatVec(const Graph& graph, const std::vector<double>& x,
                      std::vector<double>* y) {
   DPKRON_CHECK_EQ(x.size(), graph.NumNodes());
   DPKRON_CHECK_EQ(y->size(), graph.NumNodes());
   DPKRON_CHECK(&x != y);
-  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
+  // Each row's sum keeps its sequential neighbor order, so outputs are
+  // bit-identical to the serial kernel at any thread count.
+  ParallelFor(graph.NumNodes(), kRowGrain, [&](size_t u) {
     double sum = 0.0;
-    for (Graph::NodeId v : graph.Neighbors(u)) sum += x[v];
+    for (Graph::NodeId v : graph.Neighbors(static_cast<Graph::NodeId>(u))) {
+      sum += x[v];
+    }
     (*y)[u] = sum;
-  }
+  });
 }
 
 double Norm2(const std::vector<double>& x) {
@@ -24,18 +37,27 @@ double Norm2(const std::vector<double>& x) {
 
 double Dot(const std::vector<double>& x, const std::vector<double>& y) {
   DPKRON_CHECK_EQ(x.size(), y.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
-  return sum;
+  // Chunk-ordered reduction: deterministic for a given vector length
+  // regardless of thread count (see ParallelSum's contract).
+  return ParallelSum(x.size(), kVectorGrain,
+                     [&](size_t begin, size_t end) {
+                       double sum = 0.0;
+                       for (size_t i = begin; i < end; ++i) {
+                         sum += x[i] * y[i];
+                       }
+                       return sum;
+                     });
 }
 
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
   DPKRON_CHECK_EQ(x.size(), y->size());
-  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  ParallelFor(x.size(), kVectorGrain,
+              [&](size_t i) { (*y)[i] += alpha * x[i]; });
 }
 
 void Scale(double alpha, std::vector<double>* x) {
-  for (double& value : *x) value *= alpha;
+  ParallelFor(x->size(), kVectorGrain,
+              [&](size_t i) { (*x)[i] *= alpha; });
 }
 
 }  // namespace dpkron

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "src/common/macros.h"
+#include "src/common/parallel.h"
 #include "src/graph/graph_builder.h"
 #include "src/skg/class_sampler.h"
 #include "src/skg/kronecker.h"
@@ -12,6 +12,45 @@
 
 namespace dpkron {
 namespace {
+
+inline uint64_t PackEdgeKey(uint32_t u, uint32_t v) {
+  return (uint64_t{std::min(u, v)} << 32) | std::max(u, v);
+}
+
+// Normalized quadrant law of a 2×2 initiator, in the fixed digit order
+// (bit_u, bit_v) = (0,0), (0,1), (1,0), (1,1). The CDF drives single-ball
+// descents; the probabilities drive multinomial splits.
+struct QuadrantLaw {
+  double q[4];
+  double cdf[3];
+};
+
+QuadrantLaw MakeQuadrantLaw(const Initiator2& theta) {
+  const double sum = theta.EntrySum();
+  QuadrantLaw law;
+  law.q[0] = theta.a / sum;
+  law.q[1] = theta.b / sum;
+  law.q[2] = theta.b / sum;
+  law.q[3] = theta.c / sum;
+  law.cdf[0] = law.q[0];
+  law.cdf[1] = law.cdf[0] + law.q[1];
+  law.cdf[2] = law.cdf[1] + law.q[2];
+  return law;
+}
+
+// Both fast generators draw the total edge count from the normal
+// approximation of the Poisson-binomial edge-count law: variance
+// Σ p(1−p) ≈ mean for the sparse graphs the model targets.
+uint64_t DrawTargetEdges(const Initiator2& theta, uint32_t k, Rng& rng) {
+  const uint32_t n_bits = k;
+  const double n = std::ldexp(1.0, static_cast<int>(n_bits));
+  const double mean_edges = ExpectedEdges(theta, k);
+  double target = mean_edges +
+                  std::sqrt(std::max(mean_edges, 1.0)) * rng.NextGaussian();
+  const double max_edges = 0.5 * n * (n - 1.0);
+  target = std::min(std::max(target, 0.0), max_edges);
+  return static_cast<uint64_t>(std::llround(target));
+}
 
 Graph SampleExact2(const Initiator2& theta, uint32_t k, Rng& rng) {
   DPKRON_CHECK_MSG(k <= 14, "exact sampler limited to k <= 14 (O(4^k))");
@@ -26,57 +65,189 @@ Graph SampleExact2(const Initiator2& theta, uint32_t k, Rng& rng) {
   return builder.Build();
 }
 
+// One krongen-style quadrant descent from (u, v) at `level` down to the
+// leaf cells; pushes the packed edge key unless the ball lands on the
+// diagonal.
+inline void DescendSingleBall(uint32_t u, uint32_t v, uint32_t level,
+                              uint32_t k, const QuadrantLaw& law, Rng& rng,
+                              std::vector<uint64_t>* keys) {
+  for (; level < k; ++level) {
+    const double r = rng.NextDouble();
+    uint32_t bu = 0, bv = 0;
+    if (r >= law.cdf[2]) {
+      bu = 1;
+      bv = 1;
+    } else if (r >= law.cdf[1]) {
+      bu = 1;
+    } else if (r >= law.cdf[0]) {
+      bv = 1;
+    }
+    u = (u << 1) | bu;
+    v = (v << 1) | bv;
+  }
+  if (u != v) keys->push_back(PackEdgeKey(u, v));
+}
+
 Graph SampleBallDrop(const Initiator2& theta, uint32_t k, Rng& rng,
                      const SkgSampleOptions& options) {
   DPKRON_CHECK_LT(k, 32u);
   const uint32_t n = uint32_t{1} << k;
-  const double mean_edges = ExpectedEdges(theta, k);
-  // Edge count is Poisson-binomial over ~N²/2 pairs with small biases:
-  // variance = Σ p(1−p) ≈ mean. Normal approximation, clamped.
-  double target_d = mean_edges + std::sqrt(std::max(mean_edges, 1.0)) *
-                                     rng.NextGaussian();
-  const double max_edges = 0.5 * double(n) * (double(n) - 1.0);
-  target_d = std::min(std::max(target_d, 0.0), max_edges);
-  const uint64_t target = static_cast<uint64_t>(std::llround(target_d));
-
   const double sum = theta.EntrySum();
-  GraphBuilder builder(n);
-  if (sum <= 0.0 || target == 0) return builder.Build();
-  // Quadrant CDF over (bit_u, bit_v) ∈ {(0,0),(0,1),(1,0),(1,1)}.
-  const double cdf0 = theta.a / sum;
-  const double cdf1 = cdf0 + theta.b / sum;
-  const double cdf2 = cdf1 + theta.b / sum;
+  const uint64_t target = sum <= 0.0 ? 0 : DrawTargetEdges(theta, k, rng);
+  if (target == 0) return GraphBuilder(n).Build();
+  const QuadrantLaw law = MakeQuadrantLaw(theta);
 
-  std::unordered_set<uint64_t> seen;
-  seen.reserve(target * 2);
-  uint64_t placed = 0;
+  // Distinct placements accumulate as packed keys deduped by sort+unique
+  // per round — no hash set, no per-edge allocation. The pre-reserve is
+  // clamped: a Gaussian-perturbed target in a dense corner can be
+  // enormous, and reserving `2 × target` up front used to request
+  // gigabytes before a single ball dropped.
+  constexpr uint64_t kMaxReserve = uint64_t{1} << 22;  // 32 MiB of keys
+  std::vector<uint64_t> keys;
+  keys.reserve(static_cast<size_t>(std::min(target + target / 16 + 64,
+                                            kMaxReserve)));
   const uint64_t max_attempts = static_cast<uint64_t>(
       options.attempt_factor * static_cast<double>(target)) + 64;
-  for (uint64_t attempt = 0; attempt < max_attempts && placed < target;
-       ++attempt) {
-    uint32_t u = 0, v = 0;
-    for (uint32_t level = 0; level < k; ++level) {
-      const double r = rng.NextDouble();
-      uint32_t bu = 0, bv = 0;
-      if (r >= cdf2) {
-        bu = 1;
-        bv = 1;
-      } else if (r >= cdf1) {
-        bu = 1;
-      } else if (r >= cdf0) {
-        bv = 1;
-      }
-      u = (u << 1) | bu;
-      v = (v << 1) | bv;
+  uint64_t attempts = 0;
+  uint64_t distinct = 0;
+  while (distinct < target && attempts < max_attempts) {
+    // One candidate per missing edge, then dedup; the duplicate fraction
+    // shrinks geometrically across rounds on sparse graphs.
+    const uint64_t batch =
+        std::min(target - distinct, max_attempts - attempts);
+    for (uint64_t i = 0; i < batch; ++i, ++attempts) {
+      DescendSingleBall(0, 0, 0, k, law, rng, &keys);
     }
-    if (u == v) continue;
-    const uint64_t key = (uint64_t{std::min(u, v)} << 32) | std::max(u, v);
-    if (seen.insert(key).second) {
-      builder.AddEdge(u, v);
-      ++placed;
-    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    distinct = keys.size();
   }
-  return builder.Build();
+  return GraphBuilder::FromPackedEdges(n, std::move(keys));
+}
+
+// ------------------------- edge-skipping sampler -------------------------
+//
+// Instead of dropping balls one at a time, the target count is split
+// multinomially across the four Kronecker quadrants, level by level:
+// a region of the pair space that receives zero balls — in particular
+// every region under a zero-probability initiator entry — is skipped
+// outright, and the binomial splits themselves skip over failure runs
+// geometrically (Rng::NextBinomial). Once a region's count reaches one,
+// the remaining levels collapse to a plain quadrant descent. Total work
+// is O(E·k) with small constants, and disjoint regions are independent,
+// which is what the thread pool exploits.
+
+struct EdgeSkipRegion {
+  uint32_t u_prefix = 0;
+  uint32_t v_prefix = 0;
+  uint32_t level = 0;
+  uint64_t count = 0;
+};
+
+// Splits `count` balls across the four quadrants by chained conditional
+// binomials — together an exact Multinomial(count, q) draw.
+inline void SplitRegionCounts(uint64_t count, const QuadrantLaw& law,
+                              Rng& rng, uint64_t out[4]) {
+  double remaining_prob = 1.0;
+  uint64_t remaining = count;
+  for (int quad = 0; quad < 3; ++quad) {
+    if (remaining == 0) {
+      out[quad] = 0;
+      continue;
+    }
+    double p = remaining_prob > 0.0 ? law.q[quad] / remaining_prob : 1.0;
+    if (p > 1.0) p = 1.0;  // floating slop near exhausted mass
+    out[quad] = rng.NextBinomial(remaining, p);
+    remaining -= out[quad];
+    remaining_prob -= law.q[quad];
+  }
+  out[3] = remaining;
+}
+
+void DescendRegion(uint32_t u, uint32_t v, uint32_t level, uint64_t count,
+                   uint32_t k, const QuadrantLaw& law, Rng& rng,
+                   std::vector<uint64_t>* keys) {
+  if (count == 0) return;
+  if (level == k) {
+    // Leaf cell: multiplicity collapses to one simple edge; diagonal
+    // cells are the dropped self-loops.
+    if (u != v) keys->push_back(PackEdgeKey(u, v));
+    return;
+  }
+  if (count == 1) {
+    DescendSingleBall(u, v, level, k, law, rng, keys);
+    return;
+  }
+  uint64_t child[4];
+  SplitRegionCounts(count, law, rng, child);
+  // Fixed quadrant order — part of the determinism contract.
+  DescendRegion((u << 1) | 0, (v << 1) | 0, level + 1, child[0], k, law, rng,
+                keys);
+  DescendRegion((u << 1) | 0, (v << 1) | 1, level + 1, child[1], k, law, rng,
+                keys);
+  DescendRegion((u << 1) | 1, (v << 1) | 0, level + 1, child[2], k, law, rng,
+                keys);
+  DescendRegion((u << 1) | 1, (v << 1) | 1, level + 1, child[3], k, law, rng,
+                keys);
+}
+
+Graph SampleEdgeSkip(const Initiator2& theta, uint32_t k, Rng& rng) {
+  DPKRON_CHECK_MSG(k <= 30, "edge-skip sampler limited to k <= 30");
+  const uint32_t n = uint32_t{1} << k;
+  const double sum = theta.EntrySum();
+  const uint64_t target = sum <= 0.0 ? 0 : DrawTargetEdges(theta, k, rng);
+  if (target == 0) return GraphBuilder(n).Build();
+  const QuadrantLaw law = MakeQuadrantLaw(theta);
+
+  // Breadth-first multinomial expansion (sequential, on the caller's
+  // stream) until there are enough non-empty regions to keep the pool
+  // busy. Regions at the same level are disjoint blocks of the pair
+  // space; their counts are already final. The region target is a fixed
+  // constant — NOT a function of the thread count — because the
+  // expansion consumes the caller's stream and the per-region stream
+  // assignment must be identical on every machine.
+  std::vector<EdgeSkipRegion> frontier = {{0, 0, 0, target}};
+  constexpr size_t kDesiredRegions = 256;
+  while (frontier.front().level < k && frontier.size() < kDesiredRegions) {
+    std::vector<EdgeSkipRegion> next;
+    next.reserve(4 * frontier.size());
+    for (const EdgeSkipRegion& region : frontier) {
+      uint64_t child[4];
+      SplitRegionCounts(region.count, law, rng, child);
+      for (uint32_t quad = 0; quad < 4; ++quad) {
+        if (child[quad] == 0) continue;  // the skip
+        next.push_back({(region.u_prefix << 1) | (quad >> 1),
+                        (region.v_prefix << 1) | (quad & 1),
+                        region.level + 1, child[quad]});
+      }
+    }
+    frontier.swap(next);  // counts are conserved, so `next` is non-empty
+  }
+
+  // Parallel phase: region i gets split stream i (assigned in region
+  // order, independent of which worker runs it) and its own edge batch;
+  // batches are concatenated in region order and canonicalized by the
+  // shared sort+unique CSR build. Cross-region duplicates are possible —
+  // mirrored blocks canonicalize to the same unordered pair — and are
+  // removed there.
+  std::vector<Rng> streams = SplitRngStreams(rng, frontier.size());
+  std::vector<std::vector<uint64_t>> batches(frontier.size());
+  ParallelFor(frontier.size(), 1, [&](size_t i) {
+    const EdgeSkipRegion& region = frontier[i];
+    batches[i].reserve(static_cast<size_t>(
+        std::min<uint64_t>(region.count, uint64_t{1} << 20)));
+    DescendRegion(region.u_prefix, region.v_prefix, region.level,
+                  region.count, k, law, streams[i], &batches[i]);
+  });
+
+  size_t total = 0;
+  for (const auto& batch : batches) total += batch.size();
+  std::vector<uint64_t> keys;
+  keys.reserve(total);
+  for (const auto& batch : batches) {
+    keys.insert(keys.end(), batch.begin(), batch.end());
+  }
+  return GraphBuilder::FromPackedEdges(n, std::move(keys));
 }
 
 }  // namespace
@@ -92,6 +263,8 @@ Graph SampleSkg(const Initiator2& theta, uint32_t k, Rng& rng,
       return SampleBallDrop(theta, k, rng, options);
     case SkgSampleMethod::kClassSkip:
       return SampleSkgClassSkip(theta, k, rng);
+    case SkgSampleMethod::kEdgeSkip:
+      return SampleEdgeSkip(theta, k, rng);
   }
   DPKRON_CHECK_MSG(false, "unknown sample method");
   return Graph();

@@ -4,7 +4,7 @@
 // transformation and the Gleich–Owen moment formulas): every unordered
 // pair {u, v}, u ≠ v, receives one Bernoulli coin with bias P_uv.
 //
-// Two samplers:
+// Four samplers:
 //   * Exact: flips all N(N−1)/2 coins. O(4^k) time, exact distribution.
 //     Practical through k = 14 (~1.3·10^8 coin flips).
 //   * BallDrop: the standard fast Kronecker generator (krongen-style
@@ -13,6 +13,18 @@
 //     places that many distinct edges with probability ∝ P_uv. O(E·k)
 //     expected time; the per-pair law is approximate but the aggregate
 //     statistics match the exact sampler closely (tested).
+//   * ClassSkip: probability-class grass-hopping (class_sampler.h):
+//     exact distribution in O(E) expected time, single-threaded.
+//   * EdgeSkip: same target-count law as BallDrop, but the balls are
+//     split multinomially across Kronecker quadrants level by level,
+//     skipping every zero-count / zero-probability region outright and
+//     drawing the splits with geometric-skipping binomials
+//     (Rng::NextBinomial). Regions are independent once split, so the
+//     descent runs on the thread pool with per-region RNG streams and
+//     per-region edge batches merged into one CSR. O(E·k) time; the
+//     sampler of choice for large k (a k = 20, ~10^6-node, ~10^7-edge
+//     realization takes seconds). Output is deterministic for a given
+//     seed regardless of thread count.
 
 #ifndef DPKRON_SKG_SAMPLER_H_
 #define DPKRON_SKG_SAMPLER_H_
@@ -33,6 +45,10 @@ enum class SkgSampleMethod {
   // Probability-class skipping (class_sampler.h): exact distribution in
   // O(E) expected time — the best default for k > 12.
   kClassSkip,
+  // Multinomial quadrant splitting with geometric edge skipping:
+  // BallDrop's distribution at O(E·k) cost, parallel across regions —
+  // the generator for k ≥ 16 / million-node realizations.
+  kEdgeSkip,
 };
 
 struct SkgSampleOptions {

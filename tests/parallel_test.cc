@@ -1,0 +1,193 @@
+// The determinism contract of src/common/parallel.h, enforced: every
+// parallel kernel must produce identical results at 1, 2 and 8 threads.
+
+#include "src/common/parallel.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "src/common/rng.h"
+#include "src/graph/anf.h"
+#include "src/graph/clustering.h"
+#include "src/graph/degree.h"
+#include "src/graph/graph.h"
+#include "src/graph/triangles.h"
+#include "src/linalg/spmv.h"
+#include "src/skg/sampler.h"
+
+namespace dpkron {
+namespace {
+
+// Restores the ambient thread count when a test scope ends, so tests
+// can't leak pool configuration into each other.
+class ScopedThreadCount {
+ public:
+  explicit ScopedThreadCount(int threads)
+      : saved_(ParallelThreadCount()) {
+    SetParallelThreadCount(threads);
+  }
+  ~ScopedThreadCount() { SetParallelThreadCount(saved_); }
+
+ private:
+  int saved_;
+};
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+// Runs `compute` once per thread count and requires all results equal.
+template <typename Fn>
+void ExpectThreadCountInvariant(Fn&& compute) {
+  ScopedThreadCount guard(1);
+  const auto reference = compute();
+  for (int threads : {2, 8}) {
+    SetParallelThreadCount(threads);
+    EXPECT_EQ(compute(), reference) << "at " << threads << " threads";
+  }
+}
+
+Graph SampleTestGraph() {
+  Rng rng(20120330);
+  return SampleSkg({0.95, 0.55, 0.3}, 9, rng);  // 512 nodes, exact sampler
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : kThreadCounts) {
+    ScopedThreadCount guard(threads);
+    const size_t n = 10007;  // prime: chunks don't divide evenly
+    std::vector<std::atomic<uint32_t>> hits(n);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(n, 64, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunkDecompositionIgnoresThreadCount) {
+  EXPECT_EQ(ParallelChunkCount(0, 64), 0u);
+  EXPECT_EQ(ParallelChunkCount(1, 64), 1u);
+  EXPECT_EQ(ParallelChunkCount(64, 64), 1u);
+  EXPECT_EQ(ParallelChunkCount(65, 64), 2u);
+  EXPECT_EQ(ParallelChunkCount(100, 0), 100u);  // grain clamps to 1
+
+  for (int threads : kThreadCounts) {
+    ScopedThreadCount guard(threads);
+    std::vector<std::pair<size_t, size_t>> ranges(ParallelChunkCount(1000, 96));
+    ParallelForChunks(1000, 96, [&](const ParallelChunk& chunk) {
+      ranges[chunk.index] = {chunk.begin, chunk.end};
+      EXPECT_LT(chunk.worker, static_cast<size_t>(ParallelThreadCount()));
+    });
+    for (size_t c = 0; c < ranges.size(); ++c) {
+      EXPECT_EQ(ranges[c].first, c * 96);
+      EXPECT_EQ(ranges[c].second, std::min<size_t>(1000, c * 96 + 96));
+    }
+  }
+}
+
+TEST(ParallelForTest, NestedCallsRunSerially) {
+  ScopedThreadCount guard(4);
+  std::atomic<uint64_t> total{0};
+  ParallelFor(16, 1, [&](size_t) {
+    // Nested section must not deadlock on the pool.
+    ParallelFor(100, 10, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 1600u);
+}
+
+TEST(ParallelSumTest, DeterministicAcrossThreadCounts) {
+  // Pseudo-random doubles whose naive reordered sum would differ in the
+  // low bits; the chunk-ordered reduction must not.
+  Rng rng(99);
+  std::vector<double> values(100000);
+  for (double& v : values) v = rng.NextGaussian() * 1e6;
+  ExpectThreadCountInvariant([&] {
+    return ParallelSum(values.size(), 1024, [&](size_t begin, size_t end) {
+      double s = 0.0;
+      for (size_t i = begin; i < end; ++i) s += values[i];
+      return s;
+    });
+  });
+}
+
+TEST(SplitRngStreamsTest, DeterministicAndDistinct) {
+  Rng a(7), b(7);
+  std::vector<Rng> sa = SplitRngStreams(a, 8);
+  std::vector<Rng> sb = SplitRngStreams(b, 8);
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].NextU64(), sb[i].NextU64()) << "stream " << i;
+  }
+  // First outputs across streams should all differ.
+  std::vector<uint64_t> firsts;
+  for (Rng& stream : sa) firsts.push_back(stream.NextU64());
+  std::sort(firsts.begin(), firsts.end());
+  EXPECT_EQ(std::unique(firsts.begin(), firsts.end()), firsts.end());
+}
+
+// ------------------- kernel thread-count invariance -------------------
+
+TEST(KernelInvarianceTest, Triangles) {
+  const Graph g = SampleTestGraph();
+  ExpectThreadCountInvariant([&] { return CountTriangles(g); });
+  ExpectThreadCountInvariant([&] { return PerNodeTriangles(g); });
+}
+
+TEST(KernelInvarianceTest, DegreeKernels) {
+  const Graph g = SampleTestGraph();
+  ExpectThreadCountInvariant([&] { return DegreeVector(g); });
+  ExpectThreadCountInvariant([&] { return MaxDegree(g); });
+  ExpectThreadCountInvariant([&] { return DegreeHistogram(g); });
+  ExpectThreadCountInvariant([&] { return CountWedges(g); });
+  ExpectThreadCountInvariant([&] { return CountTripins(g); });
+}
+
+TEST(KernelInvarianceTest, Clustering) {
+  const Graph g = SampleTestGraph();
+  // Doubles compared bit-exactly: the chunk-ordered reduction promises
+  // identical floating-point results, not merely close ones.
+  ExpectThreadCountInvariant([&] { return LocalClustering(g); });
+  ExpectThreadCountInvariant([&] { return AverageClustering(g); });
+  ExpectThreadCountInvariant([&] { return ClusteringByDegree(g); });
+  ExpectThreadCountInvariant([&] { return GlobalClustering(g); });
+}
+
+TEST(KernelInvarianceTest, Anf) {
+  const Graph g = SampleTestGraph();
+  ExpectThreadCountInvariant([&] {
+    Rng rng(4242);  // same seed per thread count — sketches must match
+    AnfOptions options;
+    options.num_trials = 16;
+    return ApproxHopPlot(g, rng, options);
+  });
+}
+
+TEST(KernelInvarianceTest, SpmvAndDot) {
+  const Graph g = SampleTestGraph();
+  Rng rng(17);
+  std::vector<double> x(g.NumNodes());
+  for (double& v : x) v = rng.NextGaussian();
+  ExpectThreadCountInvariant([&] {
+    std::vector<double> y(g.NumNodes());
+    AdjacencyMatVec(g, x, &y);
+    return y;
+  });
+  ExpectThreadCountInvariant([&] { return Dot(x, x); });
+  ExpectThreadCountInvariant([&] { return Norm2(x); });
+}
+
+TEST(KernelInvarianceTest, EdgeSkipSampler) {
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kEdgeSkip;
+  ExpectThreadCountInvariant([&] {
+    Rng rng(555);
+    return SampleSkg({0.95, 0.55, 0.3}, 12, rng, options).Edges();
+  });
+}
+
+}  // namespace
+}  // namespace dpkron

@@ -177,5 +177,127 @@ TEST(RngTest, SplitIsDeterministic) {
   for (int i = 0; i < 32; ++i) EXPECT_EQ(ca.NextU64(), cb.NextU64());
 }
 
+TEST(RngTest, SplitGoldenValues) {
+  // Pinned outputs of the split-tree around seed 20120330: child,
+  // grandchild, second child, and the parent stream after the splits.
+  // xoshiro256** + splitmix64 are pure 64-bit integer arithmetic, so
+  // these values must be identical on every platform and compiler; a
+  // failure here means the Split() derivation changed and every
+  // experiment seeded through split streams (parallel sampling, ANF
+  // sketches) silently lost reproducibility.
+  Rng parent(20120330);
+  Rng child = parent.Split();
+  Rng grandchild = child.Split();
+  Rng sibling = parent.Split();
+  const uint64_t expected_child[4] = {
+      0x5cd6f79af1e554abULL, 0xec5f0011c182b6f6ULL, 0xce650640a69fa4f5ULL,
+      0xb0fbc22897449bc7ULL};
+  const uint64_t expected_grandchild[4] = {
+      0xa96e4740549353cdULL, 0x481bb43112008a57ULL, 0x7aa1d129e0e6e7ccULL,
+      0x7f06edfeab11a44bULL};
+  const uint64_t expected_sibling[4] = {
+      0x1cf11a91424244b1ULL, 0x259bfd863f1f55c8ULL, 0xd10996c5b6ca4ba8ULL,
+      0x8762d4aa96b08b9aULL};
+  const uint64_t expected_parent_after[4] = {
+      0xf97bd5d4fda83149ULL, 0x1ada05b30ed379eeULL, 0xf59b6cbf8e4fbae0ULL,
+      0x2d0c2136840f14bfULL};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(child.NextU64(), expected_child[i]);
+    EXPECT_EQ(grandchild.NextU64(), expected_grandchild[i]);
+    EXPECT_EQ(sibling.NextU64(), expected_sibling[i]);
+    EXPECT_EQ(parent.NextU64(), expected_parent_after[i]);
+  }
+}
+
+TEST(RngTest, SplitStreamsPairwiseUncorrelated) {
+  // Statistical independence proxy across the whole split family:
+  // sign-agreement between any two of {parent-after, child, grandchild,
+  // sibling} should be a fair coin.
+  Rng parent(20120330);
+  Rng child = parent.Split();
+  Rng grandchild = child.Split();
+  Rng sibling = parent.Split();
+  Rng* streams[4] = {&parent, &child, &grandchild, &sibling};
+  const int n = 4096;
+  std::vector<std::vector<uint64_t>> draws(4, std::vector<uint64_t>(n));
+  for (int s = 0; s < 4; ++s) {
+    for (int i = 0; i < n; ++i) draws[s][i] = streams[s]->NextU64();
+  }
+  for (int s = 0; s < 4; ++s) {
+    for (int t = s + 1; t < 4; ++t) {
+      int agree = 0;
+      for (int i = 0; i < n; ++i) {
+        agree += ((draws[s][i] >> 63) == (draws[t][i] >> 63));
+      }
+      // 5σ band around n/2 for a fair coin (σ = √n / 2 = 32).
+      EXPECT_NEAR(agree, n / 2, 160) << "streams " << s << " vs " << t;
+    }
+  }
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(61);
+  EXPECT_EQ(rng.NextBinomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.NextBinomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.NextBinomial(100, -0.5), 0u);
+  EXPECT_EQ(rng.NextBinomial(100, 1.0), 100u);
+  EXPECT_EQ(rng.NextBinomial(100, 1.5), 100u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.NextBinomial(7, 0.4), 7u);
+  }
+}
+
+TEST(RngTest, BinomialMomentsSmallMean) {
+  // n·p small: exercises the geometric-skipping path.
+  Rng rng(67);
+  const uint64_t n = 1000;
+  const double p = 0.002;
+  const int runs = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    const double x = static_cast<double>(rng.NextBinomial(n, p));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / runs;
+  const double variance = sum_sq / runs - mean * mean;
+  EXPECT_NEAR(mean, n * p, 0.05);                  // E = 2
+  EXPECT_NEAR(variance, n * p * (1 - p), 0.1);     // Var ≈ 2
+}
+
+TEST(RngTest, BinomialMomentsLargeMean) {
+  // n·p·(1−p) large: exercises the clamped normal-approximation path.
+  Rng rng(71);
+  const uint64_t n = 1u << 20;
+  const double p = 0.25;
+  const int runs = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    const double x = static_cast<double>(rng.NextBinomial(n, p));
+    EXPECT_LE(x, static_cast<double>(n));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / runs;
+  const double variance = sum_sq / runs - mean * mean;
+  const double expected_sd = std::sqrt(n * p * (1 - p));  // ≈ 443.4
+  EXPECT_NEAR(mean, n * p, 5 * expected_sd / std::sqrt(double(runs)));
+  EXPECT_NEAR(variance / (n * p * (1 - p)), 1.0, 0.05);
+}
+
+TEST(RngTest, BinomialHighPUsesSymmetry) {
+  Rng rng(73);
+  const uint64_t n = 500;
+  const double p = 0.995;
+  const int runs = 50000;
+  double sum = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    const uint64_t x = rng.NextBinomial(n, p);
+    EXPECT_LE(x, n);
+    sum += static_cast<double>(x);
+  }
+  EXPECT_NEAR(sum / runs, n * p, 0.05);
+}
+
 }  // namespace
 }  // namespace dpkron

@@ -117,6 +117,114 @@ TEST(BallDropTest, HandlesDenseInitiator) {
   EXPECT_LE(g.NumEdges(), 120u);
 }
 
+TEST(EdgeSkipTest, NodeCountAndSimpleGraphInvariants) {
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kEdgeSkip;
+  Rng rng(41);
+  const Graph g = SampleSkg({0.9, 0.5, 0.2}, 10, rng, options);
+  EXPECT_EQ(g.NumNodes(), 1024u);
+  for (const auto& [u, v] : g.Edges()) {
+    EXPECT_LT(u, v);  // canonical, loop-free
+  }
+}
+
+TEST(EdgeSkipTest, DeterministicGivenSeed) {
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kEdgeSkip;
+  Rng a(42), b(42);
+  const Graph ga = SampleSkg({0.9, 0.5, 0.2}, 11, a, options);
+  const Graph gb = SampleSkg({0.9, 0.5, 0.2}, 11, b, options);
+  EXPECT_EQ(ga.Edges(), gb.Edges());
+}
+
+TEST(EdgeSkipTest, AllZerosGivesEmptyGraph) {
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kEdgeSkip;
+  Rng rng(43);
+  EXPECT_EQ(SampleSkg({0.0, 0.0, 0.0}, 8, rng, options).NumEdges(), 0u);
+}
+
+TEST(EdgeSkipTest, ZeroProbabilityRegionsStayEmpty) {
+  // b = c = 0: only the all-zero-digit quadrant chain has mass, and the
+  // single cell it leads to is the diagonal (0,0) — dropped as a loop.
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kEdgeSkip;
+  Rng rng(47);
+  EXPECT_EQ(SampleSkg({1.0, 0.0, 0.0}, 10, rng, options).NumEdges(), 0u);
+}
+
+TEST(EdgeSkipTest, HandlesDenseInitiator) {
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kEdgeSkip;
+  Rng rng(53);
+  const Graph g = SampleSkg({1.0, 1.0, 1.0}, 4, rng, options);
+  // Unlike BallDrop, EdgeSkip does not retry duplicate placements — the
+  // realized graph is the *support* of the multinomial balls, so a dense
+  // corner collapses collisions instead of spinning on them. ~120 balls
+  // over 240 ordered cells leave ≈ 1 − e^(−0.94) ≈ 61% of the 120 pairs
+  // occupied; anything in a generous band around that is healthy.
+  EXPECT_GT(g.NumEdges(), 50u);
+  EXPECT_LE(g.NumEdges(), 120u);
+}
+
+TEST(EdgeSkipTest, EdgeCountMatchesBallDropExpectation) {
+  // kEdgeSkip reorganizes exactly the ball-dropping computation, so its
+  // mean edge count at k = 10 must sit within statistical tolerance of
+  // both the closed-form expectation and the ball-drop sampler.
+  const Initiator2 theta{0.99, 0.45, 0.25};
+  const uint32_t k = 10;
+  SkgSampleOptions edge_skip;
+  edge_skip.method = SkgSampleMethod::kEdgeSkip;
+  SkgSampleOptions ball_drop;
+  ball_drop.method = SkgSampleMethod::kBallDrop;
+  Rng rng_skip(59), rng_drop(61);
+  double skip_total = 0.0, drop_total = 0.0;
+  const int runs = 30;
+  for (int r = 0; r < runs; ++r) {
+    skip_total += double(SampleSkg(theta, k, rng_skip, edge_skip).NumEdges());
+    drop_total += double(SampleSkg(theta, k, rng_drop, ball_drop).NumEdges());
+  }
+  const double expected = ExpectedEdges(theta, k);
+  EXPECT_NEAR(skip_total / runs, expected, 0.05 * expected);
+  EXPECT_NEAR(skip_total / drop_total, 1.0, 0.05);
+}
+
+TEST(EdgeSkipTest, AggregateStatisticsCloseToExactSampler) {
+  const Initiator2 theta{0.95, 0.55, 0.25};
+  const uint32_t k = 9;
+  Rng rng_exact(67), rng_skip(71);
+  SkgSampleOptions skip;
+  skip.method = SkgSampleMethod::kEdgeSkip;
+
+  double exact_wedges = 0, skip_wedges = 0;
+  double exact_tri = 0, skip_tri = 0;
+  const int runs = 20;
+  for (int r = 0; r < runs; ++r) {
+    const Graph ge = SampleSkg(theta, k, rng_exact);
+    const Graph gs = SampleSkg(theta, k, rng_skip, skip);
+    exact_wedges += double(CountWedges(ge));
+    skip_wedges += double(CountWedges(gs));
+    exact_tri += double(CountTriangles(ge));
+    skip_tri += double(CountTriangles(gs));
+  }
+  EXPECT_NEAR(skip_wedges / exact_wedges, 1.0, 0.15);
+  EXPECT_NEAR(skip_tri / exact_tri, 1.0, 0.30);
+}
+
+TEST(EdgeSkipTest, ScalesToLargeK) {
+  // k = 16 (65536 nodes): far beyond the exact sampler's reach; checks
+  // the multinomial recursion survives a realistically deep descent and
+  // lands near the expected edge count in one realization.
+  const Initiator2 theta{0.9, 0.5, 0.2};
+  SkgSampleOptions options;
+  options.method = SkgSampleMethod::kEdgeSkip;
+  Rng rng(73);
+  const Graph g = SampleSkg(theta, 16, rng, options);
+  EXPECT_EQ(g.NumNodes(), uint32_t{1} << 16);
+  const double expected = ExpectedEdges(theta, 16);
+  EXPECT_NEAR(double(g.NumEdges()), expected, 0.1 * expected);
+}
+
 TEST(SampleSkgNTest, MatchesSymmetricConvention) {
   // For a symmetric initiator the general sampler must produce the same
   // edge-count law as the 2x2 fast path.
