@@ -11,6 +11,9 @@
 #include "src/dp/smooth_sensitivity.h"
 #include "src/estimation/kronmom.h"
 #include "src/graph/anf.h"
+#include "src/kronfit/kronfit.h"
+#include "src/kronfit/likelihood.h"
+#include "src/kronfit/permutation.h"
 #include "src/graph/clustering.h"
 #include "src/graph/triangles.h"
 #include "src/linalg/lanczos.h"
@@ -107,6 +110,83 @@ void BM_Anf(benchmark::State& state) {
 BENCHMARK(BM_Anf)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// ------------------------- KronFit hot path -------------------------
+// The PR 2 perf-trajectory series: one full gradient iteration of the
+// multi-chain Metropolis sampler (4 chains × 2N swaps + chain-averaged
+// edge gradient) at k ∈ {10, 12, 14}, swept over thread counts. The
+// k=12 single-thread point is the ≥5× acceptance gate versus the
+// pre-table baseline.
+const Graph& KronFitGraph(uint32_t k) {
+  static Rng rng(11);
+  static const Graph& g10 =
+      *new Graph(SampleSkg({0.99, 0.55, 0.35}, 10, rng));
+  static const Graph& g12 =
+      *new Graph(SampleSkg({0.99, 0.55, 0.35}, 12, rng));
+  static const Graph& g14 = *new Graph([] {
+    Rng r(12);
+    SkgSampleOptions options;
+    options.method = SkgSampleMethod::kEdgeSkip;
+    return SampleSkg({0.99, 0.55, 0.35}, 14, r, options);
+  }());
+  return k == 10 ? g10 : (k == 12 ? g12 : g14);
+}
+
+void BM_KronFitIteration(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const Graph& g = KronFitGraph(k);
+  ScopedBenchThreads threads(static_cast<int>(state.range(1)));
+  const KronFitLikelihood model({0.9, 0.6, 0.2}, k);
+  Rng rng(13);
+  MetropolisChains chains(g, k, /*num_chains=*/4, rng);
+  const uint64_t swaps = 2 * uint64_t{g.NumNodes()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chains.SampleGradient(model, swaps));
+  }
+}
+BENCHMARK(BM_KronFitIteration)
+    ->Args({10, 1})
+    ->Args({12, 1})
+    ->Args({12, 2})
+    ->Args({12, 4})
+    ->Args({12, 8})
+    ->Args({14, 1})
+    ->Args({14, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SwapDelta(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const Graph& g = KronFitGraph(k);
+  const KronFitLikelihood model({0.9, 0.6, 0.2}, k);
+  const PermutationState sigma = DegreeGuidedInit(g, k);
+  // Pre-drawn node pairs: at ~100 ns per SwapDelta, in-loop RNG draws
+  // would contribute double-digit percent noise to the measurement.
+  Rng rng(14);
+  const uint32_t n = g.NumNodes();
+  std::vector<std::pair<uint32_t, uint32_t>> pairs(4096);
+  for (auto& [u, v] : pairs) {
+    u = static_cast<uint32_t>(rng.NextBounded(n));
+    v = static_cast<uint32_t>(rng.NextBounded(n));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto [u, v] = pairs[i];
+    i = (i + 1) & (pairs.size() - 1);
+    benchmark::DoNotOptimize(model.SwapDelta(g, sigma, u, v));
+  }
+}
+BENCHMARK(BM_SwapDelta)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_KronFitEdgeGradient(benchmark::State& state) {
+  const Graph& g = KronFitGraph(12);
+  ScopedBenchThreads threads(static_cast<int>(state.range(0)));
+  const KronFitLikelihood model({0.9, 0.6, 0.2}, 12);
+  const PermutationState sigma = DegreeGuidedInit(g, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.EdgeGradient(g, sigma));
+  }
+}
+BENCHMARK(BM_KronFitEdgeGradient)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_CountTriangles(benchmark::State& state) {
   const Graph& g = TestGraph(static_cast<uint32_t>(state.range(0)));
   for (auto _ : state) {
@@ -165,6 +245,19 @@ void BM_TriangleSensitivityProfile(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TriangleSensitivityProfile)->Arg(10)->Arg(12);
+
+// Thread sweep over the parallel class-1 candidate enumeration on the
+// k=12 graph (BM_TriangleSensitivityProfile above tracks the default-
+// width configuration across graph sizes).
+void BM_SmoothSensitivityProfile(benchmark::State& state) {
+  const Graph& g = TestGraph(12);
+  ScopedBenchThreads threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TriangleSensitivityProfile(g));
+  }
+}
+BENCHMARK(BM_SmoothSensitivityProfile)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SmoothSensitivityEvaluation(benchmark::State& state) {
   const TriangleSensitivityProfile& profile =

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "src/common/macros.h"
+#include "src/common/parallel.h"
 #include "src/graph/triangles.h"
 
 namespace dpkron {
@@ -66,6 +67,31 @@ FarPair MaxFarPairDegreeSum(const Graph& graph, uint64_t budget,
   return {};  // diameter ≤ 2: no far pairs at all
 }
 
+// Sorts candidates by a desc then b desc and reduces them in place to
+// their Pareto frontier (strictly rising b along falling a). Applying
+// this per chunk before the global merge is sound — and idempotent —
+// because the frontier of a union equals the frontier of the union of
+// the parts' frontiers; it is what keeps the final serial sort off the
+// critical path (the raw class-1 candidate list is O(Σ_w deg(w)²)).
+void ReduceToFrontier(std::vector<std::pair<uint64_t, uint64_t>>* candidates) {
+  std::sort(candidates->begin(), candidates->end(),
+            [](const auto& x, const auto& y) {
+              return x.first != y.first ? x.first > y.first
+                                        : x.second > y.second;
+            });
+  std::vector<std::pair<uint64_t, uint64_t>> frontier;
+  uint64_t best_b = 0;
+  bool first = true;
+  for (const auto& [a, b] : *candidates) {
+    if (first || b > best_b) {
+      frontier.emplace_back(a, b);
+      best_b = b;
+      first = false;
+    }
+  }
+  *candidates = std::move(frontier);
+}
+
 }  // namespace
 
 TriangleSensitivityProfile::TriangleSensitivityProfile(const Graph& graph)
@@ -76,34 +102,64 @@ TriangleSensitivityProfile::TriangleSensitivityProfile(const Graph& graph)
   if (n >= 2) {
     // Class 1 — exact (a, b) for every pair with a common neighbor,
     // enumerated per source node with a stamped counter (no pair map).
-    std::vector<uint32_t> common(n, 0);
-    std::vector<uint32_t> stamp(n, 0);
-    std::vector<Graph::NodeId> touched;
-    uint32_t current = 0;
-    for (Graph::NodeId i = 0; i < n; ++i) {
-      ++current;
-      touched.clear();
-      for (Graph::NodeId w : graph.Neighbors(i)) {
-        for (Graph::NodeId j : graph.Neighbors(w)) {
-          if (j <= i) continue;  // each unordered pair once
-          if (stamp[j] != current) {
-            stamp[j] = current;
-            common[j] = 0;
-            touched.push_back(j);
+    // Source nodes are chunked across the pool; each worker owns one
+    // stamped-counter buffer (candidate values depend only on the graph,
+    // so buffer reuse across chunks is harmless), and per-chunk candidate
+    // vectors are concatenated in chunk-index order so the final list —
+    // and everything downstream — is thread-count invariant.
+    constexpr size_t kGrain = 256;
+    struct StampedCounters {
+      std::vector<uint32_t> common;
+      std::vector<uint32_t> stamp;
+      std::vector<Graph::NodeId> touched;
+      uint32_t current = 0;
+    };
+    std::vector<StampedCounters> buffers(ParallelThreadCount());
+    std::vector<std::vector<std::pair<uint64_t, uint64_t>>> chunk_candidates(
+        ParallelChunkCount(n, kGrain));
+    ParallelForChunks(n, kGrain, [&](const ParallelChunk& chunk) {
+      StampedCounters& buf = buffers[chunk.worker];
+      if (buf.stamp.size() != n) {
+        // First chunk this worker runs: initialize its buffers here, in
+        // the parallel section, and only for workers actually scheduled
+        // (pre-zeroing every slot would cost O(threads·N) serially).
+        buf.common.assign(n, 0);
+        buf.stamp.assign(n, 0);
+      }
+      auto& out = chunk_candidates[chunk.index];
+      for (size_t node = chunk.begin; node < chunk.end; ++node) {
+        const Graph::NodeId i = static_cast<Graph::NodeId>(node);
+        ++buf.current;
+        buf.touched.clear();
+        for (Graph::NodeId w : graph.Neighbors(i)) {
+          for (Graph::NodeId j : graph.Neighbors(w)) {
+            if (j <= i) continue;  // each unordered pair once
+            if (buf.stamp[j] != buf.current) {
+              buf.stamp[j] = buf.current;
+              buf.common[j] = 0;
+              buf.touched.push_back(j);
+            }
+            ++buf.common[j];
           }
-          ++common[j];
+        }
+        const uint64_t deg_i = graph.Degree(i);
+        for (Graph::NodeId j : buf.touched) {
+          const uint64_t a = buf.common[j];
+          const uint64_t deg_j = graph.Degree(j);
+          const uint64_t adjacent = graph.HasEdge(i, j) ? 1 : 0;
+          // deg_i + deg_j double-counts the a common neighbors and counts
+          // j∈N(i), i∈N(j) when adjacent.
+          const uint64_t b = deg_i + deg_j - 2 * a - 2 * adjacent;
+          out.emplace_back(a, b);
         }
       }
-      const uint64_t deg_i = graph.Degree(i);
-      for (Graph::NodeId j : touched) {
-        const uint64_t a = common[j];
-        const uint64_t deg_j = graph.Degree(j);
-        const uint64_t adjacent = graph.HasEdge(i, j) ? 1 : 0;
-        // deg_i + deg_j double-counts the a common neighbors and counts
-        // j∈N(i), i∈N(j) when adjacent.
-        const uint64_t b = deg_i + deg_j - 2 * a - 2 * adjacent;
-        candidates.emplace_back(a, b);
-      }
+      // Chunk-local Pareto reduction: shrinks the merge from
+      // O(Σ deg²) raw pairs to a handful per chunk, and moves the
+      // sort work into the parallel section.
+      ReduceToFrontier(&out);
+    });
+    for (const auto& chunk : chunk_candidates) {
+      candidates.insert(candidates.end(), chunk.begin(), chunk.end());
     }
 
     // Class 2 — every edge: (0, d_u + d_v − 2). For adjacent pairs with
@@ -124,21 +180,9 @@ TriangleSensitivityProfile::TriangleSensitivityProfile(const Graph& graph)
     if (far.found) candidates.emplace_back(0, far.degree_sum);
   }
 
-  // Pareto frontier: sort by a desc then b desc; keep strictly rising b.
-  std::sort(candidates.begin(), candidates.end(),
-            [](const auto& x, const auto& y) {
-              return x.first != y.first ? x.first > y.first
-                                        : x.second > y.second;
-            });
-  uint64_t best_b = 0;
-  bool first = true;
-  for (const auto& [a, b] : candidates) {
-    if (first || b > best_b) {
-      frontier_.emplace_back(a, b);
-      best_b = b;
-      first = false;
-    }
-  }
+  // Global Pareto frontier over the (already chunk-reduced) candidates.
+  ReduceToFrontier(&candidates);
+  frontier_ = std::move(candidates);
 }
 
 uint64_t TriangleSensitivityProfile::LocalSensitivityAtDistance(

@@ -39,7 +39,10 @@ namespace dpkron {
 // The per-distance local-sensitivity profile of ∆ at a fixed graph.
 class TriangleSensitivityProfile {
  public:
-  // Computes the profile of `graph` (O(Σ_w deg(w)²) time, O(N) memory).
+  // Computes the profile of `graph` (O(Σ_w deg(w)²) work, chunked
+  // across the thread pool with one stamped-counter buffer per worker —
+  // O(threads·N) memory — and a chunk-ordered candidate merge, so the
+  // profile is identical at any thread count).
   explicit TriangleSensitivityProfile(const Graph& graph);
 
   uint32_t num_nodes() const { return num_nodes_; }

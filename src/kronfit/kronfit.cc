@@ -4,10 +4,9 @@
 #include <cmath>
 
 #include "src/common/macros.h"
+#include "src/common/parallel.h"
 #include "src/estimation/kronmom.h"
 #include "src/graph/graph_builder.h"
-#include "src/kronfit/likelihood.h"
-#include "src/kronfit/permutation.h"
 
 namespace dpkron {
 
@@ -22,6 +21,7 @@ Graph PadWithIsolatedNodes(const Graph& graph, uint32_t num_nodes) {
 namespace {
 
 // Runs `count` Metropolis swap steps on sigma under the current model.
+// Serial: one chain is one Markov trajectory.
 void RunSwaps(const Graph& graph, const KronFitLikelihood& model,
               PermutationState* sigma, Rng& rng, uint64_t count) {
   const uint32_t n = graph.NumNodes();
@@ -38,6 +38,60 @@ void RunSwaps(const Graph& graph, const KronFitLikelihood& model,
 
 }  // namespace
 
+MetropolisChains::MetropolisChains(const Graph& graph, uint32_t k,
+                                   uint32_t num_chains, Rng& rng)
+    : graph_(&graph) {
+  DPKRON_CHECK_GE(num_chains, 1u);
+  DPKRON_CHECK_EQ(graph.NumNodes(), uint64_t{1} << k);
+  rngs_ = SplitRngStreams(rng, num_chains);
+  const PermutationState init = DegreeGuidedInit(graph, k);
+  chains_.reserve(num_chains);
+  for (uint32_t c = 0; c < num_chains; ++c) chains_.push_back(init);
+  // Jitter every chain but the first with its own stream (n/4 random
+  // transpositions): overdispersed starts decorrelate the bank without
+  // costing chain 0 the degree-guided head start.
+  ParallelFor(num_chains, 1, [&](size_t c) {
+    if (c == 0) return;
+    PerturbUniform(&chains_[c], graph.NumNodes() / 4, rngs_[c]);
+  });
+}
+
+void MetropolisChains::Advance(const KronFitLikelihood& model,
+                               uint64_t swaps_per_chain) {
+  ParallelFor(chains_.size(), 1, [&](size_t c) {
+    RunSwaps(*graph_, model, &chains_[c], rngs_[c], swaps_per_chain);
+  });
+}
+
+Gradient3 MetropolisChains::SampleGradient(const KronFitLikelihood& model,
+                                           uint64_t swaps_per_chain) {
+  // Advance and evaluate inside one parallel section: the nested
+  // EdgeGradient degrades to serial chunk order inside a worker, which
+  // matches its 1-thread evaluation bit for bit.
+  std::vector<Gradient3> grads(chains_.size());
+  ParallelFor(chains_.size(), 1, [&](size_t c) {
+    RunSwaps(*graph_, model, &chains_[c], rngs_[c], swaps_per_chain);
+    grads[c] = model.EdgeGradient(*graph_, chains_[c]);
+  });
+  Gradient3 mean{0.0, 0.0, 0.0};
+  for (const Gradient3& grad : grads) {
+    for (int i = 0; i < 3; ++i) mean[i] += grad[i];
+  }
+  for (int i = 0; i < 3; ++i) mean[i] /= static_cast<double>(chains_.size());
+  return mean;
+}
+
+double MetropolisChains::BestLogLikelihood(
+    const KronFitLikelihood& model) const {
+  std::vector<double> lls(chains_.size());
+  ParallelFor(chains_.size(), 1, [&](size_t c) {
+    lls[c] = model.LogLikelihood(*graph_, chains_[c]);
+  });
+  double best = lls[0];
+  for (double ll : lls) best = std::max(best, ll);
+  return best;
+}
+
 KronFitResult FitKronFit(const Graph& graph, Rng& rng,
                          const KronFitOptions& options) {
   DPKRON_CHECK_GE(graph.NumNodes(), 2u);
@@ -47,13 +101,14 @@ KronFitResult FitKronFit(const Graph& graph, Rng& rng,
       graph.NumNodes() == n ? graph : PadWithIsolatedNodes(graph, n);
 
   Initiator2 theta = options.init.Clamped(0.005, 0.995);
-  PermutationState sigma = DegreeGuidedInit(padded, k);
+  const uint32_t num_chains = std::max(options.samples_per_iteration, 1u);
+  MetropolisChains chains(padded, k, num_chains, rng);
 
   // Initial burn-in under the starting parameters.
   {
     const KronFitLikelihood model(theta, k);
-    RunSwaps(padded, model, &sigma, rng,
-             static_cast<uint64_t>(options.warmup_factor * n));
+    chains.Advance(model,
+                   static_cast<uint64_t>(options.warmup_factor * n));
   }
 
   double tail_a = 0.0, tail_b = 0.0, tail_c = 0.0;
@@ -65,19 +120,11 @@ KronFitResult FitKronFit(const Graph& graph, Rng& rng,
 
   for (uint32_t it = 0; it < options.iterations; ++it) {
     const KronFitLikelihood model(theta, k);
-    // Average the edge-term gradient over several sampled alignments.
-    Gradient3 gradient{0.0, 0.0, 0.0};
-    for (uint32_t s = 0; s < options.samples_per_iteration; ++s) {
-      RunSwaps(padded, model, &sigma, rng,
-               static_cast<uint64_t>(options.decorrelation_factor * n));
-      const Gradient3 edge_grad = model.EdgeGradient(padded, sigma);
-      for (int i = 0; i < 3; ++i) gradient[i] += edge_grad[i];
-    }
+    // Chain-averaged edge gradient, one decorrelated sample per chain.
+    Gradient3 gradient = chains.SampleGradient(
+        model, static_cast<uint64_t>(options.decorrelation_factor * n));
     const Gradient3 no_edge = model.NoEdgeGradient();
-    for (int i = 0; i < 3; ++i) {
-      gradient[i] =
-          gradient[i] / options.samples_per_iteration - no_edge[i];
-    }
+    for (int i = 0; i < 3; ++i) gradient[i] -= no_edge[i];
 
     // Ascent step, rescaled to the trust region.
     const double limit = options.max_step / (1.0 + options.step_decay * it);
@@ -107,7 +154,7 @@ KronFitResult FitKronFit(const Graph& graph, Rng& rng,
   result.k = k;
   result.theta = theta.Canonical();
   const KronFitLikelihood final_model(result.theta, k);
-  result.log_likelihood = final_model.LogLikelihood(padded, sigma);
+  result.log_likelihood = chains.BestLogLikelihood(final_model);
   return result;
 }
 

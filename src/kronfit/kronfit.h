@@ -2,17 +2,30 @@
 // (Leskovec & Faloutsos, ICML'07) — the paper's "KronFit" baseline.
 //
 // Stochastic gradient ascent on the Taylor-approximated log-likelihood,
-// with the node-to-position alignment σ marginalized by a Metropolis swap
-// chain (permutation sampling). The observed graph is padded with
+// with the node-to-position alignment σ marginalized by Metropolis swap
+// chains (permutation sampling). The observed graph is padded with
 // isolated nodes to 2^k, as in the original implementation.
+//
+// Parallel architecture: instead of one chain sampled
+// `samples_per_iteration` times back-to-back, the sampler keeps that
+// many *independent* chains — each with its own PermutationState and
+// Rng::Split stream — and fans them across the thread pool, averaging
+// their edge gradients in chain-index order. Total swap work per
+// iteration is unchanged; wall-clock divides by min(chains, threads),
+// and the chain-indexed RNG streams plus chunk-ordered reductions make
+// FitKronFit bit-identical for any thread count
+// (tests/parallel_test.cc enforces 1 vs 2 vs 8).
 
 #ifndef DPKRON_KRONFIT_KRONFIT_H_
 #define DPKRON_KRONFIT_KRONFIT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/graph/graph.h"
+#include "src/kronfit/likelihood.h"
+#include "src/kronfit/permutation.h"
 #include "src/skg/initiator.h"
 
 namespace dpkron {
@@ -22,7 +35,8 @@ struct KronFitOptions {
   uint32_t iterations = 60;
   // Metropolis warm-up swaps before the first sample, as a multiple of N.
   double warmup_factor = 10.0;
-  // Permutation samples averaged per gradient estimate.
+  // Number of independent permutation chains averaged per gradient
+  // estimate (one Metropolis sample each per iteration).
   uint32_t samples_per_iteration = 4;
   // Swaps between consecutive samples, as a multiple of N.
   double decorrelation_factor = 2.0;
@@ -42,6 +56,44 @@ struct KronFitResult {
   Initiator2 theta;              // canonical (a ≥ c)
   double log_likelihood = 0.0;   // approx. ll of the final theta
   uint32_t k = 0;
+};
+
+// Bank of independent Metropolis permutation chains over one padded
+// graph. Chain c starts from the degree-guided init perturbed by its own
+// Split stream (chain 0 starts unperturbed) and is advanced only by that
+// stream, so the trajectory of every chain — and therefore every result
+// below — is a function of (graph, seed, num_chains) alone, never of the
+// thread count. Exposed publicly so benchmarks can time one gradient
+// iteration in isolation.
+class MetropolisChains {
+ public:
+  // `graph` must already be padded to 2^k nodes.
+  MetropolisChains(const Graph& graph, uint32_t k, uint32_t num_chains,
+                   Rng& rng);
+
+  uint32_t num_chains() const {
+    return static_cast<uint32_t>(chains_.size());
+  }
+  const PermutationState& chain(uint32_t c) const { return chains_[c]; }
+
+  // Advances every chain by `swaps_per_chain` Metropolis steps under
+  // `model` (chains fan across the pool; each chain is serial).
+  void Advance(const KronFitLikelihood& model, uint64_t swaps_per_chain);
+
+  // One gradient iteration: advances every chain by `swaps_per_chain`
+  // steps, then returns the mean of the per-chain edge gradients
+  // (summed in chain-index order).
+  Gradient3 SampleGradient(const KronFitLikelihood& model,
+                           uint64_t swaps_per_chain);
+
+  // Highest LogLikelihood across chains under `model` (ties resolve to
+  // the lowest chain index).
+  double BestLogLikelihood(const KronFitLikelihood& model) const;
+
+ private:
+  const Graph* graph_;
+  std::vector<PermutationState> chains_;
+  std::vector<Rng> rngs_;  // stream c drives chain c, whatever the worker
 };
 
 // Fits Θ to `graph`. The graph is padded to 2^k nodes internally with

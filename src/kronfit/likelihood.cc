@@ -4,8 +4,17 @@
 #include <cmath>
 
 #include "src/common/macros.h"
+#include "src/common/parallel.h"
 
 namespace dpkron {
+namespace {
+
+// Node-range grain for the per-edge reductions: coarse enough that a
+// chunk amortizes the dispatch, fine enough to load-balance the skewed
+// SKG degree distribution.
+constexpr size_t kNodeGrain = 512;
+
+}  // namespace
 
 KronFitLikelihood::KronFitLikelihood(const Initiator2& theta, uint32_t k)
     : theta_(Initiator2{std::max(theta.a, kThetaFloor),
@@ -13,23 +22,63 @@ KronFitLikelihood::KronFitLikelihood(const Initiator2& theta, uint32_t k)
                         std::max(theta.c, kThetaFloor)}
                  .Clamped()),
       k_(k),
+      mask_((k >= 32) ? 0xFFFFFFFFu : ((1u << k) - 1)),
       prob_(theta_, k) {
   DPKRON_CHECK_GE(k, 1u);
+  // Tabulate the edge term and gradient factors over the digit-count
+  // lattice. Powers are accumulated by the same repeated multiplication
+  // EdgeProbability2 uses and the cell expressions match the *Direct
+  // methods token for token, so every table value is bit-identical to
+  // the direct computation.
+  const double a = theta_.a, b = theta_.b, c = theta_.c;
+  std::vector<double> pow_a(k + 1), pow_b(k + 1), pow_c(k + 1);
+  pow_a[0] = pow_b[0] = pow_c[0] = 1.0;
+  for (uint32_t i = 1; i <= k; ++i) {
+    pow_a[i] = pow_a[i - 1] * a;
+    pow_b[i] = pow_b[i - 1] * b;
+    pow_c[i] = pow_c[i - 1] * c;
+  }
+  const size_t cells = size_t{k + 1} * (k + 1);
+  edge_term_.assign(cells, 0.0);
+  grad_a_.assign(cells, 0.0);
+  grad_b_.assign(cells, 0.0);
+  grad_c_.assign(cells, 0.0);
+  for (uint32_t n11 = 0; n11 <= k; ++n11) {
+    for (uint32_t nb = 0; nb + n11 <= k; ++nb) {
+      const uint32_t n00 = k - n11 - nb;
+      const double P = pow_a[n00] * pow_b[nb] * pow_c[n11];
+      const size_t idx = size_t{n11} * (k + 1) + nb;
+      edge_term_[idx] = std::log(P) + P + 0.5 * P * P;
+      const double factor = 1.0 + P + P * P;
+      grad_a_[idx] = n00 / a * factor;
+      grad_b_[idx] = nb / b * factor;
+      grad_c_[idx] = n11 / c * factor;
+    }
+  }
 }
 
 std::array<uint32_t, 3> KronFitLikelihood::DigitCounts(uint32_t p,
                                                        uint32_t q) const {
-  const uint32_t mask = (k_ >= 32) ? 0xFFFFFFFFu : ((1u << k_) - 1);
-  const uint32_t both = (p & q) & mask;
-  const uint32_t only = (p ^ q) & mask;
+  const uint32_t both = (p & q) & mask_;
+  const uint32_t only = (p ^ q) & mask_;
   const uint32_t n11 = static_cast<uint32_t>(__builtin_popcount(both));
   const uint32_t nb = static_cast<uint32_t>(__builtin_popcount(only));
   return {k_ - n11 - nb, nb, n11};
 }
 
-double KronFitLikelihood::EdgeTerm(uint32_t p, uint32_t q) const {
+double KronFitLikelihood::EdgeTermDirect(uint32_t p, uint32_t q) const {
   const double P = prob_(p, q);
   return std::log(P) + P + 0.5 * P * P;
+}
+
+Gradient3 KronFitLikelihood::EdgeGradientTermDirect(uint32_t p,
+                                                    uint32_t q) const {
+  const auto [n00, nb, n11] = DigitCounts(p, q);
+  const double P = prob_(p, q);
+  // d/dθ [log P + P + P²/2] = (n_θ/θ)(1 + P + P²).
+  const double factor = 1.0 + P + P * P;
+  return {n00 / theta_.a * factor, nb / theta_.b * factor,
+          n11 / theta_.c * factor};
 }
 
 double KronFitLikelihood::NoEdgeTerm() const {
@@ -57,10 +106,17 @@ Gradient3 KronFitLikelihood::NoEdgeGradient() const {
 
 double KronFitLikelihood::LogLikelihood(const Graph& graph,
                                         const PermutationState& sigma) const {
-  double edge_sum = 0.0;
-  graph.ForEachEdge([&](Graph::NodeId u, Graph::NodeId v) {
-    edge_sum += EdgeTerm(sigma.Position(u), sigma.Position(v));
-  });
+  const double edge_sum = ParallelSum(
+      graph.NumNodes(), kNodeGrain, [&](size_t begin, size_t end) {
+        double sum = 0.0;
+        for (size_t u = begin; u < end; ++u) {
+          const uint32_t pu = sigma.Position(static_cast<uint32_t>(u));
+          for (Graph::NodeId v : graph.Neighbors(static_cast<uint32_t>(u))) {
+            if (v > u) sum += EdgeTerm(pu, sigma.Position(v));
+          }
+        }
+        return sum;
+      });
   return edge_sum - NoEdgeTerm();
 }
 
@@ -88,19 +144,21 @@ double KronFitLikelihood::SwapDelta(const Graph& graph,
 
 Gradient3 KronFitLikelihood::EdgeGradient(const Graph& graph,
                                           const PermutationState& sigma) const {
-  Gradient3 grad{0.0, 0.0, 0.0};
-  const double a = theta_.a, b = theta_.b, c = theta_.c;
-  graph.ForEachEdge([&](Graph::NodeId u, Graph::NodeId v) {
-    const uint32_t p = sigma.Position(u), q = sigma.Position(v);
-    const auto [n00, nb, n11] = DigitCounts(p, q);
-    const double P = prob_(p, q);
-    // d/dθ [log P + P + P²/2] = (n_θ/θ)(1 + P + P²).
-    const double factor = 1.0 + P + P * P;
-    grad[0] += n00 / a * factor;
-    grad[1] += nb / b * factor;
-    grad[2] += n11 / c * factor;
-  });
-  return grad;
+  return ParallelSumArray<3>(
+      graph.NumNodes(), kNodeGrain, [&](size_t begin, size_t end) {
+        Gradient3 grad{0.0, 0.0, 0.0};
+        for (size_t u = begin; u < end; ++u) {
+          const uint32_t pu = sigma.Position(static_cast<uint32_t>(u));
+          for (Graph::NodeId v : graph.Neighbors(static_cast<uint32_t>(u))) {
+            if (v <= u) continue;
+            const size_t idx = TableIndex(pu, sigma.Position(v));
+            grad[0] += grad_a_[idx];
+            grad[1] += grad_b_[idx];
+            grad[2] += grad_c_[idx];
+          }
+        }
+        return grad;
+      });
 }
 
 }  // namespace dpkron

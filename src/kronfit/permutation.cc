@@ -59,4 +59,14 @@ PermutationState DegreeGuidedInit(const Graph& graph, uint32_t k) {
   return PermutationState(std::move(sigma));
 }
 
+void PerturbUniform(PermutationState* sigma, uint64_t swaps, Rng& rng) {
+  const uint32_t n = sigma->size();
+  if (n < 2) return;
+  for (uint64_t i = 0; i < swaps; ++i) {
+    const uint32_t u = static_cast<uint32_t>(rng.NextBounded(n));
+    const uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
+    sigma->SwapNodes(u, v);
+  }
+}
+
 }  // namespace dpkron

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/graph/graph.h"
 
 namespace dpkron {
@@ -45,6 +46,12 @@ class PermutationState {
 // degree observed nodes are mapped to the lowest-popcount ids. A good
 // initial σ shortens the Metropolis burn-in considerably.
 PermutationState DegreeGuidedInit(const Graph& graph, uint32_t k);
+
+// Applies `swaps` uniformly random transpositions to sigma. The
+// multi-chain Metropolis sampler uses this to overdisperse chain starts:
+// every chain begins at the degree-guided init jittered by its own RNG
+// stream, so chains decorrelate faster than identical starts would.
+void PerturbUniform(PermutationState* sigma, uint64_t swaps, Rng& rng);
 
 }  // namespace dpkron
 

@@ -41,6 +41,44 @@ TEST(DegreeGuidedInitTest, HighestDegreeGetsLowestPopcount) {
   EXPECT_EQ(sigma.Position(0), 0u);  // center (degree 4) -> position 0
 }
 
+// The O(k²) lookup tables must reproduce the direct computation to the
+// last bit — EXPECT_EQ on doubles, not EXPECT_NEAR. Sweeps several
+// initiators (including the clamped-floor corner) and orders, with
+// exhaustive position pairs at small k and a deterministic sample at
+// larger k.
+TEST(LikelihoodTest, TablePathMatchesDirectBitExactly) {
+  const Initiator2 thetas[] = {
+      {0.9, 0.5, 0.2}, {0.99, 0.55, 0.35}, {0.5, 0.5, 0.5},
+      {1.0, 0.7, 0.0},  // c clamps to kThetaFloor
+      {0.3, 0.9, 0.6},  // non-canonical a < c
+  };
+  for (const Initiator2& theta : thetas) {
+    for (uint32_t k : {1u, 2u, 5u, 8u, 14u, 20u}) {
+      const KronFitLikelihood model(theta, k);
+      const uint32_t n = uint32_t{1} << std::min(k, 6u);
+      Rng rng(k * 1000003u);
+      for (uint32_t trial = 0; trial < (k <= 6 ? n * n : 2000u); ++trial) {
+        uint32_t p, q;
+        if (k <= 6) {
+          p = trial / n;
+          q = trial % n;
+        } else {
+          p = static_cast<uint32_t>(rng.NextBounded(uint64_t{1} << k));
+          q = static_cast<uint32_t>(rng.NextBounded(uint64_t{1} << k));
+        }
+        ASSERT_EQ(model.EdgeTerm(p, q), model.EdgeTermDirect(p, q))
+            << "k=" << k << " p=" << p << " q=" << q;
+        const Gradient3 table = model.EdgeGradientTerm(p, q);
+        const Gradient3 direct = model.EdgeGradientTermDirect(p, q);
+        for (int i = 0; i < 3; ++i) {
+          ASSERT_EQ(table[i], direct[i])
+              << "component " << i << " k=" << k << " p=" << p << " q=" << q;
+        }
+      }
+    }
+  }
+}
+
 TEST(LikelihoodTest, EdgeTermValue) {
   const KronFitLikelihood model({0.9, 0.5, 0.2}, 2);
   // P(0,0) = 0.81.

@@ -9,11 +9,15 @@
 
 #include <gtest/gtest.h>
 #include "src/common/rng.h"
+#include "src/dp/smooth_sensitivity.h"
 #include "src/graph/anf.h"
 #include "src/graph/clustering.h"
 #include "src/graph/degree.h"
 #include "src/graph/graph.h"
 #include "src/graph/triangles.h"
+#include "src/kronfit/kronfit.h"
+#include "src/kronfit/likelihood.h"
+#include "src/kronfit/permutation.h"
 #include "src/linalg/spmv.h"
 #include "src/skg/sampler.h"
 
@@ -178,6 +182,78 @@ TEST(KernelInvarianceTest, SpmvAndDot) {
   });
   ExpectThreadCountInvariant([&] { return Dot(x, x); });
   ExpectThreadCountInvariant([&] { return Norm2(x); });
+}
+
+TEST(KernelInvarianceTest, ParallelSumArray) {
+  Rng rng(321);
+  std::vector<std::array<double, 3>> values(50000);
+  for (auto& v : values) {
+    for (double& x : v) x = rng.NextGaussian() * 1e6;
+  }
+  ExpectThreadCountInvariant([&] {
+    return ParallelSumArray<3>(values.size(), 512,
+                               [&](size_t begin, size_t end) {
+                                 std::array<double, 3> s{};
+                                 for (size_t i = begin; i < end; ++i) {
+                                   for (int j = 0; j < 3; ++j) {
+                                     s[j] += values[i][j];
+                                   }
+                                 }
+                                 return s;
+                               });
+  });
+}
+
+TEST(KernelInvarianceTest, KronFitLikelihoodKernels) {
+  const Graph g = SampleTestGraph();
+  const KronFitLikelihood model({0.9, 0.55, 0.25}, 9);
+  const PermutationState sigma = DegreeGuidedInit(g, 9);
+  // Doubles compared bit-exactly, as everywhere in this file.
+  ExpectThreadCountInvariant([&] { return model.LogLikelihood(g, sigma); });
+  ExpectThreadCountInvariant([&] { return model.EdgeGradient(g, sigma); });
+}
+
+TEST(KernelInvarianceTest, MetropolisChainsSampleGradient) {
+  const Graph g = SampleTestGraph();
+  const KronFitLikelihood model({0.9, 0.55, 0.25}, 9);
+  ExpectThreadCountInvariant([&] {
+    Rng rng(2024);
+    MetropolisChains chains(g, 9, 4, rng);
+    const Gradient3 g1 = chains.SampleGradient(model, 2 * g.NumNodes());
+    const Gradient3 g2 = chains.SampleGradient(model, 2 * g.NumNodes());
+    return std::array<double, 7>{g1[0], g1[1], g1[2], g2[0],
+                                 g2[1], g2[2],
+                                 chains.BestLogLikelihood(model)};
+  });
+}
+
+// The PR 2 acceptance bar: the full fit — multi-chain Metropolis,
+// table-driven likelihood, chunk-ordered reductions — must produce a
+// bit-identical KronFitResult at 1, 2 and 8 threads.
+TEST(KernelInvarianceTest, FitKronFit) {
+  Rng g_rng(606);
+  const Graph g = SampleSkg({0.9, 0.5, 0.2}, 8, g_rng);
+  KronFitOptions options;
+  options.iterations = 8;
+  options.warmup_factor = 2.0;
+  options.tail_average = 4;
+  ExpectThreadCountInvariant([&] {
+    Rng rng(42);
+    const KronFitResult fit = FitKronFit(g, rng, options);
+    return std::array<double, 4>{fit.theta.a, fit.theta.b, fit.theta.c,
+                                 fit.log_likelihood};
+  });
+}
+
+TEST(KernelInvarianceTest, TriangleSensitivityProfile) {
+  const Graph g = SampleTestGraph();
+  ExpectThreadCountInvariant([&] {
+    const TriangleSensitivityProfile profile(g);
+    return profile.frontier();
+  });
+  ExpectThreadCountInvariant([&] {
+    return TriangleSensitivityProfile(g).SmoothSensitivity(0.05);
+  });
 }
 
 TEST(KernelInvarianceTest, EdgeSkipSampler) {
