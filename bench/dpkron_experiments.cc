@@ -1,0 +1,206 @@
+// dpkron_experiments — the unified experiment runner.
+//
+// One binary drives every registered scenario (Figs 1–4, Table 1, the
+// ablations, the dK-2 comparison) with shared flag parsing and uniform
+// output: human-readable summaries + TSV to stdout, and an optional
+// structured JSON document (--out=BENCH_scenarios.json) with the
+// PrivacyBudget ledger embedded per run.
+//
+//   dpkron_experiments --list
+//   dpkron_experiments --scenario=fig1_ca_grqc --realizations=100
+//   dpkron_experiments --scenario=all --smoke --out=BENCH_scenarios.json
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/parallel.h"
+#include "src/core/scenario.h"
+#include "src/scenarios/scenarios.h"
+
+namespace dpkron {
+namespace {
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: dpkron_experiments [--list] --scenario=<name>[,...]\n"
+               "\n"
+               "  --list                show registered scenarios and exit\n"
+               "  --scenario=NAMES      comma-separated scenario names, or"
+               " 'all'\n"
+               "  --threads=N           worker threads (default: hardware)\n"
+               "  --seed=N              override the scenario's seed\n"
+               "  --epsilon=X           override the privacy parameter\n"
+               "  --realizations=N      override 'Expected' realizations\n"
+               "  --trials=N            override mechanism trials per point\n"
+               "  --kronfit-iterations=N  override KronFit iterations\n"
+               "  --sweep-epsilons=a,b  override the epsilon sweep axis\n"
+               "  --smoke               shrink every axis for a fast pass\n"
+               "  --out=PATH            write BENCH_scenarios.json here\n");
+}
+
+void PrintList() {
+  std::printf("registered scenarios (run with --scenario=<name>):\n\n");
+  for (const ScenarioSpec& spec : AllScenarios()) {
+    std::printf("  %-22s %s\n", spec.name.c_str(), spec.description.c_str());
+    std::printf("  %-22s   was: %s", "",
+                spec.legacy_binary.empty() ? "-"
+                                           : spec.legacy_binary.c_str());
+    if (!spec.datasets.empty()) {
+      std::printf("; datasets:");
+      for (const std::string& dataset : spec.datasets) {
+        std::printf(" %s", dataset.c_str());
+      }
+    }
+    std::printf("\n  %-22s   defaults: seed=%llu epsilon=%g delta=%g", "",
+                static_cast<unsigned long long>(spec.defaults.seed),
+                spec.defaults.epsilon, spec.defaults.delta);
+    if (spec.defaults.realizations > 0) {
+      std::printf(" realizations=%u", spec.defaults.realizations);
+    }
+    if (spec.defaults.trials > 0) {
+      std::printf(" trials=%u", spec.defaults.trials);
+    }
+    if (!spec.defaults.sweep_epsilons.empty()) {
+      std::printf(" sweep=[");
+      for (size_t i = 0; i < spec.defaults.sweep_epsilons.size(); ++i) {
+        std::printf("%s%g", i ? "," : "", spec.defaults.sweep_epsilons[i]);
+      }
+      std::printf("]");
+    }
+    std::printf("\n\n");
+  }
+}
+
+std::vector<std::string> SplitCommaList(const char* value) {
+  std::vector<std::string> items;
+  std::string current;
+  for (const char* c = value; *c != '\0'; ++c) {
+    if (*c == ',') {
+      if (!current.empty()) items.push_back(current);
+      current.clear();
+    } else {
+      current += *c;
+    }
+  }
+  if (!current.empty()) items.push_back(current);
+  return items;
+}
+
+int Main(int argc, char** argv) {
+  RegisterAllScenarios();
+
+  bool list = false;
+  std::vector<std::string> names;
+  std::string out_path;
+  int threads = 0;
+  ScenarioOverrides overrides;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      overrides.smoke = true;
+    } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
+      for (std::string& name : SplitCommaList(arg + 11)) {
+        names.push_back(std::move(name));
+      }
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      overrides.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--epsilon=", 10) == 0) {
+      overrides.epsilon = std::atof(arg + 10);
+    } else if (std::strncmp(arg, "--realizations=", 15) == 0) {
+      overrides.realizations = static_cast<uint32_t>(std::atoi(arg + 15));
+    } else if (std::strncmp(arg, "--trials=", 9) == 0) {
+      const int trials = std::atoi(arg + 9);
+      if (trials < 1) {
+        std::fprintf(stderr, "--trials must be >= 1\n");
+        return 2;
+      }
+      overrides.trials = static_cast<uint32_t>(trials);
+    } else if (std::strncmp(arg, "--kronfit-iterations=", 21) == 0) {
+      const int iterations = std::atoi(arg + 21);
+      if (iterations < 1) {
+        std::fprintf(stderr, "--kronfit-iterations must be >= 1\n");
+        return 2;
+      }
+      overrides.kronfit_iterations = static_cast<uint32_t>(iterations);
+    } else if (std::strncmp(arg, "--sweep-epsilons=", 17) == 0) {
+      std::vector<double> sweep;
+      for (const std::string& item : SplitCommaList(arg + 17)) {
+        sweep.push_back(std::atof(item.c_str()));
+      }
+      overrides.sweep_epsilons = std::move(sweep);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n\n", arg);
+      PrintUsage(stderr);
+      return 2;
+    }
+  }
+
+  if (list) {
+    PrintList();
+    return 0;
+  }
+  if (names.empty()) {
+    PrintUsage(stderr);
+    return 2;
+  }
+  if (names.size() == 1 && names[0] == "all") {
+    names.clear();
+    for (const ScenarioSpec& spec : AllScenarios()) {
+      names.push_back(spec.name);
+    }
+  }
+  if (threads > 0) SetParallelThreadCount(threads);
+
+  std::vector<ScenarioOutput> outputs;
+  outputs.reserve(names.size());
+  for (const std::string& name : names) {
+    const ScenarioSpec* spec = FindScenario(name);
+    if (spec == nullptr) {
+      std::fprintf(stderr,
+                   "unknown scenario: %s (use --list to see the registry)\n",
+                   name.c_str());
+      return 2;
+    }
+    outputs.emplace_back(spec->name, stdout);
+    const Status status = RunScenario(*spec, overrides, outputs.back());
+    if (!status.ok()) {
+      std::fprintf(stderr, "scenario %s failed: %s\n", name.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("# %s done in %.2fs\n\n", name.c_str(),
+                outputs.back().elapsed_seconds());
+  }
+
+  if (!out_path.empty()) {
+    std::vector<const ScenarioOutput*> runs;
+    for (const ScenarioOutput& output : outputs) runs.push_back(&output);
+    const std::string json = ScenariosJson(runs, ParallelThreadCount());
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("# wrote %s (%zu scenarios)\n", out_path.c_str(),
+                runs.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dpkron
+
+int main(int argc, char** argv) { return dpkron::Main(argc, argv); }

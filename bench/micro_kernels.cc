@@ -6,6 +6,7 @@
 
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/core/release.h"
 #include "src/dp/degree_sequence.h"
 #include "src/dp/isotonic.h"
 #include "src/dp/smooth_sensitivity.h"
@@ -108,6 +109,23 @@ void BM_Anf(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Anf)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The release pipeline's realization fan-out — the path behind every
+// "Expected" series (the paper's 100-realization averages). k = 10,
+// 16 realizations keeps one iteration in benchmark range while still
+// exposing the cross-realization parallelism.
+void BM_ExpectedStatistics(benchmark::State& state) {
+  ScopedBenchThreads threads(static_cast<int>(state.range(0)));
+  StatisticsOptions options;
+  options.num_singular_values = 16;
+  for (auto _ : state) {
+    Rng rng(77);
+    benchmark::DoNotOptimize(
+        ExpectedStatistics({0.99, 0.55, 0.35}, 10, 16, rng, options));
+  }
+}
+BENCHMARK(BM_ExpectedStatistics)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 // ------------------------- KronFit hot path -------------------------

@@ -1,6 +1,9 @@
 #include "src/common/table_writer.h"
 
+#include <cmath>
 #include <utility>
+
+#include "src/common/macros.h"
 
 namespace dpkron {
 
@@ -36,6 +39,133 @@ void SummaryBlock::Print(std::FILE* out) const {
   for (const auto& [key, value] : items_) {
     std::fprintf(out, "  %-32s %s\n", key.c_str(), value.c_str());
   }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter() = default;
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!scopes_.empty()) {
+    // Bare values are only legal inside arrays; object members need Key().
+    DPKRON_CHECK_MSG(scopes_.back().kind == '[',
+                     "JsonWriter: value without Key inside an object");
+    if (scopes_.back().has_element) out_ += ',';
+    scopes_.back().has_element = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  scopes_.push_back(Scope{'{', false});
+}
+
+void JsonWriter::EndObject() {
+  DPKRON_CHECK_MSG(
+      !scopes_.empty() && scopes_.back().kind == '{' && !after_key_,
+      "JsonWriter: EndObject outside an object");
+  scopes_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  scopes_.push_back(Scope{'[', false});
+}
+
+void JsonWriter::EndArray() {
+  DPKRON_CHECK_MSG(
+      !scopes_.empty() && scopes_.back().kind == '[' && !after_key_,
+      "JsonWriter: EndArray outside an array");
+  scopes_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& key) {
+  DPKRON_CHECK_MSG(
+      !scopes_.empty() && scopes_.back().kind == '{' && !after_key_,
+      "JsonWriter: Key outside an object");
+  if (scopes_.back().has_element) out_ += ',';
+  scopes_.back().has_element = true;
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Number(double value) {
+  if (!std::isfinite(value)) {
+    Null();
+    return;
+  }
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
 }
 
 }  // namespace dpkron

@@ -1,13 +1,15 @@
-// TSV experiment-output writer used by the bench harnesses.
+// Experiment-output writers used by the scenario engine and benches.
 //
-// Every table/figure binary emits (1) machine-readable TSV blocks — one row
-// per plotted point, tagged with the series name — and (2) a human-readable
-// summary. Keeping the format in one place makes the bench outputs uniform
-// and trivially grep-able / plottable.
+// Every scenario emits (1) machine-readable TSV blocks — one row per
+// plotted point, tagged with the series name — (2) a human-readable
+// summary, and (3) a structured JSON document (BENCH_scenarios.json)
+// assembled with JsonWriter. Keeping the formats in one place makes the
+// experiment outputs uniform and trivially grep-able / plottable.
 
 #ifndef DPKRON_COMMON_TABLE_WRITER_H_
 #define DPKRON_COMMON_TABLE_WRITER_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -17,6 +19,12 @@ namespace dpkron {
 // Accumulates named series of (x, y) points and prints them as TSV.
 class SeriesTable {
  public:
+  struct Row {
+    std::string series;
+    double x;
+    double y;
+  };
+
   // `experiment` tags every emitted row (e.g. "fig1_ca_grqc/hop_plot").
   explicit SeriesTable(std::string experiment);
 
@@ -27,13 +35,10 @@ class SeriesTable {
   void Print(std::FILE* out = stdout) const;
 
   size_t size() const { return rows_.size(); }
+  const std::string& experiment() const { return experiment_; }
+  const std::vector<Row>& rows() const { return rows_; }
 
  private:
-  struct Row {
-    std::string series;
-    double x;
-    double y;
-  };
   std::string experiment_;
   std::vector<Row> rows_;
 };
@@ -48,9 +53,58 @@ class SummaryBlock {
 
   void Print(std::FILE* out = stdout) const;
 
+  const std::string& title() const { return title_; }
+  const std::vector<std::pair<std::string, std::string>>& items() const {
+    return items_;
+  }
+
  private:
   std::string title_;
   std::vector<std::pair<std::string, std::string>> items_;
+};
+
+// `s` with JSON string escapes applied (quotes, backslashes, control
+// characters as \uXXXX) — no surrounding quotes.
+std::string JsonEscape(const std::string& s);
+
+// Minimal streaming JSON emitter. The caller drives structure with
+// Begin/End calls; separators are inserted automatically. Numbers are
+// written with %.17g (round-trippable doubles); non-finite values have
+// no JSON representation and are emitted as null. Misnesting (e.g. a
+// bare value where a key is required) is a programming error and CHECKs.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Object member key; must be followed by exactly one value or Begin*.
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Number(double value);  // NaN / ±Inf -> null
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Bool(bool value);
+  void Null();
+
+  // The document so far. Complete once every Begin has its End.
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();  // comma / key / nesting bookkeeping for all values
+
+  struct Scope {
+    char kind;         // '{' or '['
+    bool has_element;  // true once the container has a first member
+  };
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  bool after_key_ = false;
 };
 
 }  // namespace dpkron

@@ -4,47 +4,61 @@
 #include <map>
 
 #include "src/common/macros.h"
+#include "src/common/parallel.h"
 #include "src/graph/anf.h"
 #include "src/graph/clustering.h"
 #include "src/graph/degree.h"
 #include "src/graph/hop_plot.h"
+#include "src/graph/triangles.h"
 #include "src/linalg/lanczos.h"
 #include "src/linalg/network_value.h"
 
 namespace dpkron {
 
-GraphStatistics ComputeStatistics(const Graph& graph, Rng& rng,
-                                  const StatisticsOptions& options) {
+ReleasePipeline::ReleasePipeline(StatisticsOptions options,
+                                 SkgSampleMethod method)
+    : options_(options), method_(method) {}
+
+GraphStatistics ReleasePipeline::Compute(const Graph& graph,
+                                         Rng& rng) const {
   GraphStatistics stats;
 
-  for (const auto& [degree, count] : DegreeHistogram(graph)) {
+  // Shared intermediates: the degree vector feeds the histogram and the
+  // clustering panel; per-node triangle counts feed clustering. Computing
+  // them once saves the dominant recomputation of the old per-panel path
+  // (each ClusteringByDegree call re-ran the triangle kernel).
+  const std::vector<uint32_t> degrees = DegreeVector(graph);
+
+  for (const auto& [degree, count] : DegreeHistogramFromDegrees(degrees)) {
     stats.degree_histogram.emplace_back(double(degree), double(count));
   }
 
   std::vector<uint64_t> hops;
-  if (graph.NumNodes() <= options.exact_hop_plot_limit) {
+  if (graph.NumNodes() <= options_.exact_hop_plot_limit) {
     hops = ExactHopPlot(graph);
   } else {
     AnfOptions anf;
-    anf.num_trials = options.anf_trials;
+    anf.num_trials = options_.anf_trials;
     hops = ApproxHopPlot(graph, rng, anf);
   }
   stats.hop_plot.assign(hops.begin(), hops.end());
 
   const uint32_t k_singular =
-      std::min(options.num_singular_values, graph.NumNodes());
+      std::min(options_.num_singular_values, graph.NumNodes());
   if (k_singular > 0 && graph.NumEdges() > 0) {
     stats.scree = TopSingularValues(graph, k_singular, rng);
   }
 
   if (graph.NumEdges() > 0) {
     stats.network_value = NetworkValue(graph, rng);
-    if (stats.network_value.size() > options.num_network_values) {
-      stats.network_value.resize(options.num_network_values);
+    if (stats.network_value.size() > options_.num_network_values) {
+      stats.network_value.resize(options_.num_network_values);
     }
   }
 
-  for (const auto& [degree, cc] : ClusteringByDegree(graph)) {
+  const std::vector<uint64_t> triangles = PerNodeTriangles(graph);
+  for (const auto& [degree, cc] :
+       ClusteringByDegreeFromParts(degrees, triangles)) {
     stats.clustering_by_degree.emplace_back(double(degree), cc);
   }
   return stats;
@@ -71,21 +85,36 @@ std::vector<double> AveragePositional(
 
 }  // namespace
 
-GraphStatistics ExpectedStatistics(const Initiator2& theta, uint32_t k,
-                                   uint32_t realizations, Rng& rng,
-                                   const StatisticsOptions& options,
-                                   SkgSampleMethod method) {
+GraphStatistics ReleasePipeline::Expected(const Initiator2& theta, uint32_t k,
+                                          uint32_t realizations,
+                                          Rng& rng) const {
   DPKRON_CHECK_GE(realizations, 1u);
+
+  // Fan the realizations across the pool: stream r drives realization r
+  // end to end (sample + statistics), so each per-realization result is a
+  // pure function of (θ, k, options, stream r) and the grain-1 chunk
+  // decomposition depends only on `realizations` — never on the thread
+  // count. The statistics kernels inside each realization degrade to
+  // serial execution when nested in a pool worker, which by the parallel.h
+  // contract computes the same values they would in parallel.
+  std::vector<Rng> streams = SplitRngStreams(rng, realizations);
+  std::vector<GraphStatistics> per_realization(realizations);
+  ParallelForChunks(realizations, 1, [&](const ParallelChunk& chunk) {
+    for (size_t r = chunk.begin; r < chunk.end; ++r) {
+      const Graph sample = Sample(theta, k, streams[r]);
+      per_realization[r] = Compute(sample, streams[r]);
+    }
+  });
+
+  // Aggregate in realization order — the chunk-ordered reduction that
+  // makes the floating-point mean thread-count-invariant.
   // Degree histogram: mean count per degree. Clustering: mean of per-
   // realization degree-averages, tracked with how many realizations had
   // that degree present.
   std::map<double, double> histogram_sum;
   std::map<double, std::pair<double, uint32_t>> clustering_sum;
   std::vector<std::vector<double>> hop_series, scree_series, netval_series;
-
-  for (uint32_t r = 0; r < realizations; ++r) {
-    const Graph sample = SampleSyntheticGraph(theta, k, rng, method);
-    const GraphStatistics stats = ComputeStatistics(sample, rng, options);
+  for (GraphStatistics& stats : per_realization) {
     for (const auto& [degree, count] : stats.degree_histogram) {
       histogram_sum[degree] += count;
     }
@@ -94,9 +123,9 @@ GraphStatistics ExpectedStatistics(const Initiator2& theta, uint32_t k,
       sum += cc;
       ++count;
     }
-    hop_series.push_back(stats.hop_plot);
-    scree_series.push_back(stats.scree);
-    netval_series.push_back(stats.network_value);
+    hop_series.push_back(std::move(stats.hop_plot));
+    scree_series.push_back(std::move(stats.scree));
+    netval_series.push_back(std::move(stats.network_value));
   }
 
   GraphStatistics mean;
@@ -113,11 +142,29 @@ GraphStatistics ExpectedStatistics(const Initiator2& theta, uint32_t k,
   return mean;
 }
 
+Graph ReleasePipeline::Sample(const Initiator2& theta, uint32_t k,
+                              Rng& rng) const {
+  SkgSampleOptions options;
+  options.method = method_;
+  return SampleSkg(theta, k, rng, options);
+}
+
+GraphStatistics ComputeStatistics(const Graph& graph, Rng& rng,
+                                  const StatisticsOptions& options) {
+  return ReleasePipeline(options).Compute(graph, rng);
+}
+
+GraphStatistics ExpectedStatistics(const Initiator2& theta, uint32_t k,
+                                   uint32_t realizations, Rng& rng,
+                                   const StatisticsOptions& options,
+                                   SkgSampleMethod method) {
+  return ReleasePipeline(options, method).Expected(theta, k, realizations,
+                                                   rng);
+}
+
 Graph SampleSyntheticGraph(const Initiator2& theta, uint32_t k, Rng& rng,
                            SkgSampleMethod method) {
-  SkgSampleOptions options;
-  options.method = method;
-  return SampleSkg(theta, k, rng, options);
+  return ReleasePipeline({}, method).Sample(theta, k, rng);
 }
 
 }  // namespace dpkron

@@ -34,6 +34,9 @@ struct GraphStatistics {
   std::vector<double> network_value;
   // (degree, mean clustering coefficient) — panel (e).
   std::vector<std::pair<double, double>> clustering_by_degree;
+
+  // Exact equality — the currency of the thread-count-invariance tests.
+  bool operator==(const GraphStatistics&) const = default;
 };
 
 struct StatisticsOptions {
@@ -45,24 +48,59 @@ struct StatisticsOptions {
   uint32_t anf_trials = 32;
 };
 
-// All five statistics of one concrete graph.
+// The release pipeline behind every scenario: sample synthetic graphs
+// from an initiator and compute the five statistics panels, once or
+// averaged over R realizations.
+//
+// Determinism contract (matching src/common/parallel.h): Expected() fans
+// realizations across the thread pool with one Rng::Split stream per
+// realization — stream r belongs to realization r regardless of which
+// worker runs it — and aggregates the per-realization results in
+// realization order, so the mean is bit-identical at 1, 2 or 8 threads
+// (tests/parallel_test.cc enforces it).
+class ReleasePipeline {
+ public:
+  explicit ReleasePipeline(
+      StatisticsOptions options = {},
+      SkgSampleMethod method = SkgSampleMethod::kClassSkip);
+
+  // All five statistics of one concrete graph. The degree vector and
+  // per-node triangle counts are materialized once and feed both the
+  // histogram and the clustering-by-degree panel.
+  GraphStatistics Compute(const Graph& graph, Rng& rng) const;
+
+  // "Expected" statistics: mean of each statistic over `realizations`
+  // samples of the SKG (Θ, k) — the paper's 100-realization averages.
+  // Degree histogram / clustering series are aggregated per degree value;
+  // positional series (hop plot, scree, network value) are averaged per
+  // index (shorter series are padded with their final value, matching how
+  // saturated hop plots behave).
+  GraphStatistics Expected(const Initiator2& theta, uint32_t k,
+                           uint32_t realizations, Rng& rng) const;
+
+  // One synthetic graph from an estimated parameter (the "KronFit" /
+  // "KronMom" / "Private" single-realization series).
+  Graph Sample(const Initiator2& theta, uint32_t k, Rng& rng) const;
+
+  const StatisticsOptions& options() const { return options_; }
+  SkgSampleMethod method() const { return method_; }
+
+ private:
+  StatisticsOptions options_;
+  SkgSampleMethod method_;
+};
+
+// Free-function façade over a default-constructed pipeline (the pre-
+// pipeline API; examples and tests use it for one-off computations).
 GraphStatistics ComputeStatistics(const Graph& graph, Rng& rng,
                                   const StatisticsOptions& options = {});
 
-// "Expected" statistics: mean of each statistic over `realizations`
-// samples of the SKG (Θ, k) — the paper's 100-realization averages.
-// Degree histogram / clustering series are aggregated per degree value;
-// positional series (hop plot, scree, network value) are averaged per
-// index (shorter series are padded with their final value, matching how
-// saturated hop plots behave).
 GraphStatistics ExpectedStatistics(const Initiator2& theta, uint32_t k,
                                    uint32_t realizations, Rng& rng,
                                    const StatisticsOptions& options = {},
                                    SkgSampleMethod method =
                                        SkgSampleMethod::kClassSkip);
 
-// One synthetic graph from an estimated parameter (the "KronFit" /
-// "KronMom" / "Private" single-realization series).
 Graph SampleSyntheticGraph(const Initiator2& theta, uint32_t k, Rng& rng,
                            SkgSampleMethod method = SkgSampleMethod::kClassSkip);
 

@@ -1,0 +1,244 @@
+#include "src/core/scenario.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+ScenarioParams ResolveParams(const ScenarioParams& defaults,
+                             const ScenarioOverrides& overrides) {
+  ScenarioParams params = defaults;
+  if (overrides.seed) params.seed = *overrides.seed;
+  if (overrides.epsilon) params.epsilon = *overrides.epsilon;
+  if (overrides.realizations) params.realizations = *overrides.realizations;
+  if (overrides.trials) params.trials = *overrides.trials;
+  if (overrides.kronfit_iterations) {
+    params.kronfit_iterations = *overrides.kronfit_iterations;
+  }
+  if (overrides.sweep_epsilons) params.sweep_epsilons = *overrides.sweep_epsilons;
+  params.smoke = overrides.smoke;
+  if (params.smoke) {
+    // Central axis shrinking so every scenario's smoke run is uniformly
+    // cheap; explicit flag overrides above already won (a user-supplied
+    // sweep is intentional even under --smoke).
+    if (!overrides.sweep_epsilons && params.sweep_epsilons.size() > 2) {
+      params.sweep_epsilons.resize(2);
+    }
+    if (!overrides.realizations) {
+      params.realizations = std::min(params.realizations, 2u);
+    }
+    if (!overrides.trials) params.trials = std::min(params.trials, 2u);
+    if (!overrides.kronfit_iterations) {
+      params.kronfit_iterations = std::min(params.kronfit_iterations, 5u);
+    }
+  }
+  return params;
+}
+
+ScenarioOutput::ScenarioOutput(std::string scenario, std::FILE* text_out)
+    : scenario_(std::move(scenario)), text_out_(text_out) {}
+
+void ScenarioOutput::Printf(const char* format, ...) {
+  if (text_out_ == nullptr) return;
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(text_out_, format, args);
+  va_end(args);
+}
+
+SeriesTable& ScenarioOutput::Table(const std::string& panel, bool print) {
+  const std::string experiment = scenario_ + "/" + panel;
+  for (TableEntry& entry : tables_) {
+    if (entry.table.experiment() == experiment) return entry.table;
+  }
+  tables_.push_back(TableEntry{SeriesTable(experiment), print});
+  return tables_.back().table;
+}
+
+void ScenarioOutput::AddSummary(const SummaryBlock& block) {
+  if (text_out_ != nullptr) block.Print(text_out_);
+  summaries_.push_back(block);
+}
+
+void ScenarioOutput::RecordBudget(const PrivacyBudget& budget, bool print) {
+  if (print && text_out_ != nullptr) {
+    std::fprintf(text_out_, "%s", budget.ToString().c_str());
+  }
+  budgets_.push_back(budget);
+}
+
+void ScenarioOutput::PrintTables() const {
+  if (text_out_ == nullptr) return;
+  for (const TableEntry& entry : tables_) {
+    if (entry.print) entry.table.Print(text_out_);
+  }
+}
+
+void ScenarioOutput::AppendRunJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("scenario");
+  json.String(scenario_);
+  json.Key("elapsed_seconds");
+  json.Number(elapsed_seconds_);
+
+  json.Key("params");
+  json.BeginObject();
+  json.Key("seed");
+  json.UInt(params_.seed);
+  json.Key("epsilon");
+  json.Number(params_.epsilon);
+  json.Key("delta");
+  json.Number(params_.delta);
+  json.Key("realizations");
+  json.UInt(params_.realizations);
+  json.Key("trials");
+  json.UInt(params_.trials);
+  json.Key("kronfit_iterations");
+  json.UInt(params_.kronfit_iterations);
+  json.Key("sweep_epsilons");
+  json.BeginArray();
+  for (double epsilon : params_.sweep_epsilons) json.Number(epsilon);
+  json.EndArray();
+  json.Key("smoke");
+  json.Bool(params_.smoke);
+  json.EndObject();
+
+  json.Key("budgets");
+  json.BeginArray();
+  for (const PrivacyBudget& budget : budgets_) {
+    json.BeginObject();
+    json.Key("epsilon_total");
+    json.Number(budget.epsilon_total());
+    json.Key("delta_total");
+    json.Number(budget.delta_total());
+    json.Key("epsilon_spent");
+    json.Number(budget.epsilon_spent());
+    json.Key("delta_spent");
+    json.Number(budget.delta_spent());
+    json.Key("ledger");
+    json.BeginArray();
+    for (const PrivacyBudget::LedgerEntry& entry : budget.ledger()) {
+      json.BeginObject();
+      json.Key("label");
+      json.String(entry.label);
+      json.Key("epsilon");
+      json.Number(entry.epsilon);
+      json.Key("delta");
+      json.Number(entry.delta);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("summaries");
+  json.BeginArray();
+  for (const SummaryBlock& block : summaries_) {
+    json.BeginObject();
+    json.Key("title");
+    json.String(block.title());
+    json.Key("items");
+    json.BeginObject();
+    for (const auto& [key, value] : block.items()) {
+      json.Key(key);
+      json.String(value);
+    }
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("tables");
+  json.BeginArray();
+  for (const TableEntry& entry : tables_) {
+    json.BeginObject();
+    json.Key("experiment");
+    json.String(entry.table.experiment());
+    json.Key("rows");
+    json.BeginArray();
+    for (const SeriesTable::Row& row : entry.table.rows()) {
+      json.BeginObject();
+      json.Key("series");
+      json.String(row.series);
+      json.Key("x");
+      json.Number(row.x);
+      json.Key("y");
+      json.Number(row.y);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.EndObject();
+}
+
+namespace {
+
+std::vector<ScenarioSpec>& MutableRegistry() {
+  static std::vector<ScenarioSpec>& registry = *new std::vector<ScenarioSpec>;
+  return registry;
+}
+
+}  // namespace
+
+void RegisterScenario(ScenarioSpec spec) {
+  DPKRON_CHECK_MSG(FindScenario(spec.name) == nullptr,
+                   ("duplicate scenario: " + spec.name).c_str());
+  DPKRON_CHECK_MSG(static_cast<bool>(spec.run),
+                   ("scenario without run function: " + spec.name).c_str());
+  MutableRegistry().push_back(std::move(spec));
+}
+
+const std::vector<ScenarioSpec>& AllScenarios() { return MutableRegistry(); }
+
+const ScenarioSpec* FindScenario(const std::string& name) {
+  for (const ScenarioSpec& spec : MutableRegistry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+Status RunScenario(const ScenarioSpec& spec,
+                   const ScenarioOverrides& overrides,
+                   ScenarioOutput& output) {
+  const ScenarioParams params = ResolveParams(spec.defaults, overrides);
+  output.set_params(params);
+  output.Printf("# %s: seed=%llu epsilon=%g delta=%g realizations=%u"
+                " trials=%u%s\n",
+                spec.name.c_str(),
+                static_cast<unsigned long long>(params.seed), params.epsilon,
+                params.delta, params.realizations, params.trials,
+                params.smoke ? " (smoke)" : "");
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = spec.run(spec, params, output);
+  output.set_elapsed_seconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  if (!status.ok()) return status;
+  output.PrintTables();
+  return Status::Ok();
+}
+
+std::string ScenariosJson(const std::vector<const ScenarioOutput*>& runs,
+                          int threads) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema");
+  json.String("dpkron.scenarios.v1");
+  json.Key("threads");
+  json.Int(threads);
+  json.Key("runs");
+  json.BeginArray();
+  for (const ScenarioOutput* run : runs) run->AppendRunJson(json);
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace dpkron

@@ -1,0 +1,156 @@
+// Declarative experiment scenarios — the engine behind dpkron_experiments.
+//
+// Every evaluation the paper reports (Figs 1–4, Table 1, the ablations,
+// the Sala-et-al. comparison) is a ScenarioSpec: a named, declarative
+// description (dataset, estimator routes, privacy parameters,
+// realizations, sweep axes) plus a run function, registered in a global
+// registry the way datasets/registry names graphs. One runner executes
+// any of them with shared flag parsing and uniform output: TSV via
+// SeriesTable, human-readable summaries, and a structured JSON document
+// with the PrivacyBudget ledger embedded per run.
+//
+// Adding a new experiment = registering one ScenarioSpec; no new binary.
+
+#ifndef DPKRON_CORE_SCENARIO_H_
+#define DPKRON_CORE_SCENARIO_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/table_writer.h"
+#include "src/dp/privacy_budget.h"
+
+namespace dpkron {
+
+// Everything a scenario run is parameterized by. Specs carry their
+// defaults (mirroring the deleted standalone binaries' hard-coded
+// values); the runner's flags override per invocation.
+struct ScenarioParams {
+  uint64_t seed = 20120330;  // PAIS'12 workshop date
+  // Privacy parameters — the paper's experiments all use (0.2, 0.01).
+  double epsilon = 0.2;
+  double delta = 0.01;
+  // Realizations behind "Expected" series; 0 skips those series.
+  uint32_t realizations = 0;
+  // Independent mechanism draws per sweep point (ablations).
+  uint32_t trials = 0;
+  // KronFit gradient iterations (the slowest stage; 40 reproduces the
+  // qualitative estimates well inside a CI budget).
+  uint32_t kronfit_iterations = 40;
+  // Declarative ε sweep axis; empty for single-operating-point scenarios.
+  std::vector<double> sweep_epsilons;
+  // Smoke mode: ResolveParams truncates the declarative axes (see
+  // implementation) and scenario bodies shrink their non-declarative
+  // ones (graph sizes, k ranges, dataset lists) — CI's fast path.
+  bool smoke = false;
+};
+
+// Optional per-flag overrides of a spec's defaults.
+struct ScenarioOverrides {
+  std::optional<uint64_t> seed;
+  std::optional<double> epsilon;
+  std::optional<uint32_t> realizations;
+  std::optional<uint32_t> trials;
+  std::optional<uint32_t> kronfit_iterations;
+  std::optional<std::vector<double>> sweep_epsilons;
+  bool smoke = false;
+};
+
+// Spec defaults + overrides + smoke shrinking, in that order.
+ScenarioParams ResolveParams(const ScenarioParams& defaults,
+                             const ScenarioOverrides& overrides);
+
+// Collects one scenario run's outputs: SeriesTables (TSV + JSON),
+// summaries, privacy-budget ledgers, and free-form text. `text_out` may
+// be null to suppress all human-readable output (tests).
+class ScenarioOutput {
+ public:
+  explicit ScenarioOutput(std::string scenario, std::FILE* text_out = stdout);
+
+  // printf to the text stream (not recorded in JSON).
+  void Printf(const char* format, ...) __attribute__((format(printf, 2, 3)));
+
+  // The table tagged "<scenario>/<panel>", created on first use.
+  // `print` = false keeps a table out of the TSV text output (used when
+  // a port already emits the legacy rows verbatim) — it still lands in
+  // the JSON document.
+  SeriesTable& Table(const std::string& panel, bool print = true);
+
+  // Prints the block immediately and records it for JSON.
+  void AddSummary(const SummaryBlock& block);
+
+  // Records a ledger snapshot for JSON; `print` = true also prints it
+  // (suppress inside sweep loops that would flood the text output).
+  void RecordBudget(const PrivacyBudget& budget, bool print = true);
+
+  // Prints every printable table (RunScenario calls this at the end, the
+  // position the standalone binaries printed their tables in).
+  void PrintTables() const;
+
+  const std::string& scenario() const { return scenario_; }
+  std::FILE* text_out() const { return text_out_; }
+  const ScenarioParams& params() const { return params_; }
+  double elapsed_seconds() const { return elapsed_seconds_; }
+  void set_params(const ScenarioParams& params) { params_ = params; }
+  void set_elapsed_seconds(double seconds) { elapsed_seconds_ = seconds; }
+
+  // Appends this run as one JSON object: name, params, elapsed time,
+  // budgets (with full ledgers), summaries and tables.
+  void AppendRunJson(JsonWriter& json) const;
+
+ private:
+  struct TableEntry {
+    SeriesTable table;
+    bool print;
+  };
+
+  std::string scenario_;
+  std::FILE* text_out_;
+  ScenarioParams params_;
+  double elapsed_seconds_ = 0.0;
+  std::deque<TableEntry> tables_;  // deque: stable references on growth
+  std::vector<SummaryBlock> summaries_;
+  std::vector<PrivacyBudget> budgets_;
+};
+
+struct ScenarioSpec {
+  std::string name;           // e.g. "fig1_ca_grqc"
+  std::string legacy_binary;  // pre-engine bench binary, for migration
+  std::string description;    // one line, shown by --list
+  // datasets/registry names exercised ({} = scenario-internal graphs).
+  std::vector<std::string> datasets;
+  // Estimator routes exercised, for --list ("kronfit", "kronmom", ...).
+  std::vector<std::string> estimators;
+  ScenarioParams defaults;
+  std::function<Status(const ScenarioSpec&, const ScenarioParams&,
+                       ScenarioOutput&)>
+      run;
+};
+
+// Registers a spec; duplicate names are a programming error (CHECK).
+void RegisterScenario(ScenarioSpec spec);
+
+// All registered specs, in registration order.
+const std::vector<ScenarioSpec>& AllScenarios();
+
+// nullptr if no spec has that name.
+const ScenarioSpec* FindScenario(const std::string& name);
+
+// Resolves params, prints the run header, invokes spec.run, prints the
+// tables, and records params + wall time in `output`.
+Status RunScenario(const ScenarioSpec& spec,
+                   const ScenarioOverrides& overrides,
+                   ScenarioOutput& output);
+
+// The BENCH_scenarios.json document: {schema, threads, runs: [...]}.
+std::string ScenariosJson(const std::vector<const ScenarioOutput*>& runs,
+                          int threads);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_CORE_SCENARIO_H_

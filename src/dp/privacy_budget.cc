@@ -6,9 +6,17 @@
 
 namespace dpkron {
 namespace {
-// Tolerance for floating-point budget comparisons: spending exactly the
-// remaining ε must succeed even after accumulation error.
-constexpr double kSlack = 1e-12;
+// Tolerances for floating-point budget comparisons: spending exactly the
+// remaining share must succeed even after accumulated representation
+// error. The relative term matters at large totals (an absolute 1e-12
+// slack vanishes against ε = 100 sweeps), the absolute term at tiny
+// ones; both are far below any privacy-meaningful resolution.
+constexpr double kAbsSlack = 1e-12;
+constexpr double kRelSlack = 1e-9;
+
+bool Fits(double spent, double charge, double total) {
+  return spent + charge <= total + kAbsSlack + kRelSlack * total;
+}
 }  // namespace
 
 PrivacyBudget::PrivacyBudget(double epsilon_total, double delta_total)
@@ -26,10 +34,10 @@ Status PrivacyBudget::Spend(double epsilon, double delta,
   if (epsilon == 0.0 && delta == 0.0) {
     return Status::InvalidArgument("empty privacy charge: " + label);
   }
-  if (epsilon_spent_ + epsilon > epsilon_total_ + kSlack) {
+  if (!Fits(epsilon_spent_, epsilon, epsilon_total_)) {
     return Status::FailedPrecondition("epsilon budget exhausted at: " + label);
   }
-  if (delta_spent_ + delta > delta_total_ + kSlack) {
+  if (!Fits(delta_spent_, delta, delta_total_)) {
     return Status::FailedPrecondition("delta budget exhausted at: " + label);
   }
   epsilon_spent_ += epsilon;

@@ -21,14 +21,24 @@ class PrivacyBudget {
 
   // Records a charge of (epsilon, delta) for mechanism `label`.
   // Fails (without recording) if the remaining budget is insufficient.
+  // Charges are compared with a small relative + absolute tolerance so a
+  // split that sums to the total on paper (e.g. Algorithm 1's ε/2 + ε/2)
+  // is never refused over accumulated floating-point rounding.
   Status Spend(double epsilon, double delta, const std::string& label);
 
   double epsilon_total() const { return epsilon_total_; }
   double delta_total() const { return delta_total_; }
   double epsilon_spent() const { return epsilon_spent_; }
   double delta_spent() const { return delta_spent_; }
-  double epsilon_remaining() const { return epsilon_total_ - epsilon_spent_; }
-  double delta_remaining() const { return delta_total_ - delta_spent_; }
+  // Clamped at 0: a tolerance-accepted final charge can push the raw
+  // difference to ~-1e-18, which is "exhausted", not "overdrawn".
+  double epsilon_remaining() const {
+    return epsilon_spent_ < epsilon_total_ ? epsilon_total_ - epsilon_spent_
+                                           : 0.0;
+  }
+  double delta_remaining() const {
+    return delta_spent_ < delta_total_ ? delta_total_ - delta_spent_ : 0.0;
+  }
 
   struct LedgerEntry {
     std::string label;

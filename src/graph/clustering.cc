@@ -1,5 +1,8 @@
 #include "src/graph/clustering.h"
 
+#include <algorithm>
+
+#include "src/common/macros.h"
 #include "src/common/parallel.h"
 #include "src/graph/degree.h"
 #include "src/graph/triangles.h"
@@ -58,17 +61,26 @@ double GlobalClustering(const Graph& graph) {
 
 std::vector<std::pair<uint32_t, double>> ClusteringByDegree(
     const Graph& graph) {
-  const std::vector<double> clustering = LocalClustering(graph);
-  const uint32_t max_degree = MaxDegree(graph);
+  return ClusteringByDegreeFromParts(DegreeVector(graph),
+                                     PerNodeTriangles(graph));
+}
+
+std::vector<std::pair<uint32_t, double>> ClusteringByDegreeFromParts(
+    const std::vector<uint32_t>& degrees,
+    const std::vector<uint64_t>& triangles) {
+  DPKRON_CHECK_EQ(degrees.size(), triangles.size());
+  uint32_t max_degree = 0;
+  for (uint32_t d : degrees) max_degree = std::max(max_degree, d);
   // The by-degree aggregation is a cheap O(n) pass over already-computed
   // values; the double sums stay sequential (and therefore exactly
   // ordered) rather than paying per-degree chunked reductions.
-  std::vector<double> sum(max_degree + 1, 0.0);
-  std::vector<uint64_t> count(max_degree + 1, 0);
-  for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
-    const uint32_t d = graph.Degree(u);
+  std::vector<double> sum(size_t(max_degree) + 1, 0.0);
+  std::vector<uint64_t> count(size_t(max_degree) + 1, 0);
+  for (size_t u = 0; u < degrees.size(); ++u) {
+    const uint32_t d = degrees[u];
     if (d >= 2) {
-      sum[d] += clustering[u];
+      sum[d] += 2.0 * static_cast<double>(triangles[u]) /
+                (double(d) * (d - 1));
       ++count[d];
     }
   }

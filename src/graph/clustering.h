@@ -30,6 +30,14 @@ double GlobalClustering(const Graph& graph);
 std::vector<std::pair<uint32_t, double>> ClusteringByDegree(
     const Graph& graph);
 
+// Variant over precomputed per-node degrees and triangle counts, so a
+// statistics pipeline that already holds both (degree histogram, local
+// clustering) doesn't recompute them. Identical output to
+// ClusteringByDegree(graph).
+std::vector<std::pair<uint32_t, double>> ClusteringByDegreeFromParts(
+    const std::vector<uint32_t>& degrees,
+    const std::vector<uint64_t>& triangles);
+
 }  // namespace dpkron
 
 #endif  // DPKRON_GRAPH_CLUSTERING_H_

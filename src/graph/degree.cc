@@ -69,6 +69,19 @@ std::vector<std::pair<uint32_t, uint64_t>> DegreeHistogram(
   return histogram;
 }
 
+std::vector<std::pair<uint32_t, uint64_t>> DegreeHistogramFromDegrees(
+    const std::vector<uint32_t>& degrees) {
+  uint32_t max_degree = 0;
+  for (uint32_t d : degrees) max_degree = std::max(max_degree, d);
+  std::vector<uint64_t> counts(size_t(max_degree) + 1, 0);
+  for (uint32_t d : degrees) ++counts[d];
+  std::vector<std::pair<uint32_t, uint64_t>> histogram;
+  for (uint32_t d = 0; d < counts.size(); ++d) {
+    if (counts[d] > 0) histogram.emplace_back(d, counts[d]);
+  }
+  return histogram;
+}
+
 double EdgesFromDegrees(const std::vector<double>& degrees) {
   double sum = 0.0;
   for (double d : degrees) sum += d;

@@ -27,6 +27,12 @@ uint32_t MaxDegree(const Graph& graph);
 // the "degree distribution" panels of Figs 1–4.
 std::vector<std::pair<uint32_t, uint64_t>> DegreeHistogram(const Graph& graph);
 
+// Same histogram computed from an already-materialized degree vector, so
+// a statistics pipeline that holds the degrees can feed several panels
+// from one pass. Identical output to DegreeHistogram(graph).
+std::vector<std::pair<uint32_t, uint64_t>> DegreeHistogramFromDegrees(
+    const std::vector<uint32_t>& degrees);
+
 // Exact degree-derived features, computed from any degree vector d:
 //   E = (1/2) Σ d_i            (number of edges)
 //   H = (1/2) Σ d_i (d_i − 1)  (hairpins / wedges / 2-stars)

@@ -1,0 +1,27 @@
+// Registration entry points for the built-in scenario catalog — the 12
+// former bench binaries, ported onto the scenario engine. Call
+// RegisterAllScenarios() once at startup (runner, tests); registration
+// is explicit rather than static-initializer magic so a static-library
+// link can never silently drop a translation unit of scenarios.
+
+#ifndef DPKRON_SCENARIOS_SCENARIOS_H_
+#define DPKRON_SCENARIOS_SCENARIOS_H_
+
+namespace dpkron {
+
+// Figs 1–4 (was fig1_ca_grqc … fig4_synthetic + figure_harness).
+void RegisterFigureScenarios();
+
+// Table 1 + the Sala-et-al. dK-2 comparison (was table1_parameters,
+// comparison_dk2).
+void RegisterTableScenarios();
+
+// The six ablations (was ablation_*).
+void RegisterAblationScenarios();
+
+// All of the above, idempotently.
+void RegisterAllScenarios();
+
+}  // namespace dpkron
+
+#endif  // DPKRON_SCENARIOS_SCENARIOS_H_

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 #include "src/common/rng.h"
+#include "src/core/release.h"
 #include "src/dp/smooth_sensitivity.h"
 #include "src/graph/anf.h"
 #include "src/graph/clustering.h"
@@ -262,6 +263,20 @@ TEST(KernelInvarianceTest, EdgeSkipSampler) {
   ExpectThreadCountInvariant([&] {
     Rng rng(555);
     return SampleSkg({0.95, 0.55, 0.3}, 12, rng, options).Edges();
+  });
+}
+
+// The parallel release pipeline: realizations fan out across the pool on
+// per-realization Rng::Split streams with realization-ordered
+// aggregation, so the 5-panel mean must be bit-identical at 1/2/8
+// threads.
+TEST(KernelInvarianceTest, ExpectedStatistics) {
+  StatisticsOptions options;
+  options.num_singular_values = 8;
+  options.anf_trials = 8;
+  ExpectThreadCountInvariant([&] {
+    Rng rng(20120330);
+    return ExpectedStatistics({0.9, 0.5, 0.2}, 8, 6, rng, options);
   });
 }
 

@@ -39,6 +39,39 @@ TEST(PrivacyBudgetTest, ExactSpendDespiteFloatAccumulation) {
   EXPECT_TRUE(budget.Spend(0.1, 0.0, "c").ok());  // 3×0.1 != 0.3 exactly
 }
 
+// Regression for the Algorithm 1 split: ε/2 on the degree sequence plus
+// (ε/2, δ) on the triangle count must exactly exhaust every (ε, δ)
+// budget — a refusal here over accumulated rounding would abort the
+// whole private estimator.
+TEST(PrivacyBudgetTest, Algorithm1SplitAlwaysFits) {
+  const double epsilons[] = {0.05, 0.1, 0.2, 0.3, 1.0 / 3.0, 0.7,
+                             2.5,  20.0, 100.0};
+  for (double epsilon : epsilons) {
+    PrivacyBudget budget(epsilon, 0.01);
+    EXPECT_TRUE(budget.Spend(epsilon / 2, 0.0, "degree sequence").ok())
+        << "epsilon=" << epsilon;
+    EXPECT_TRUE(budget.Spend(epsilon / 2, 0.01, "triangle count").ok())
+        << "epsilon=" << epsilon;
+    // Exhausted, never overdrawn: remaining is clamped at zero.
+    EXPECT_GE(budget.epsilon_remaining(), 0.0);
+    EXPECT_GE(budget.delta_remaining(), 0.0);
+  }
+}
+
+TEST(PrivacyBudgetTest, RelativeToleranceCoversLargeBudgets) {
+  // At ε = 12345.678 the three-way split accumulates rounding error far
+  // above any fixed absolute slack; the relative tolerance absorbs it.
+  const double epsilon = 12345.678;
+  PrivacyBudget budget(epsilon, 0.0);
+  EXPECT_TRUE(budget.Spend(epsilon / 3, 0.0, "a").ok());
+  EXPECT_TRUE(budget.Spend(epsilon / 3, 0.0, "b").ok());
+  EXPECT_TRUE(budget.Spend(epsilon / 3, 0.0, "c").ok());
+  EXPECT_GE(budget.epsilon_remaining(), 0.0);
+  // A genuine overdraft is still refused after the tolerance-accepted
+  // final charge.
+  EXPECT_FALSE(budget.Spend(1e-3, 0.0, "overdraft").ok());
+}
+
 TEST(PrivacyBudgetTest, RejectsInvalidCharges) {
   PrivacyBudget budget(1.0, 0.1);
   EXPECT_FALSE(budget.Spend(-0.1, 0.0, "negative").ok());

@@ -90,6 +90,23 @@ TEST(ExpectedStatisticsTest, HopPlotMonotone) {
   }
 }
 
+TEST(ReleasePipelineTest, ComputeMatchesFreeFunction) {
+  Rng rng_a(9), rng_b(9);
+  const Graph g = SampleSyntheticGraph({0.95, 0.55, 0.25}, 9, rng_a);
+  const Graph g2 = SampleSyntheticGraph({0.95, 0.55, 0.25}, 9, rng_b);
+  const GraphStatistics via_pipeline = ReleasePipeline().Compute(g, rng_a);
+  const GraphStatistics via_free = ComputeStatistics(g2, rng_b);
+  EXPECT_EQ(via_pipeline, via_free);
+}
+
+TEST(ReleasePipelineTest, ExpectedIsReproducibleFromSeed) {
+  const ReleasePipeline pipeline;
+  Rng rng_a(10), rng_b(10);
+  const GraphStatistics a = pipeline.Expected({0.9, 0.5, 0.2}, 7, 4, rng_a);
+  const GraphStatistics b = pipeline.Expected({0.9, 0.5, 0.2}, 7, 4, rng_b);
+  EXPECT_EQ(a, b);
+}
+
 TEST(SampleSyntheticGraphTest, MethodsProduceSimilarDensity) {
   const Initiator2 theta{0.95, 0.5, 0.2};
   const uint32_t k = 9;

@@ -1,0 +1,143 @@
+// The scenario engine and the registered catalog: registry integrity,
+// migration completeness (every deleted bench binary has a scenario),
+// parameter resolution, JSON emission, and a smoke run of every
+// registered scenario at tiny axes.
+
+#include "src/core/scenario.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+#include "src/scenarios/scenarios.h"
+
+namespace dpkron {
+namespace {
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterAllScenarios(); }
+};
+
+TEST_F(ScenarioTest, RegistryHoldsTheFullCatalog) {
+  EXPECT_GE(AllScenarios().size(), 12u);
+  std::set<std::string> names;
+  for (const ScenarioSpec& spec : AllScenarios()) {
+    EXPECT_TRUE(names.insert(spec.name).second)
+        << "duplicate scenario " << spec.name;
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+    EXPECT_TRUE(static_cast<bool>(spec.run)) << spec.name;
+    EXPECT_EQ(FindScenario(spec.name), &spec);
+  }
+  EXPECT_EQ(FindScenario("no_such_scenario"), nullptr);
+}
+
+TEST_F(ScenarioTest, EveryLegacyBinaryHasAScenario) {
+  const char* legacy[] = {
+      "fig1_ca_grqc",          "fig2_as20",
+      "fig3_ca_hepth",         "fig4_synthetic",
+      "table1_parameters",     "comparison_dk2",
+      "ablation_epsilon_sweep", "ablation_feature_route",
+      "ablation_model_selection", "ablation_objective",
+      "ablation_postprocess",  "ablation_smooth_sensitivity",
+  };
+  std::set<std::string> ported;
+  for (const ScenarioSpec& spec : AllScenarios()) {
+    ported.insert(spec.legacy_binary);
+  }
+  for (const char* binary : legacy) {
+    EXPECT_TRUE(ported.count(binary)) << "no scenario ports " << binary;
+  }
+}
+
+TEST_F(ScenarioTest, ResolveParamsAppliesOverridesThenSmoke) {
+  ScenarioParams defaults;
+  defaults.seed = 7;
+  defaults.realizations = 100;
+  defaults.trials = 10;
+  defaults.kronfit_iterations = 40;
+  defaults.sweep_epsilons = {0.05, 0.1, 0.2, 0.5};
+
+  ScenarioOverrides overrides;
+  overrides.seed = 11;
+  overrides.epsilon = 0.5;
+  ScenarioParams p = ResolveParams(defaults, overrides);
+  EXPECT_EQ(p.seed, 11u);
+  EXPECT_DOUBLE_EQ(p.epsilon, 0.5);
+  EXPECT_EQ(p.realizations, 100u);
+  EXPECT_EQ(p.sweep_epsilons.size(), 4u);
+
+  overrides.smoke = true;
+  p = ResolveParams(defaults, overrides);
+  EXPECT_EQ(p.realizations, 2u);
+  EXPECT_EQ(p.trials, 2u);
+  EXPECT_EQ(p.kronfit_iterations, 5u);
+  EXPECT_EQ(p.sweep_epsilons.size(), 2u);
+
+  // An explicit flag wins over smoke shrinking.
+  overrides.realizations = 50;
+  overrides.sweep_epsilons = std::vector<double>{0.1, 0.2, 0.3};
+  p = ResolveParams(defaults, overrides);
+  EXPECT_EQ(p.realizations, 50u);
+  EXPECT_EQ(p.sweep_epsilons.size(), 3u);
+}
+
+// Every registered scenario must complete a smoke run and produce at
+// least one non-empty series. This is the regression net for the whole
+// catalog: a scenario that stops emitting rows (or starts failing) is
+// caught here, not in CI's artifact diff.
+TEST_F(ScenarioTest, EveryScenarioSmokeRunEmitsSeries) {
+  for (const ScenarioSpec& spec : AllScenarios()) {
+    SCOPED_TRACE(spec.name);
+    ScenarioOverrides overrides;
+    overrides.smoke = true;
+    overrides.trials = 1;
+    overrides.realizations = spec.defaults.realizations > 0 ? 1 : 0;
+    overrides.kronfit_iterations = 2;
+    if (!spec.defaults.sweep_epsilons.empty()) {
+      overrides.sweep_epsilons = std::vector<double>{0.5};
+    }
+    ScenarioOutput output(spec.name, /*text_out=*/nullptr);
+    const Status status = RunScenario(spec, overrides, output);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_GT(output.elapsed_seconds(), 0.0);
+
+    JsonWriter json;
+    output.AppendRunJson(json);
+    const std::string& doc = json.str();
+    EXPECT_NE(doc.find("\"scenario\":\"" + spec.name + "\""),
+              std::string::npos);
+    // At least one table with at least one row.
+    EXPECT_NE(doc.find("\"rows\":[{"), std::string::npos)
+        << "scenario emitted no series rows";
+  }
+}
+
+TEST_F(ScenarioTest, ScenariosJsonWrapsRuns) {
+  ScenarioOutput a("alpha", nullptr);
+  a.Table("panel").Add("s", 1.0, 2.0);
+  ScenarioOutput b("beta", nullptr);
+  const std::string doc = ScenariosJson({&a, &b}, 4);
+  EXPECT_NE(doc.find("\"schema\":\"dpkron.scenarios.v1\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"threads\":4"), std::string::npos);
+  EXPECT_NE(doc.find("\"scenario\":\"alpha\""), std::string::npos);
+  EXPECT_NE(doc.find("\"scenario\":\"beta\""), std::string::npos);
+  EXPECT_NE(doc.find("\"experiment\":\"alpha/panel\""), std::string::npos);
+}
+
+TEST_F(ScenarioTest, OutputRecordsBudgetLedger) {
+  ScenarioOutput output("budgeted", nullptr);
+  PrivacyBudget budget(0.2, 0.01);
+  ASSERT_TRUE(budget.Spend(0.1, 0.0, "degree sequence").ok());
+  ASSERT_TRUE(budget.Spend(0.1, 0.01, "triangles").ok());
+  output.RecordBudget(budget, /*print=*/false);
+  JsonWriter json;
+  output.AppendRunJson(json);
+  EXPECT_NE(json.str().find("\"label\":\"degree sequence\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"label\":\"triangles\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpkron

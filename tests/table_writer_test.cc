@@ -1,7 +1,10 @@
 #include "src/common/table_writer.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -50,6 +53,102 @@ TEST(SeriesTableTest, HighPrecisionValuesSurvive) {
   const std::string out =
       Capture([&table](std::FILE* f) { table.Print(f); });
   EXPECT_NE(out.find("1.23456789e-07"), std::string::npos);
+}
+
+TEST(SeriesTableTest, ExposesRowsForStructuredEmission) {
+  SeriesTable table("exp/test");
+  table.Add("a", 1, 2);
+  table.Add("b", 3, 4);
+  EXPECT_EQ(table.experiment(), "exp/test");
+  ASSERT_EQ(table.rows().size(), 2u);
+  EXPECT_EQ(table.rows()[1].series, "b");
+  EXPECT_DOUBLE_EQ(table.rows()[1].x, 3.0);
+  EXPECT_DOUBLE_EQ(table.rows()[1].y, 4.0);
+}
+
+TEST(JsonWriterTest, NestedObjectsAndArrays) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name");
+  json.String("run");
+  json.Key("ledger");
+  json.BeginArray();
+  json.BeginObject();
+  json.Key("epsilon");
+  json.Number(0.5);
+  json.Key("count");
+  json.Int(-3);
+  json.EndObject();
+  json.UInt(7);
+  json.EndArray();
+  json.Key("ok");
+  json.Bool(true);
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"run\",\"ledger\":[{\"epsilon\":0.5,\"count\":-3},"
+            "7],\"ok\":true}");
+}
+
+TEST(JsonWriterTest, EscapesQuotesBackslashesAndControlChars) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("quote \" backslash \\");
+  json.String("tab\there\nnewline \x01 control");
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"quote \\\" backslash \\\\\":"
+            "\"tab\\there\\nnewline \\u0001 control\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(std::nan(""));
+  json.Number(std::numeric_limits<double>::infinity());
+  json.Number(-std::numeric_limits<double>::infinity());
+  json.Number(1.5);
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriterTest, NumbersRoundTripAtFullPrecision) {
+  const double values[] = {0.1, 1.23456789e-7, 1.0 / 3.0, -2.5e300};
+  for (double value : values) {
+    JsonWriter json;
+    json.Number(value);
+    // %.17g must reproduce the exact double on re-parse.
+    EXPECT_EQ(std::strtod(json.str().c_str(), nullptr), value)
+        << json.str();
+  }
+}
+
+TEST(JsonWriterDeathTest, RejectsMisnesting) {
+  EXPECT_DEATH(
+      {
+        JsonWriter json;
+        json.BeginObject();
+        json.Number(1.0);  // object member without a Key
+      },
+      "CHECK");
+  EXPECT_DEATH(
+      {
+        JsonWriter json;
+        json.BeginArray();
+        json.Key("k");  // keys are object-only
+      },
+      "CHECK");
+  EXPECT_DEATH(
+      {
+        JsonWriter json;
+        json.BeginArray();
+        json.EndObject();  // mismatched closer
+      },
+      "CHECK");
+}
+
+TEST(JsonEscapeTest, PassesPlainStringsThrough) {
+  EXPECT_EQ(JsonEscape("plain ascii 123"), "plain ascii 123");
+  EXPECT_EQ(JsonEscape(""), "");
 }
 
 TEST(SummaryBlockTest, PrintsTitleAndItems) {
