@@ -18,6 +18,7 @@
 
 #include "src/common/parallel.h"
 #include "src/core/scenario.h"
+#include "src/datasets/graph_source.h"
 #include "src/scenarios/scenarios.h"
 
 namespace dpkron {
@@ -28,8 +29,14 @@ void PrintUsage(std::FILE* out) {
                "usage: dpkron_experiments [--list] --scenario=<name>[,...]\n"
                "\n"
                "  --list                show registered scenarios and exit\n"
+               "  --list-datasets       show registered datasets and exit\n"
                "  --scenario=NAMES      comma-separated scenario names, or"
                " 'all'\n"
+               "  --dataset=REF         run on this dataset instead of the\n"
+               "                        scenario's own: a registry name, an\n"
+               "                        edge-list path, or a .dpkb path\n"
+               "  --dataset-cache       keep a .dpkb sidecar cache next to\n"
+               "                        a file-backed --dataset\n"
                "  --threads=N           worker threads (default: hardware)\n"
                "  --seed=N              override the scenario's seed\n"
                "  --epsilon=X           override the privacy parameter\n"
@@ -74,6 +81,21 @@ void PrintList() {
   }
 }
 
+void PrintDatasetList() {
+  std::printf("registered datasets (generator-backed; use with --dataset"
+              " or in scenario specs):\n\n");
+  std::printf("  %-16s %-14s %-20s %8s %10s\n", "name", "kind", "paper name",
+              "N", "E");
+  for (const DatasetInfo& info : PaperDatasets()) {
+    std::printf("  %-16s %-14s %-20s %8u %10llu\n", info.name.c_str(),
+                info.kind.c_str(), info.paper_name.c_str(), info.paper_nodes,
+                static_cast<unsigned long long>(info.paper_edges));
+  }
+  std::printf("\nany SNAP-style edge-list path or .dpkb binary path is also"
+              " a valid --dataset\nreference; add --dataset-cache to parse"
+              " the text once and binary-load it\nthereafter.\n");
+}
+
 std::vector<std::string> SplitCommaList(const char* value) {
   std::vector<std::string> items;
   std::string current;
@@ -93,6 +115,7 @@ int Main(int argc, char** argv) {
   RegisterAllScenarios();
 
   bool list = false;
+  bool list_datasets = false;
   std::vector<std::string> names;
   std::string out_path;
   int threads = 0;
@@ -102,8 +125,14 @@ int Main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--list") == 0) {
       list = true;
+    } else if (std::strcmp(arg, "--list-datasets") == 0) {
+      list_datasets = true;
     } else if (std::strcmp(arg, "--smoke") == 0) {
       overrides.smoke = true;
+    } else if (std::strcmp(arg, "--dataset-cache") == 0) {
+      overrides.dataset_cache = true;
+    } else if (std::strncmp(arg, "--dataset=", 10) == 0) {
+      overrides.dataset = std::string(arg + 10);
     } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
       for (std::string& name : SplitCommaList(arg + 11)) {
         names.push_back(std::move(name));
@@ -148,6 +177,19 @@ int Main(int argc, char** argv) {
   if (list) {
     PrintList();
     return 0;
+  }
+  if (list_datasets) {
+    PrintDatasetList();
+    return 0;
+  }
+  if (overrides.dataset) {
+    // Fail fast on a bad reference instead of deep inside a scenario.
+    auto source = ResolveGraphSource(*overrides.dataset);
+    if (!source.ok()) {
+      std::fprintf(stderr, "--dataset: %s\n",
+                   source.status().ToString().c_str());
+      return 2;
+    }
   }
   if (names.empty()) {
     PrintUsage(stderr);

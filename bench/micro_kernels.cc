@@ -4,9 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/core/release.h"
+#include "src/graph/graph_io.h"
 #include "src/dp/degree_sequence.h"
 #include "src/dp/isotonic.h"
 #include "src/dp/smooth_sensitivity.h"
@@ -303,6 +309,105 @@ void BM_ApproxHopPlot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ApproxHopPlot);
+
+// --------------------------- ingestion hot path ---------------------------
+// Parser throughput (bytes_per_second in BENCH_micro.json is MB/s) and
+// the binary-cache reload, on a ~1M-line sparse-id edge list. The
+// bytes_per_second ratio BM_EdgeListCacheReload / BM_ReadEdgeListFile is
+// the cache-load speedup over the text parse it replaces (both are
+// normalized to the text file's size).
+
+struct IngestFixture {
+  std::string text;         // in-memory SNAP-style edge list
+  std::string text_path;    // the same bytes on disk
+  std::string binary_path;  // warm .dpkb sidecar of the parsed graph
+};
+
+const IngestFixture& Ingest() {
+  static const IngestFixture& fixture = *new IngestFixture([] {
+    IngestFixture f;
+    Rng rng(77);
+    const uint32_t n = 1u << 17;
+    f.text = "# dpkron ingestion benchmark fixture\n";
+    f.text.reserve(16u << 20);
+    char line[48];
+    for (size_t i = 0; i < (1u << 20); ++i) {
+      const uint64_t u = rng.NextBounded(n);
+      const uint64_t v = rng.NextBounded(n);
+      if (u == v) continue;
+      // Sparse raw ids so the parse exercises densification too.
+      std::snprintf(line, sizeof(line), "%llu\t%llu\n",
+                    static_cast<unsigned long long>(u * 97 + 5),
+                    static_cast<unsigned long long>(v * 97 + 5));
+      f.text += line;
+    }
+    const auto dir = std::filesystem::temp_directory_path();
+    f.text_path = (dir / "dpkron_ingest_bench.edges").string();
+    f.binary_path = BinaryCachePath(f.text_path);
+    std::ofstream(f.text_path, std::ios::binary) << f.text;
+    const auto graph = ParseEdgeList(f.text);
+    // Record the text size so the sidecar passes cache validation.
+    (void)WriteBinaryGraph(graph.value(), f.binary_path, f.text.size());
+    return f;
+  }());
+  return fixture;
+}
+
+void BM_ParseEdgeList(benchmark::State& state) {
+  const IngestFixture& f = Ingest();
+  ScopedBenchThreads threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseEdgeList(f.text));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(f.text.size()));
+}
+BENCHMARK(BM_ParseEdgeList)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParseEdgeListSerial(benchmark::State& state) {
+  const IngestFixture& f = Ingest();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseEdgeListSerial(f.text));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(f.text.size()));
+}
+BENCHMARK(BM_ParseEdgeListSerial)->Unit(benchmark::kMillisecond);
+
+void BM_ReadEdgeListFile(benchmark::State& state) {
+  const IngestFixture& f = Ingest();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadEdgeList(f.text_path));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(f.text.size()));
+}
+BENCHMARK(BM_ReadEdgeListFile)->Unit(benchmark::kMillisecond);
+
+void BM_ReadBinaryGraph(benchmark::State& state) {
+  const IngestFixture& f = Ingest();
+  const auto binary_size = std::filesystem::file_size(f.binary_path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadBinaryGraph(f.binary_path));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(binary_size));
+}
+BENCHMARK(BM_ReadBinaryGraph)->Unit(benchmark::kMillisecond);
+
+// Warm-cache reload, normalized to the text size it stands in for.
+void BM_EdgeListCacheReload(benchmark::State& state) {
+  const IngestFixture& f = Ingest();
+  bool hit = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadEdgeListCached(f.text_path, &hit));
+  }
+  if (!hit) state.SkipWithError("cache miss on warm sidecar");
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(f.text.size()));
+}
+BENCHMARK(BM_EdgeListCacheReload)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

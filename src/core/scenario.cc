@@ -5,6 +5,7 @@
 #include <cstdarg>
 
 #include "src/common/macros.h"
+#include "src/datasets/graph_source.h"
 
 namespace dpkron {
 
@@ -19,6 +20,8 @@ ScenarioParams ResolveParams(const ScenarioParams& defaults,
     params.kronfit_iterations = *overrides.kronfit_iterations;
   }
   if (overrides.sweep_epsilons) params.sweep_epsilons = *overrides.sweep_epsilons;
+  if (overrides.dataset) params.dataset = *overrides.dataset;
+  params.dataset_cache = params.dataset_cache || overrides.dataset_cache;
   params.smoke = overrides.smoke;
   if (params.smoke) {
     // Central axis shrinking so every scenario's smoke run is uniformly
@@ -36,6 +39,35 @@ ScenarioParams ResolveParams(const ScenarioParams& defaults,
     }
   }
   return params;
+}
+
+const std::string& EffectiveDatasetRef(const std::string& ref,
+                                       const ScenarioParams& params) {
+  return params.dataset.empty() ? ref : params.dataset;
+}
+
+Result<Graph> LoadScenarioGraph(const std::string& ref,
+                                const ScenarioParams& params, Rng& rng) {
+  GraphLoadOptions options;
+  options.use_cache = params.dataset_cache;
+  return LoadGraphRef(EffectiveDatasetRef(ref, params), rng, options);
+}
+
+std::vector<DatasetInfo> ScenarioDatasets(const ScenarioParams& params) {
+  if (params.dataset.empty()) return PaperDatasets();
+  auto source = ResolveGraphSource(params.dataset);
+  // A registry-name override keeps its full registry entry (paper
+  // metadata columns included); only file-backed overrides synthesize
+  // a metadata-less stub.
+  if (source.ok() && source.value().info != nullptr) {
+    return {*source.value().info};
+  }
+  DatasetInfo info;
+  info.name = params.dataset;
+  info.paper_name = "-";
+  info.kind =
+      source.ok() ? GraphSourceKindName(source.value().kind) : "unresolved";
+  return {std::move(info)};
 }
 
 ScenarioOutput::ScenarioOutput(std::string scenario, std::FILE* text_out)
@@ -104,6 +136,10 @@ void ScenarioOutput::AppendRunJson(JsonWriter& json) const {
   json.EndArray();
   json.Key("smoke");
   json.Bool(params_.smoke);
+  json.Key("dataset");
+  json.String(params_.dataset);
+  json.Key("dataset_cache");
+  json.Bool(params_.dataset_cache);
   json.EndObject();
 
   json.Key("budgets");
@@ -210,11 +246,12 @@ Status RunScenario(const ScenarioSpec& spec,
   const ScenarioParams params = ResolveParams(spec.defaults, overrides);
   output.set_params(params);
   output.Printf("# %s: seed=%llu epsilon=%g delta=%g realizations=%u"
-                " trials=%u%s\n",
+                " trials=%u%s%s%s\n",
                 spec.name.c_str(),
                 static_cast<unsigned long long>(params.seed), params.epsilon,
                 params.delta, params.realizations, params.trials,
-                params.smoke ? " (smoke)" : "");
+                params.dataset.empty() ? "" : " dataset=",
+                params.dataset.c_str(), params.smoke ? " (smoke)" : "");
   const auto start = std::chrono::steady_clock::now();
   const Status status = spec.run(spec, params, output);
   output.set_elapsed_seconds(

@@ -21,9 +21,12 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/table_writer.h"
+#include "src/datasets/registry.h"
 #include "src/dp/privacy_budget.h"
+#include "src/graph/graph.h"
 
 namespace dpkron {
 
@@ -48,6 +51,13 @@ struct ScenarioParams {
   // implementation) and scenario bodies shrink their non-declarative
   // ones (graph sizes, k ranges, dataset lists) — CI's fast path.
   bool smoke = false;
+  // Dataset override: when non-empty, scenario bodies load this
+  // GraphSource reference (a registry name, an edge-list path, or a
+  // .dpkb path) instead of their spec-declared registry datasets —
+  // the hook behind `dpkron_experiments --dataset`.
+  std::string dataset;
+  // File-backed overrides go through the .dpkb sidecar cache.
+  bool dataset_cache = false;
 };
 
 // Optional per-flag overrides of a spec's defaults.
@@ -59,11 +69,35 @@ struct ScenarioOverrides {
   std::optional<uint32_t> kronfit_iterations;
   std::optional<std::vector<double>> sweep_epsilons;
   bool smoke = false;
+  std::optional<std::string> dataset;
+  bool dataset_cache = false;
 };
 
 // Spec defaults + overrides + smoke shrinking, in that order.
 ScenarioParams ResolveParams(const ScenarioParams& defaults,
                              const ScenarioOverrides& overrides);
+
+// The dataset reference a scenario body effectively runs on: the
+// --dataset override when set, else `ref` (normally the spec's registry
+// dataset name). Bodies that print the dataset name use this too, so
+// the label always matches what LoadScenarioGraph loads.
+const std::string& EffectiveDatasetRef(const std::string& ref,
+                                       const ScenarioParams& params);
+
+// Loads EffectiveDatasetRef(ref, params) through GraphSource.
+// Generator-backed sources consume `rng` exactly the way MakeDataset
+// did, file-backed sources never touch it — so the RNG stream protocol
+// (and therefore every fixed-seed output) is unchanged when no override
+// is given.
+Result<Graph> LoadScenarioGraph(const std::string& ref,
+                                const ScenarioParams& params, Rng& rng);
+
+// The dataset list catalog-iterating scenarios (Table 1, the model-
+// selection ablation) run over: the full paper registry normally, or a
+// single synthesized entry describing the --dataset override (name =
+// the reference, kind = the resolved GraphSource kind, generator =
+// nullptr, paper columns zeroed).
+std::vector<DatasetInfo> ScenarioDatasets(const ScenarioParams& params);
 
 // Collects one scenario run's outputs: SeriesTables (TSV + JSON),
 // summaries, privacy-budget ledgers, and free-form text. `text_out` may

@@ -1,0 +1,67 @@
+// GraphSource — the unified ingestion abstraction: every graph that
+// enters the system comes from one of three source kinds, resolved from
+// a single reference string.
+//
+//   * kGenerator — a synthetic registry dataset ("CA-GrQC-like", ...),
+//     produced in-process by the entry's generator;
+//   * kEdgeList  — a SNAP-style text edge list on disk, parsed by the
+//     chunked parallel reader (optionally through the .dpkb sidecar
+//     cache: parse once, binary-load thereafter);
+//   * kBinary    — a .dpkb binary CSR file, loaded directly.
+//
+// Resolution is by the reference itself: a registered dataset name wins,
+// a path ending in ".dpkb" is binary, any other existing file is an
+// edge list. This is what lets the scenario engine run any registered
+// scenario on an arbitrary downloaded SNAP file via --dataset.
+
+#ifndef DPKRON_DATASETS_GRAPH_SOURCE_H_
+#define DPKRON_DATASETS_GRAPH_SOURCE_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/datasets/registry.h"
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+enum class GraphSourceKind {
+  kGenerator,  // synthetic registry dataset
+  kEdgeList,   // SNAP-style text edge list file
+  kBinary,     // .dpkb binary CSR file
+};
+
+// "generator" | "edge-list" | "binary".
+const char* GraphSourceKindName(GraphSourceKind kind);
+
+struct GraphSource {
+  GraphSourceKind kind = GraphSourceKind::kGenerator;
+  std::string ref;                    // registry name or file path
+  const DatasetInfo* info = nullptr;  // registry entry (kGenerator only)
+};
+
+struct GraphLoadOptions {
+  // For kEdgeList sources: load through the .dpkb sidecar cache
+  // (ReadEdgeListCached) instead of re-parsing the text every run.
+  bool use_cache = false;
+};
+
+// Classifies a dataset reference. NotFound when the reference is
+// neither a registered dataset name nor an existing file; the message
+// lists the registered names.
+Result<GraphSource> ResolveGraphSource(const std::string& ref);
+
+// Materializes the graph. Generator sources consume `rng` exactly as
+// MakeDataset does; file-backed sources never touch it (so a scenario's
+// RNG stream protocol is unchanged by swapping a file in).
+Result<Graph> LoadGraph(const GraphSource& source, Rng& rng,
+                        const GraphLoadOptions& options = {});
+
+// ResolveGraphSource + LoadGraph in one step.
+Result<Graph> LoadGraphRef(const std::string& ref, Rng& rng,
+                           const GraphLoadOptions& options = {});
+
+}  // namespace dpkron
+
+#endif  // DPKRON_DATASETS_GRAPH_SOURCE_H_

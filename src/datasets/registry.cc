@@ -48,30 +48,39 @@ const std::vector<DatasetInfo>& PaperDatasets() {
           {"CA-GrQC-like", "CA-GrQC", "affiliation", 5242, 28980,
            /*kronfit=*/{0.999, 0.245, 0.691},
            /*kronmom=*/{1.000, 0.4674, 0.2790},
-           /*private=*/{1.000, 0.4618, 0.2930}},
+           /*private=*/{1.000, 0.4618, 0.2930},
+           /*generator=*/&CaGrQcLike},
           {"CA-HepTh-like", "CA-HepTh", "affiliation", 9877, 51971,
            /*kronfit=*/{0.999, 0.271, 0.587},
            /*kronmom=*/{1.000, 0.4012, 0.3789},
-           /*private=*/{1.000, 0.4048, 0.3720}},
+           /*private=*/{1.000, 0.4048, 0.3720},
+           /*generator=*/&CaHepThLike},
           {"AS20-like", "AS20", "preferential", 6474, 26467,
            /*kronfit=*/{0.987, 0.571, 0.049},
            /*kronmom=*/{1.000, 0.6300, 0.000},
-           /*private=*/{1.000, 0.6286, 0.000}},
+           /*private=*/{1.000, 0.6286, 0.000},
+           /*generator=*/&As20Like},
           {"Synthetic-SKG", "Synthetic Kronecker", "kronecker", 16384, 0,
            /*kronfit=*/{0.9523, 0.4743, 0.2493},
            /*kronmom=*/{0.9894, 0.5396, 0.2388},
-           /*private=*/{0.9924, 0.5343, 0.2466}},
+           /*private=*/{0.9924, 0.5343, 0.2466},
+           /*generator=*/&SyntheticKronecker},
       };
   return datasets;
 }
 
+const DatasetInfo* FindDataset(const std::string& name) {
+  for (const DatasetInfo& info : PaperDatasets()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
 Graph MakeDataset(const std::string& name, Rng& rng) {
-  if (name == "CA-GrQC-like") return CaGrQcLike(rng);
-  if (name == "CA-HepTh-like") return CaHepThLike(rng);
-  if (name == "AS20-like") return As20Like(rng);
-  if (name == "Synthetic-SKG") return SyntheticKronecker(rng);
-  DPKRON_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
-  return Graph();
+  const DatasetInfo* info = FindDataset(name);
+  DPKRON_CHECK_MSG(info != nullptr && info->generator != nullptr,
+                   ("unknown dataset: " + name).c_str());
+  return info->generator(rng);
 }
 
 }  // namespace dpkron

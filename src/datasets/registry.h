@@ -20,12 +20,19 @@ struct DatasetInfo {
   std::string name;        // substitute name, e.g. "CA-GrQC-like"
   std::string paper_name;  // dataset name in the paper
   std::string kind;        // "affiliation" | "preferential" | "kronecker"
+                           // (file-backed sources use their GraphSource
+                           // kind name here)
   uint32_t paper_nodes = 0;
   uint64_t paper_edges = 0;
   // Table 1 rows (a, b, c) exactly as printed in the paper.
   Initiator2 paper_kronfit;
   Initiator2 paper_kronmom;
   Initiator2 paper_private;
+  // Produces the substitute graph. The registry entry IS the dispatch:
+  // MakeDataset looks the name up here instead of keeping a parallel
+  // if-chain of names. nullptr only for synthesized entries describing
+  // file-backed sources (which load through GraphSource, not here).
+  Graph (*generator)(Rng&) = nullptr;
 };
 
 // Substitute generators, calibrated to the paper's N and E.
@@ -40,8 +47,13 @@ inline constexpr uint32_t kSyntheticK = 14;
 // Metadata for the four Table 1 datasets, in paper order.
 const std::vector<DatasetInfo>& PaperDatasets();
 
+// The registry entry named `name`, or nullptr.
+const DatasetInfo* FindDataset(const std::string& name);
+
 // Generates the substitute graph for a registry entry by name
-// ("CA-GrQC-like", "CA-HepTh-like", "AS20-like", "Synthetic-SKG").
+// ("CA-GrQC-like", "CA-HepTh-like", "AS20-like", "Synthetic-SKG") via
+// the entry's generator. Aborts (CHECK) on an unknown name; callers
+// that need a recoverable error go through GraphSource resolution.
 Graph MakeDataset(const std::string& name, Rng& rng);
 
 }  // namespace dpkron

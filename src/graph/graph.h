@@ -70,6 +70,12 @@ class Graph {
   // All edges as (u, v) pairs with u < v, in lexicographic order.
   std::vector<std::pair<NodeId, NodeId>> Edges() const;
 
+  // Raw CSR arrays. The CSR form is canonical (sorted lists, both edge
+  // directions), so two Graphs are equal iff these arrays are equal —
+  // the representation the binary .dpkb format serializes verbatim.
+  std::span<const uint32_t> Offsets() const { return offsets_; }
+  std::span<const NodeId> Adjacency() const { return adjacency_; }
+
  private:
   Graph(std::vector<uint32_t> offsets, std::vector<NodeId> adjacency)
       : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {}

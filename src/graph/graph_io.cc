@@ -1,59 +1,242 @@
 #include "src/graph/graph_io.h"
 
-#include <cctype>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
-#include <sstream>
+#include <limits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/common/parallel.h"
 #include "src/graph/graph_builder.h"
 
 namespace dpkron {
 namespace {
 
-Result<Graph> ParseStream(std::istream& in, const std::string& origin) {
+using RawEdge = std::pair<uint64_t, uint64_t>;
+
+// ------------------------------------------------------- line tokenizer
+//
+// One tokenizer shared by the serial and the parallel parser, so the
+// two paths can only differ in chunking — never in what a line means.
+
+enum class LineKind { kEdge, kSkip, kError };
+
+bool IsFieldSpace(char c) { return c == ' ' || c == '\t'; }
+
+// Parses a run of decimal digits into `out` with overflow detection.
+// Returns nullptr on success, else a static error message.
+const char* ParseNodeId(const char*& p, const char* end, uint64_t* out) {
+  if (p == end || *p < '0' || *p > '9') {
+    return "expected unsigned integer node id";
+  }
+  uint64_t value = 0;
+  while (p != end && *p >= '0' && *p <= '9') {
+    const uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return "node id overflows uint64";
+    }
+    value = value * 10 + digit;
+    ++p;
+  }
+  *out = value;
+  return nullptr;
+}
+
+// Classifies one line (without its '\n'; a trailing '\r' is stripped).
+// On kError, `*error` points at a static message.
+LineKind ParseLine(const char* p, const char* end, RawEdge* edge,
+                   const char** error) {
+  if (p != end && *(end - 1) == '\r') --end;  // CRLF ending
+  while (p != end && IsFieldSpace(*p)) ++p;
+  if (p == end || *p == '#') return LineKind::kSkip;
+
+  if (const char* msg = ParseNodeId(p, end, &edge->first)) {
+    *error = msg;
+    return LineKind::kError;
+  }
+  if (p == end || !IsFieldSpace(*p)) {
+    *error = "expected whitespace between the two node ids";
+    return LineKind::kError;
+  }
+  while (p != end && IsFieldSpace(*p)) ++p;
+  if (const char* msg = ParseNodeId(p, end, &edge->second)) {
+    *error = msg;
+    return LineKind::kError;
+  }
+  while (p != end && IsFieldSpace(*p)) ++p;
+  if (p != end) {
+    *error = "trailing garbage after the two node ids";
+    return LineKind::kError;
+  }
+  return LineKind::kEdge;
+}
+
+// --------------------------------------------------------- chunk parse
+
+// Result of tokenizing one byte range: the raw edges in file order, the
+// number of lines seen, and the first malformed line (if any).
+struct ChunkParse {
+  std::vector<RawEdge> edges;
+  size_t lines = 0;
+  size_t error_line = 0;  // 1-based within the chunk; 0 = no error
+  std::string error;
+};
+
+void ParseChunk(const char* begin, const char* end, ChunkParse* out) {
+  const char* p = begin;
+  while (p < end) {
+    const char* newline =
+        static_cast<const char*>(std::memchr(p, '\n', end - p));
+    const char* line_end = newline != nullptr ? newline : end;
+    ++out->lines;
+    RawEdge edge;
+    const char* message = nullptr;
+    switch (ParseLine(p, line_end, &edge, &message)) {
+      case LineKind::kEdge:
+        out->edges.push_back(edge);
+        break;
+      case LineKind::kSkip:
+        break;
+      case LineKind::kError:
+        if (out->error_line == 0) {
+          const char* shown_end = line_end;
+          if (shown_end != p && *(shown_end - 1) == '\r') --shown_end;
+          out->error_line = out->lines;
+          out->error = std::string(message) + ", got: '" +
+                       std::string(p, shown_end) + "'";
+        }
+        break;
+    }
+    p = newline != nullptr ? newline + 1 : end;
+  }
+}
+
+// The fixed chunk decomposition: ~chunk_bytes per chunk, each boundary
+// snapped forward past the next '\n'. Depends only on the input bytes
+// and chunk_bytes, never on the thread count — the determinism
+// contract's requirement.
+std::vector<std::pair<size_t, size_t>> ChunkRanges(std::string_view text,
+                                                   size_t chunk_bytes) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  if (chunk_bytes == 0) chunk_bytes = 1;
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = begin + chunk_bytes;
+    if (end >= text.size()) {
+      end = text.size();
+    } else {
+      const size_t newline = text.find('\n', end);
+      end = newline == std::string_view::npos ? text.size() : newline + 1;
+    }
+    ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  return ranges;
+}
+
+// Concatenates the per-chunk runs in chunk order, densifies raw ids to
+// 0..n-1 by first appearance, and builds the Graph. Reports the first
+// malformed line with its absolute (file-level) line number.
+Result<Graph> MergeChunks(const std::vector<ChunkParse>& chunks,
+                          const std::string& origin) {
+  size_t line_base = 0;
+  size_t total_edges = 0;
+  for (const ChunkParse& chunk : chunks) {
+    if (chunk.error_line != 0) {
+      return Status::InvalidArgument(
+          origin + ":" + std::to_string(line_base + chunk.error_line) + ": " +
+          chunk.error);
+    }
+    line_base += chunk.lines;
+    total_edges += chunk.edges.size();
+  }
+
   std::unordered_map<uint64_t, Graph::NodeId> dense_id;
+  dense_id.reserve(total_edges / 2 + 16);
   std::vector<std::pair<Graph::NodeId, Graph::NodeId>> edges;
+  edges.reserve(total_edges);
   auto intern = [&dense_id](uint64_t raw) {
-    auto [it, inserted] = dense_id.emplace(
-        raw, static_cast<Graph::NodeId>(dense_id.size()));
+    auto [it, inserted] =
+        dense_id.emplace(raw, static_cast<Graph::NodeId>(dense_id.size()));
     (void)inserted;
     return it->second;
   };
-
-  std::string line;
-  size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    // Skip blanks and comments.
-    size_t pos = line.find_first_not_of(" \t\r");
-    if (pos == std::string::npos || line[pos] == '#') continue;
-    std::istringstream fields(line);
-    uint64_t raw_u = 0, raw_v = 0;
-    if (!(fields >> raw_u >> raw_v)) {
-      return Status::InvalidArgument(origin + ":" +
-                                     std::to_string(line_number) +
-                                     ": expected 'u v', got: " + line);
+  constexpr size_t kMaxNodeIds = std::numeric_limits<uint32_t>::max();
+  for (const ChunkParse& chunk : chunks) {
+    // Each edge adds at most two ids; bail before NodeId could wrap.
+    // (Checked in two parts: 2·edges alone can exceed the limit for a
+    // >2^31-edge chunk, and the subtraction must not underflow.)
+    if (2 * chunk.edges.size() > kMaxNodeIds ||
+        dense_id.size() > kMaxNodeIds - 2 * chunk.edges.size()) {
+      return Status::OutOfRange(origin +
+                                ": more than 2^32 distinct node ids");
     }
-    edges.emplace_back(intern(raw_u), intern(raw_v));
+    for (const auto& [u, v] : chunk.edges) {
+      // Two statements: emplace_back(intern(u), intern(v)) would leave
+      // the first-appearance order to the compiler's argument
+      // evaluation order.
+      const Graph::NodeId dense_u = intern(u);
+      const Graph::NodeId dense_v = intern(v);
+      edges.emplace_back(dense_u, dense_v);
+    }
   }
-  GraphBuilder builder(static_cast<uint32_t>(dense_id.size()));
-  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
-  return builder.Build();
+  return GraphBuilder::FromEdges(static_cast<uint32_t>(dense_id.size()),
+                                 edges);
+}
+
+Result<Graph> ParseEdgeListImpl(std::string_view text,
+                                const std::string& origin,
+                                const EdgeListParseOptions& options) {
+  const std::vector<std::pair<size_t, size_t>> ranges =
+      ChunkRanges(text, options.chunk_bytes);
+  std::vector<ChunkParse> chunks(ranges.size());
+  ParallelFor(ranges.size(), 1, [&](size_t i) {
+    ParseChunk(text.data() + ranges[i].first, text.data() + ranges[i].second,
+               &chunks[i]);
+  });
+  return MergeChunks(chunks, origin);
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open edge list: " + path);
+  std::string bytes;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size > 0) {
+    bytes.resize(static_cast<size_t>(size));
+    in.seekg(0, std::ios::beg);
+    in.read(bytes.data(), size);
+    if (!in) return Status::Internal("read failed: " + path);
+  }
+  return bytes;
 }
 
 }  // namespace
 
-Result<Graph> ReadEdgeList(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open edge list: " + path);
-  return ParseStream(in, path);
+Result<Graph> ReadEdgeList(const std::string& path,
+                           const EdgeListParseOptions& options) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseEdgeListImpl(bytes.value(), path, options);
 }
 
-Result<Graph> ParseEdgeList(const std::string& text) {
-  std::istringstream in(text);
-  return ParseStream(in, "<string>");
+Result<Graph> ParseEdgeList(std::string_view text,
+                            const EdgeListParseOptions& options) {
+  return ParseEdgeListImpl(text, "<string>", options);
+}
+
+Result<Graph> ParseEdgeListSerial(std::string_view text) {
+  std::vector<ChunkParse> chunks(1);
+  ParseChunk(text.data(), text.data() + text.size(), &chunks[0]);
+  return MergeChunks(chunks, "<string>");
 }
 
 Status WriteEdgeList(const Graph& graph, const std::string& path) {
@@ -66,6 +249,193 @@ Status WriteEdgeList(const Graph& graph, const std::string& path) {
   out.flush();
   if (!out) return Status::Internal("write failed: " + path);
   return Status::Ok();
+}
+
+// ------------------------------------------------------ binary (.dpkb)
+
+namespace {
+
+constexpr char kDpkbMagic[8] = {'D', 'P', 'K', 'B', 'C', 'S', 'R', '1'};
+constexpr uint32_t kDpkbVersion = 1;
+
+struct DpkbHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t reserved;
+  uint64_t num_nodes;
+  uint64_t adjacency_len;
+  uint64_t checksum;
+  // Byte size of the text file a sidecar cache was parsed from (0 for
+  // standalone .dpkb datasets): lets cache validation catch a source
+  // replaced by an mtime-preserving copy, which timestamps alone miss.
+  uint64_t source_size;
+};
+static_assert(sizeof(DpkbHeader) == 48, "dpkb header must be packed");
+
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t hash) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+uint64_t PayloadChecksum(std::span<const uint32_t> offsets,
+                         std::span<const Graph::NodeId> adjacency) {
+  uint64_t hash = 14695981039346656037ULL;  // FNV offset basis
+  hash = Fnv1a64(offsets.data(), offsets.size_bytes(), hash);
+  hash = Fnv1a64(adjacency.data(), adjacency.size_bytes(), hash);
+  return hash;
+}
+
+}  // namespace
+
+std::string BinaryCachePath(const std::string& path) { return path + ".dpkb"; }
+
+Status WriteBinaryGraph(const Graph& graph, const std::string& path,
+                        uint64_t source_size) {
+  DpkbHeader header{};
+  std::memcpy(header.magic, kDpkbMagic, sizeof(kDpkbMagic));
+  header.version = kDpkbVersion;
+  header.num_nodes = graph.NumNodes();
+  header.adjacency_len = graph.Adjacency().size();
+  header.checksum = PayloadChecksum(graph.Offsets(), graph.Adjacency());
+  header.source_size = source_size;
+
+  // Write-then-rename so a crashed or concurrent writer can never leave
+  // a torn file where a reader expects a cache. The temp name is unique
+  // per process and call — two simultaneous cache writers must not
+  // truncate each other's in-flight file.
+  static std::atomic<uint64_t> write_counter{0};
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(write_counter.fetch_add(1, std::memory_order_relaxed));
+  std::FILE* f = std::fopen(temp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open for writing: " + temp);
+  }
+  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  ok = ok && (graph.Offsets().empty() ||
+              std::fwrite(graph.Offsets().data(), sizeof(uint32_t),
+                          graph.Offsets().size(),
+                          f) == graph.Offsets().size());
+  ok = ok && (graph.Adjacency().empty() ||
+              std::fwrite(graph.Adjacency().data(), sizeof(Graph::NodeId),
+                          graph.Adjacency().size(),
+                          f) == graph.Adjacency().size());
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(temp.c_str());
+    return Status::Internal("write failed: " + temp);
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Status::Internal("cannot rename " + temp + " to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Graph> ReadBinaryGraph(const std::string& path,
+                              uint64_t* source_size) {
+  if (source_size != nullptr) *source_size = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open binary graph: " + path);
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  DpkbHeader header{};
+  if (file_size < sizeof(header) ||
+      !in.read(reinterpret_cast<char*>(&header), sizeof(header))) {
+    return Status::InvalidArgument(path + ": truncated dpkb header");
+  }
+  if (std::memcmp(header.magic, kDpkbMagic, sizeof(kDpkbMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a dpkb file (bad magic)");
+  }
+  if (header.version != kDpkbVersion) {
+    return Status::InvalidArgument(
+        path + ": unsupported dpkb version " + std::to_string(header.version));
+  }
+  if (header.num_nodes >= std::numeric_limits<uint32_t>::max() ||
+      header.adjacency_len > std::numeric_limits<uint32_t>::max() ||
+      header.adjacency_len % 2 != 0) {
+    return Status::InvalidArgument(path + ": implausible dpkb counts");
+  }
+  const uint64_t expected_size = sizeof(header) +
+                                 sizeof(uint32_t) * (header.num_nodes + 1) +
+                                 sizeof(uint32_t) * header.adjacency_len;
+  if (file_size != expected_size) {
+    return Status::InvalidArgument(
+        path + ": dpkb size mismatch (header promises " +
+        std::to_string(expected_size) + " bytes, file has " +
+        std::to_string(file_size) + ")");
+  }
+
+  std::vector<uint32_t> offsets(header.num_nodes + 1);
+  std::vector<Graph::NodeId> adjacency(header.adjacency_len);
+  if (!in.read(reinterpret_cast<char*>(offsets.data()),
+               sizeof(uint32_t) * offsets.size()) ||
+      (!adjacency.empty() &&
+       !in.read(reinterpret_cast<char*>(adjacency.data()),
+                sizeof(uint32_t) * adjacency.size()))) {
+    return Status::InvalidArgument(path + ": truncated dpkb payload");
+  }
+  if (PayloadChecksum(offsets, adjacency) != header.checksum) {
+    return Status::InvalidArgument(path + ": dpkb checksum mismatch");
+  }
+  if (source_size != nullptr) *source_size = header.source_size;
+
+  // CSR invariants — untrusted data must fail with a Status, not trip
+  // the DPKRON_CHECKs inside Graph::FromCsr.
+  const uint32_t n = static_cast<uint32_t>(header.num_nodes);
+  if (offsets.front() != 0 || offsets.back() != adjacency.size()) {
+    return Status::InvalidArgument(path + ": corrupt dpkb offsets");
+  }
+  for (uint32_t u = 0; u < n; ++u) {
+    if (offsets[u] > offsets[u + 1]) {
+      return Status::InvalidArgument(path + ": dpkb offsets not monotone");
+    }
+    for (uint32_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      if (adjacency[i] >= n || adjacency[i] == u ||
+          (i > offsets[u] && adjacency[i - 1] >= adjacency[i])) {
+        return Status::InvalidArgument(
+            path + ": dpkb adjacency violates CSR invariants at node " +
+            std::to_string(u));
+      }
+    }
+  }
+  return Graph::FromCsr(std::move(offsets), std::move(adjacency));
+}
+
+Result<Graph> ReadEdgeListCached(const std::string& path, bool* cache_hit,
+                                 const EdgeListParseOptions& options) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  const std::string cache = BinaryCachePath(path);
+  std::error_code source_error, size_error, cache_error;
+  const auto source_time =
+      std::filesystem::last_write_time(path, source_error);
+  uint64_t source_bytes = std::filesystem::file_size(path, size_error);
+  if (size_error) source_bytes = 0;
+  const auto cache_time = std::filesystem::last_write_time(cache, cache_error);
+  // Freshness = sidecar no older than the source AND recorded source
+  // size unchanged; the size check catches mtime-preserving source
+  // replacements (cp -p, rsync -t) that timestamps alone would miss.
+  // (Residual: a same-size, same-or-older-mtime rewrite still hits.)
+  if (!source_error && !size_error && !cache_error &&
+      cache_time >= source_time) {
+    uint64_t recorded_source_size = 0;
+    auto cached = ReadBinaryGraph(cache, &recorded_source_size);
+    if (cached.ok() && recorded_source_size == source_bytes) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      return cached;
+    }
+    // A stale or corrupt sidecar is rebuilt below, never fatal.
+  }
+  auto parsed = ReadEdgeList(path, options);
+  if (!parsed.ok()) return parsed;
+  (void)WriteBinaryGraph(parsed.value(), cache, source_bytes);  // best-effort
+  return parsed;
 }
 
 }  // namespace dpkron

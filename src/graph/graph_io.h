@@ -1,28 +1,103 @@
-// Plain-text edge-list I/O in the SNAP dataset format.
+// Graph ingestion I/O: SNAP-style text edge lists and the versioned
+// binary CSR format (.dpkb).
 //
-// Format: one "u<whitespace>v" pair per line; lines starting with '#' are
-// comments. Node ids in the file may be arbitrary (sparse) — the reader
-// densifies them to 0..n-1 preserving first-appearance order, exactly the
-// preprocessing one applies to the real SNAP files the paper used.
+// Text format: one "u<whitespace>v" pair per line; lines starting with
+// '#' are comments; blank lines, CRLF endings, tabs and runs of spaces
+// are all accepted. Node ids in the file may be arbitrary (sparse)
+// uint64s — the reader densifies them to 0..n-1 preserving
+// first-appearance order, exactly the preprocessing one applies to the
+// real SNAP files the paper used. Malformed lines (non-numeric fields,
+// ids overflowing uint64, trailing garbage) produce an InvalidArgument
+// Status naming the offending line.
+//
+// The default parser is chunked and thread-pool-parallel: the byte
+// range is split into fixed-size chunks snapped forward to newline
+// boundaries (a decomposition that depends only on the bytes and the
+// chunk size, never the thread count), chunks are tokenized via the
+// shared pool, and the per-chunk edge runs are concatenated in chunk
+// order before densification — so the resulting Graph is bit-identical
+// to ParseEdgeListSerial at any thread count.
+//
+// Binary format (.dpkb, little-endian), the sidecar cache behind
+// ReadEdgeListCached:
+//
+//   bytes  field
+//   0..7   magic "DPKBCSR1"
+//   8..11  version (uint32, currently 1)
+//   12..15 reserved (uint32, 0)
+//   16..23 num_nodes (uint64)
+//   24..31 adjacency length (uint64, = 2·edges)
+//   32..39 FNV-1a 64 checksum of the offsets + adjacency payload
+//   40..47 source text size in bytes (uint64; 0 = standalone file) —
+//          sidecar caches record it so validation catches a source
+//          replaced by an mtime-preserving copy
+//   48..   offsets ((num_nodes+1) × uint32), adjacency (len × uint32)
+//
+// ReadBinaryGraph verifies magic/version/sizes/checksum and the CSR
+// invariants (monotone offsets, strictly sorted in-range lists, no
+// self-loops) before constructing the Graph, so a truncated or
+// corrupted cache degrades to a Status, never an aborted process.
 
 #ifndef DPKRON_GRAPH_GRAPH_IO_H_
 #define DPKRON_GRAPH_GRAPH_IO_H_
 
+#include <cstddef>
 #include <string>
+#include <string_view>
 
 #include "src/common/status.h"
 #include "src/graph/graph.h"
 
 namespace dpkron {
 
-// Reads an undirected graph from a SNAP-style edge list file.
-Result<Graph> ReadEdgeList(const std::string& path);
+struct EdgeListParseOptions {
+  // Target bytes per parallel chunk (boundaries snap forward to the
+  // next newline). The chunk decomposition — and therefore the merged
+  // edge order — depends only on this and the input, not on threads.
+  size_t chunk_bytes = 1 << 20;
+};
 
-// Parses an edge list from an in-memory string (same format).
-Result<Graph> ParseEdgeList(const std::string& text);
+// Reads an undirected graph from a SNAP-style edge list file
+// (parallel parse of the whole file's bytes).
+Result<Graph> ReadEdgeList(const std::string& path,
+                           const EdgeListParseOptions& options = {});
+
+// Parses an edge list from an in-memory buffer (same format), chunked
+// over the shared thread pool.
+Result<Graph> ParseEdgeList(std::string_view text,
+                            const EdgeListParseOptions& options = {});
+
+// Single-pass line-by-line reference parser. Same tokenizer, no
+// chunking — the oracle the parallel path must match bit-for-bit.
+Result<Graph> ParseEdgeListSerial(std::string_view text);
 
 // Writes `graph` as an edge list (u < v per line) with a comment header.
 Status WriteEdgeList(const Graph& graph, const std::string& path);
+
+// ------------------------------------------------------ binary (.dpkb)
+
+// Serializes the graph's CSR arrays in the .dpkb format above.
+// `source_size` is recorded in the header (sidecar caches pass the
+// text file's byte size; standalone writers leave the default 0).
+Status WriteBinaryGraph(const Graph& graph, const std::string& path,
+                        uint64_t source_size = 0);
+
+// Loads a .dpkb file, validating header, checksum and CSR invariants.
+// `source_size`, when non-null, receives the header's recorded source
+// text size.
+Result<Graph> ReadBinaryGraph(const std::string& path,
+                              uint64_t* source_size = nullptr);
+
+// The sidecar cache path for an edge-list file: "<path>.dpkb".
+std::string BinaryCachePath(const std::string& path);
+
+// Parse-once cache: loads "<path>.dpkb" when it exists, validates and
+// is at least as new as the source; otherwise parses the text and
+// (best-effort) writes the sidecar for next time. `cache_hit`, when
+// non-null, reports which route served the graph.
+Result<Graph> ReadEdgeListCached(const std::string& path,
+                                 bool* cache_hit = nullptr,
+                                 const EdgeListParseOptions& options = {});
 
 }  // namespace dpkron
 

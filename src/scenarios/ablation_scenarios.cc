@@ -163,10 +163,13 @@ Status RunModelSelection(const ScenarioSpec& spec, const ScenarioParams& p,
   SeriesTable& table = out.Table("objective");
 
   int index = 0;
-  for (const DatasetInfo& info : PaperDatasets()) {
+  const std::vector<DatasetInfo> datasets = ScenarioDatasets(p);
+  for (const DatasetInfo& info : datasets) {
     if (p.smoke && index >= 2) break;
     Rng dataset_rng = rng.Split();
-    const Graph graph = MakeDataset(info.name, dataset_rng);
+    auto loaded = LoadScenarioGraph(info.name, p, dataset_rng);
+    if (!loaded.ok()) return loaded.status();
+    const Graph graph = std::move(loaded).value();
     const GraphFeatures observed = ComputeFeatures(graph);
 
     // N1 = 2 (paper's setting) via the dedicated fitter.

@@ -54,13 +54,15 @@ void EmitStatistics(ScenarioOutput& out, const std::string& series,
 
 Status RunFigure(const ScenarioSpec& spec, const ScenarioParams& p,
                  ScenarioOutput& out) {
-  const std::string& dataset = spec.datasets.front();
+  const std::string& dataset = EffectiveDatasetRef(spec.datasets.front(), p);
   Rng rng(p.seed);
   out.Printf("# %s: dataset=%s epsilon=%g delta=%g realizations=%u\n",
              spec.name.c_str(), dataset.c_str(), p.epsilon, p.delta,
              p.realizations);
 
-  const Graph original = MakeDataset(dataset, rng);
+  auto loaded = LoadScenarioGraph(dataset, p, rng);
+  if (!loaded.ok()) return loaded.status();
+  const Graph original = std::move(loaded).value();
   const uint32_t k = ChooseKroneckerOrder(original.NumNodes());
 
   SummaryBlock dataset_summary(spec.name + " dataset");

@@ -52,12 +52,15 @@ Status RunTable1(const ScenarioSpec& spec, const ScenarioParams& p,
 
   Rng rng(p.seed);
   int dataset_index = 0;
-  for (const DatasetInfo& info : PaperDatasets()) {
+  const std::vector<DatasetInfo> datasets = ScenarioDatasets(p);
+  for (const DatasetInfo& info : datasets) {
     // Smoke mode keeps the first two rows (one affiliation graph, which
     // exercises the full route, would hide dataset-dispatch bugs).
     if (p.smoke && dataset_index >= 2) break;
     Rng dataset_rng = rng.Split();
-    const Graph graph = MakeDataset(info.name, dataset_rng);
+    auto loaded = LoadScenarioGraph(info.name, p, dataset_rng);
+    if (!loaded.ok()) return loaded.status();
+    const Graph graph = std::move(loaded).value();
 
     const KronMomResult kronmom = FitKronMom(graph);
 
@@ -102,12 +105,14 @@ Status RunTable1(const ScenarioSpec& spec, const ScenarioParams& p,
                static_cast<unsigned long long>(info.paper_edges));
     out.Printf("  measured: N=%u E=%llu\n", graph.NumNodes(),
                static_cast<unsigned long long>(graph.NumEdges()));
+    // File-backed --dataset rows have no Table 1 paper column.
+    const bool has_paper_row = info.generator != nullptr;
     print_row("KronFit (measured)", kronfit.theta);
-    print_row("KronFit (paper)", info.paper_kronfit);
+    if (has_paper_row) print_row("KronFit (paper)", info.paper_kronfit);
     print_row("KronMom (measured)", kronmom.theta);
-    print_row("KronMom (paper)", info.paper_kronmom);
+    if (has_paper_row) print_row("KronMom (paper)", info.paper_kronmom);
     print_row("Private (measured,median)", median_trial.theta);
-    print_row("Private (paper)", info.paper_private);
+    if (has_paper_row) print_row("Private (paper)", info.paper_private);
     out.Printf("  |Private - KronMom| (L_inf): median=%.4f"
                "  [min=%.4f max=%.4f over 3 trials]\n",
                median_trial.distance, trials.front().distance,
@@ -165,7 +170,9 @@ Status RunComparisonDk2(const ScenarioSpec& spec, const ScenarioParams& p,
   out.Printf("# comparison_dk2: private SKG release vs Sala-style dK-2 "
              "release (paper section 5 future work)\n");
   Rng rng(p.seed);
-  const Graph original = MakeDataset(spec.datasets.front(), rng);
+  auto loaded = LoadScenarioGraph(spec.datasets.front(), p, rng);
+  if (!loaded.ok()) return loaded.status();
+  const Graph original = std::move(loaded).value();
   Rng summary_rng = rng.Split();
   const Dk2Summary truth = Summarize(original, summary_rng);
   out.Printf("original: E=%.0f dmax=%.0f cc=%.3f r=%.3f diam90=%.0f\n",

@@ -117,6 +117,20 @@ TEST(RegistryTest, MakeDatasetDispatch) {
   EXPECT_EQ(MakeDataset("AS20-like", rng).NumNodes(), 6474u);
 }
 
+TEST(RegistryTest, DispatchGoesThroughTheEntryGenerator) {
+  // The registry entry IS the dispatch table: MakeDataset and a direct
+  // call to the entry's generator are the same function.
+  for (const DatasetInfo& info : PaperDatasets()) {
+    ASSERT_NE(info.generator, nullptr) << info.name;
+  }
+  const DatasetInfo* as20 = FindDataset("AS20-like");
+  ASSERT_NE(as20, nullptr);
+  EXPECT_EQ(as20->generator, &As20Like);
+  Rng rng_a(17), rng_b(17);
+  EXPECT_EQ(MakeDataset("AS20-like", rng_a).Edges(),
+            as20->generator(rng_b).Edges());
+}
+
 TEST(RegistryDeathTest, UnknownNameAborts) {
   Rng rng(10);
   EXPECT_DEATH(MakeDataset("no-such-dataset", rng), "unknown dataset");

@@ -1,14 +1,54 @@
 #include "src/graph/graph_io.h"
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
+#include "src/common/parallel.h"
+#include "src/common/rng.h"
 #include "src/graph/degree.h"
 #include "tests/test_util.h"
 
 namespace dpkron {
 namespace {
+
+// Restores the ambient pool width on scope exit (thread-sweep tests).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads) : saved_(ParallelThreadCount()) {
+    SetParallelThreadCount(threads);
+  }
+  ~ScopedThreads() { SetParallelThreadCount(saved_); }
+
+ private:
+  int saved_;
+};
+
+bool SameCsr(const Graph& a, const Graph& b) {
+  return std::vector<uint32_t>(a.Offsets().begin(), a.Offsets().end()) ==
+             std::vector<uint32_t>(b.Offsets().begin(), b.Offsets().end()) &&
+         std::vector<uint32_t>(a.Adjacency().begin(), a.Adjacency().end()) ==
+             std::vector<uint32_t>(b.Adjacency().begin(), b.Adjacency().end());
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out << bytes;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
 
 TEST(GraphIoTest, ParsesSimpleEdgeList) {
   const auto result = ParseEdgeList("0 1\n1 2\n2 0\n");
@@ -59,7 +99,7 @@ TEST(GraphIoTest, ReadMissingFileFails) {
 
 TEST(GraphIoTest, WriteReadRoundTrip) {
   const Graph g = testing::PetersenGraph();
-  const std::string path = ::testing::TempDir() + "/petersen.txt";
+  const std::string path = TempPath("petersen.txt");
   ASSERT_TRUE(WriteEdgeList(g, path).ok());
   const auto back = ReadEdgeList(path);
   ASSERT_TRUE(back.ok());
@@ -73,6 +113,442 @@ TEST(GraphIoTest, WriteReadRoundTrip) {
 
 TEST(GraphIoTest, WriteToUnwritablePathFails) {
   EXPECT_FALSE(WriteEdgeList(Graph(), "/nonexistent/dir/out.txt").ok());
+}
+
+// ---------------------- SNAP-file hardening regressions ----------------------
+
+TEST(GraphIoHardeningTest, CrlfLineEndings) {
+  const auto result = ParseEdgeList("# header\r\n0\t1\r\n1\t2\r\n\r\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().NumNodes(), 3u);
+  EXPECT_EQ(result.value().NumEdges(), 2u);
+}
+
+TEST(GraphIoHardeningTest, TabsAndMultipleSpaces) {
+  const auto result = ParseEdgeList("0\t\t1\n1   2\n  3 \t 4  \n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().NumEdges(), 3u);
+}
+
+TEST(GraphIoHardeningTest, TrailingBlankLines) {
+  const auto result = ParseEdgeList("0 1\n\n\n\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumEdges(), 1u);
+}
+
+TEST(GraphIoHardeningTest, NoTrailingNewline) {
+  const auto result = ParseEdgeList("0 1\n1 2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumEdges(), 2u);
+}
+
+TEST(GraphIoHardeningTest, NodeIdOverflowReportsLine) {
+  // 2^64 = 18446744073709551616 does not fit uint64.
+  const auto result = ParseEdgeList("0 1\n3 18446744073709551616\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find(":2"), std::string::npos);
+  EXPECT_NE(result.status().message().find("overflow"), std::string::npos);
+  // The maximum uint64 id itself is fine.
+  EXPECT_TRUE(ParseEdgeList("0 18446744073709551615\n").ok());
+}
+
+TEST(GraphIoHardeningTest, NegativeIdRejectedWithLine) {
+  const auto result = ParseEdgeList("# header\n0 1\n2 -7\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":3"), std::string::npos);
+}
+
+TEST(GraphIoHardeningTest, TrailingGarbageRejected) {
+  const auto result = ParseEdgeList("0 1 2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":1"), std::string::npos);
+  EXPECT_NE(result.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(GraphIoHardeningTest, MissingSecondFieldRejected) {
+  const auto result = ParseEdgeList("0 1\n42\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":2"), std::string::npos);
+}
+
+TEST(GraphIoHardeningTest, LineNumbersCountCommentsAndCrlf) {
+  const auto result = ParseEdgeList("# one\r\n\r\n3 4\r\nbad line\r\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":4"), std::string::npos);
+}
+
+TEST(GraphIoHardeningTest, SerialParserAgreesOnErrors) {
+  const char* inputs[] = {"0 1 2\n", "x y\n", "1 99999999999999999999999\n"};
+  for (const char* input : inputs) {
+    const auto parallel = ParseEdgeList(input);
+    const auto serial = ParseEdgeListSerial(input);
+    ASSERT_FALSE(parallel.ok());
+    ASSERT_FALSE(serial.ok());
+    EXPECT_EQ(parallel.status().ToString(), serial.status().ToString());
+  }
+}
+
+// --------------------- parallel parser determinism ---------------------
+
+// A few hundred KB of mixed-content edge list with sparse ids.
+std::string MessyEdgeListText() {
+  Rng rng(123);
+  std::string text = "# generated fixture\r\n";
+  char line[64];
+  for (int i = 0; i < 40000; ++i) {
+    const unsigned long long u = rng.NextBounded(5000) * 911 + 3;
+    const unsigned long long v = rng.NextBounded(5000) * 911 + 3;
+    const int style = static_cast<int>(rng.NextBounded(5));
+    switch (style) {
+      case 0:
+        std::snprintf(line, sizeof(line), "%llu\t%llu\n", u, v);
+        break;
+      case 1:
+        std::snprintf(line, sizeof(line), "%llu  %llu\r\n", u, v);
+        break;
+      case 2:
+        std::snprintf(line, sizeof(line), "  %llu %llu  \n", u, v);
+        break;
+      case 3:
+        std::snprintf(line, sizeof(line), "# comment %d\n", i);
+        break;
+      default:
+        std::snprintf(line, sizeof(line), "%llu\t%llu\n\n", u, v);
+        break;
+    }
+    text += line;
+  }
+  return text;
+}
+
+TEST(ParallelParseTest, BitIdenticalToSerialAcrossThreadCounts) {
+  const std::string text = MessyEdgeListText();
+  const auto serial = ParseEdgeListSerial(text);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  EdgeListParseOptions options;
+  options.chunk_bytes = 4096;  // hundreds of chunks over this input
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE(threads);
+    ScopedThreads scope(threads);
+    const auto parallel = ParseEdgeList(text, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_TRUE(SameCsr(parallel.value(), serial.value()));
+  }
+}
+
+TEST(ParallelParseTest, ChunkBoundariesNeverSplitSemantics) {
+  // Every chunk size from 1 byte up must agree with the serial parse —
+  // boundaries land inside lines, on '\r', on '\n', everywhere.
+  const std::string text =
+      "# c\r\n10 20\r\n\r\n30 40\n  50\t60\n# tail\n70 80";
+  const auto serial = ParseEdgeListSerial(text);
+  ASSERT_TRUE(serial.ok());
+  for (size_t chunk_bytes = 1; chunk_bytes <= text.size(); ++chunk_bytes) {
+    EdgeListParseOptions options;
+    options.chunk_bytes = chunk_bytes;
+    const auto parallel = ParseEdgeList(text, options);
+    ASSERT_TRUE(parallel.ok()) << "chunk_bytes=" << chunk_bytes;
+    EXPECT_TRUE(SameCsr(parallel.value(), serial.value()))
+        << "chunk_bytes=" << chunk_bytes;
+  }
+}
+
+TEST(ParallelParseTest, FirstAppearanceDensificationOrderPreserved) {
+  // 500 appears first, then 100, then 7: dense ids must be 0, 1, 2 in
+  // that order even when chunk 2 parses "7" before chunk 1 finishes.
+  EdgeListParseOptions options;
+  options.chunk_bytes = 4;
+  const auto g = ParseEdgeList("500 100\n7 500\n", options);
+  ASSERT_TRUE(g.ok());
+  // Node 0 (=500) has neighbors {1 (=100), 2 (=7)}.
+  ASSERT_EQ(g.value().NumNodes(), 3u);
+  EXPECT_EQ(g.value().Degree(0), 2u);
+  EXPECT_TRUE(g.value().HasEdge(0, 1));
+  EXPECT_TRUE(g.value().HasEdge(0, 2));
+  EXPECT_FALSE(g.value().HasEdge(1, 2));
+}
+
+// --------------------------- binary (.dpkb) ---------------------------
+
+TEST(BinaryGraphTest, RoundTripsBitIdenticalCsr) {
+  const Graph graphs[] = {
+      testing::PetersenGraph(),
+      Graph(),                                  // empty graph
+      testing::MakeGraph(5, {{0, 1}}),          // isolated trailing nodes
+      testing::StarGraph(50),
+      testing::MakeGraph(1, {}),                // single isolated node
+  };
+  for (const Graph& g : graphs) {
+    const std::string path = TempPath("roundtrip.dpkb");
+    ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+    const auto back = ReadBinaryGraph(path);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_TRUE(SameCsr(back.value(), g));
+    EXPECT_EQ(back.value().NumNodes(), g.NumNodes());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(BinaryGraphTest, MissingFileIsNotFound) {
+  const auto result = ReadBinaryGraph("/nonexistent/graph.dpkb");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BinaryGraphTest, RejectsBadMagicVersionTruncationAndCorruption) {
+  const std::string path = TempPath("corrupt.dpkb");
+  ASSERT_TRUE(WriteBinaryGraph(testing::PetersenGraph(), path).ok());
+  const std::string good = ReadFile(path);
+
+  // Bad magic.
+  std::string bad = good;
+  bad[0] = 'X';
+  WriteFile(path, bad);
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("magic"), std::string::npos);
+
+  // Unsupported version.
+  bad = good;
+  bad[8] = 99;
+  WriteFile(path, bad);
+  result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+
+  // Truncated payload.
+  WriteFile(path, good.substr(0, good.size() - 5));
+  result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // Flipped payload byte → checksum mismatch.
+  bad = good;
+  bad[good.size() - 1] ^= 0x40;
+  WriteFile(path, bad);
+  result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos);
+
+  std::remove(path.c_str());
+}
+
+// ----------------------------- sidecar cache -----------------------------
+
+TEST(EdgeListCacheTest, ParseOnceThenHit) {
+  const std::string path = TempPath("cached.edges");
+  WriteFile(path, "# g\n0 1\n1 2\n2 0\n");
+  const std::string cache = BinaryCachePath(path);
+  std::remove(cache.c_str());
+
+  bool hit = true;
+  const auto first = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(hit);  // first load parses the text
+  EXPECT_TRUE(std::filesystem::exists(cache));
+
+  const auto second = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hit);  // second load served from the sidecar
+  EXPECT_TRUE(SameCsr(first.value(), second.value()));
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
+}
+
+TEST(EdgeListCacheTest, StaleCacheIsRebuilt) {
+  const std::string path = TempPath("stale.edges");
+  const std::string cache = BinaryCachePath(path);
+  WriteFile(path, "0 1\n");
+  bool hit = false;
+  ASSERT_TRUE(ReadEdgeListCached(path, &hit).ok());
+
+  // New source content; force the sidecar visibly older than the
+  // source (filesystem timestamps can be too coarse to rely on).
+  WriteFile(path, "0 1\n1 2\n");
+  std::filesystem::last_write_time(
+      cache,
+      std::filesystem::last_write_time(path) - std::chrono::seconds(10));
+
+  const auto refreshed = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(refreshed.value().NumEdges(), 2u);
+
+  // The rebuild rewrote the sidecar: next load hits it.
+  const auto again = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(again.value().NumEdges(), 2u);
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
+}
+
+TEST(EdgeListCacheTest, MtimePreservingSourceReplacementDetected) {
+  // cp -p / rsync -t style replacement: new content whose timestamp is
+  // OLDER than the sidecar. The recorded source size catches it.
+  const std::string path = TempPath("preserved.edges");
+  const std::string cache = BinaryCachePath(path);
+  WriteFile(path, "0 1\n");
+  bool hit = false;
+  ASSERT_TRUE(ReadEdgeListCached(path, &hit).ok());
+
+  WriteFile(path, "0 1\n1 2\n2 3\n");
+  std::filesystem::last_write_time(
+      path,
+      std::filesystem::last_write_time(cache) - std::chrono::seconds(10));
+
+  const auto replaced = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(replaced.value().NumEdges(), 3u);
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
+}
+
+TEST(EdgeListCacheTest, CorruptCacheFallsBackToParse) {
+  const std::string path = TempPath("corrupt_cache.edges");
+  const std::string cache = BinaryCachePath(path);
+  WriteFile(path, "0 1\n1 2\n");
+  WriteFile(cache, "garbage, not a dpkb file");
+  std::filesystem::last_write_time(
+      cache,
+      std::filesystem::last_write_time(path) + std::chrono::seconds(10));
+
+  bool hit = true;
+  const auto result = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(result.value().NumEdges(), 2u);
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
+}
+
+TEST(EdgeListCacheTest, MissingSourceFailsEvenWithCache) {
+  const std::string path = TempPath("deleted.edges");
+  WriteFile(path, "0 1\n");
+  bool hit = false;
+  ASSERT_TRUE(ReadEdgeListCached(path, &hit).ok());
+  std::remove(path.c_str());
+  const auto result = ReadEdgeListCached(path, &hit);
+  EXPECT_FALSE(result.ok());
+  std::remove(BinaryCachePath(path).c_str());
+}
+
+// ------------------- full ingestion round-trip property -------------------
+
+// Edge list ↔ Graph ↔ binary: serial parse, parallel parse (2 and 8
+// threads), a binary round-trip and a cache reload must all produce
+// bit-identical CSR arrays.
+TEST(IngestionRoundTripTest, AllRoutesProduceIdenticalCsr) {
+  const std::string inputs[] = {
+      "",                                       // empty
+      "# only\r\n# comments\n",                 // no edges at all
+      "1000000 2\n2 999999999999\n7 1000000\n", // sparse 64-bit ids
+      MessyEdgeListText(),                      // big mixed fixture
+  };
+  int case_index = 0;
+  for (const std::string& text : inputs) {
+    SCOPED_TRACE(case_index++);
+    const auto serial = ParseEdgeListSerial(text);
+    ASSERT_TRUE(serial.ok());
+    const Graph& reference = serial.value();
+
+    EdgeListParseOptions options;
+    options.chunk_bytes = 512;
+    for (int threads : {2, 8}) {
+      ScopedThreads scope(threads);
+      const auto parallel = ParseEdgeList(text, options);
+      ASSERT_TRUE(parallel.ok());
+      EXPECT_TRUE(SameCsr(parallel.value(), reference));
+    }
+
+    const std::string path = TempPath("roundtrip_prop.edges");
+    WriteFile(path, text);
+    const std::string cache = BinaryCachePath(path);
+    std::remove(cache.c_str());
+    bool hit = false;
+    const auto parsed = ReadEdgeListCached(path, &hit);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_FALSE(hit);
+    EXPECT_TRUE(SameCsr(parsed.value(), reference));
+    const auto reloaded = ReadEdgeListCached(path, &hit);
+    ASSERT_TRUE(reloaded.ok());
+    EXPECT_TRUE(hit);
+    EXPECT_TRUE(SameCsr(reloaded.value(), reference));
+    std::remove(path.c_str());
+    std::remove(cache.c_str());
+  }
+}
+
+// ------------------------- cache-reload speedup -------------------------
+
+// The acceptance gate for the binary cache: reloading a ≥1M-edge graph
+// from the .dpkb sidecar must be ≥10× faster than the text parse it
+// replaces (≥3× in unoptimized/sanitizer builds, where the relative
+// cost of the two paths shifts).
+TEST(IngestionPerfTest, BinaryCacheReloadBeatsTextParse) {
+  Rng rng(2024);
+  const uint32_t n = 1u << 18;
+  std::string text = "# perf fixture\n";
+  text.reserve(18u << 20);
+  char line[48];
+  size_t edges = 0;
+  while (edges < 1'050'000) {
+    const uint64_t u = rng.NextBounded(n);
+    const uint64_t v = rng.NextBounded(n);
+    if (u == v) continue;
+    std::snprintf(line, sizeof(line), "%llu\t%llu\n",
+                  static_cast<unsigned long long>(u * 31 + 1),
+                  static_cast<unsigned long long>(v * 31 + 1));
+    text += line;
+    ++edges;
+  }
+  const std::string path = TempPath("perf.edges");
+  WriteFile(path, text);
+  const std::string cache = BinaryCachePath(path);
+  std::remove(cache.c_str());
+
+  using Clock = std::chrono::steady_clock;
+  auto start = Clock::now();
+  bool hit = true;
+  const auto parsed = ReadEdgeListCached(path, &hit);
+  const double parse_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_FALSE(hit);
+  ASSERT_GE(parsed.value().NumEdges(), 1'000'000u);
+
+  // Best of three reloads: the gate measures the cache path itself,
+  // not scheduler noise.
+  double reload_seconds = 1e9;
+  for (int i = 0; i < 3; ++i) {
+    start = Clock::now();
+    const auto reloaded = ReadEdgeListCached(path, &hit);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    ASSERT_TRUE(reloaded.ok());
+    ASSERT_TRUE(hit);
+    ASSERT_EQ(reloaded.value().NumEdges(), parsed.value().NumEdges());
+    reload_seconds = std::min(reload_seconds, seconds);
+  }
+
+#ifdef NDEBUG
+  const double required_speedup = 10.0;
+#else
+  const double required_speedup = 3.0;
+#endif
+  EXPECT_GE(parse_seconds / reload_seconds, required_speedup)
+      << "text parse " << parse_seconds << "s, cache reload "
+      << reload_seconds << "s";
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
 }
 
 }  // namespace

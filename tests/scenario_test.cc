@@ -5,10 +5,14 @@
 
 #include "src/core/scenario.h"
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <string>
 
 #include <gtest/gtest.h>
+#include "src/common/rng.h"
+#include "src/graph/graph_io.h"
 #include "src/scenarios/scenarios.h"
 
 namespace dpkron {
@@ -80,6 +84,99 @@ TEST_F(ScenarioTest, ResolveParamsAppliesOverridesThenSmoke) {
   p = ResolveParams(defaults, overrides);
   EXPECT_EQ(p.realizations, 50u);
   EXPECT_EQ(p.sweep_epsilons.size(), 3u);
+
+  // Dataset override + cache flag pass through untouched by smoke.
+  overrides.dataset = "some/file.edges";
+  overrides.dataset_cache = true;
+  p = ResolveParams(defaults, overrides);
+  EXPECT_EQ(p.dataset, "some/file.edges");
+  EXPECT_TRUE(p.dataset_cache);
+}
+
+TEST_F(ScenarioTest, ScenarioDatasetsOverrideSynthesizesOneEntry) {
+  ScenarioParams p;
+  EXPECT_EQ(ScenarioDatasets(p).size(), PaperDatasets().size());
+
+  p.dataset = "graphs/snap.edges";
+  const auto datasets = ScenarioDatasets(p);
+  ASSERT_EQ(datasets.size(), 1u);
+  EXPECT_EQ(datasets[0].name, "graphs/snap.edges");
+  EXPECT_EQ(datasets[0].generator, nullptr);
+
+  // A registry-name override keeps the full entry, paper columns and
+  // generator included.
+  p.dataset = "AS20-like";
+  const auto registry = ScenarioDatasets(p);
+  ASSERT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry[0].paper_name, "AS20");
+  EXPECT_EQ(registry[0].paper_nodes, 6474u);
+  EXPECT_NE(registry[0].generator, nullptr);
+}
+
+TEST_F(ScenarioTest, LoadScenarioGraphPrefersOverride) {
+  const std::string path = ::testing::TempDir() + "/scenario_override.edges";
+  std::ofstream(path) << "0 1\n1 2\n2 3\n";
+  ScenarioParams p;
+  p.dataset = path;
+  Rng rng(1);
+  // The spec-declared registry name loses to the override.
+  const auto graph = LoadScenarioGraph("AS20-like", p, rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().NumNodes(), 4u);
+
+  ScenarioParams no_override;
+  Rng rng2(1);
+  const auto registry = LoadScenarioGraph("AS20-like", no_override, rng2);
+  ASSERT_TRUE(registry.ok());
+  EXPECT_EQ(registry.value().NumNodes(), 6474u);
+
+  Rng rng3(1);
+  const auto missing =
+      LoadScenarioGraph("no-such-dataset", no_override, rng3);
+  EXPECT_FALSE(missing.ok());
+  std::remove(path.c_str());
+}
+
+// A registered scenario must run end to end on a file-backed source:
+// write an edge list, point the --dataset override at it, and check the
+// run emits series rows for it.
+TEST_F(ScenarioTest, FileBackedDatasetRunsEndToEnd) {
+  const std::string path = ::testing::TempDir() + "/scenario_e2e.edges";
+  {
+    // A small but statistically non-trivial graph: two hubs + ring.
+    std::ofstream out(path);
+    out << "# scenario fixture\r\n";
+    const int n = 120;
+    for (int i = 2; i < n; ++i) {
+      out << 0 << '\t' << i << "\r\n";
+      if (i % 2 == 0) out << 1 << ' ' << i << '\n';
+      out << i << '\t' << (i - 1) << '\n';
+    }
+  }
+  const std::string cache = BinaryCachePath(path);
+  std::remove(cache.c_str());
+
+  const ScenarioSpec* spec = FindScenario("fig2_as20");
+  ASSERT_NE(spec, nullptr);
+  ScenarioOverrides overrides;
+  overrides.smoke = true;
+  overrides.kronfit_iterations = 2;
+  overrides.dataset = path;
+  overrides.dataset_cache = true;
+  ScenarioOutput output(spec->name, /*text_out=*/nullptr);
+  const Status status = RunScenario(*spec, overrides, output);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  JsonWriter json;
+  output.AppendRunJson(json);
+  EXPECT_NE(json.str().find("\"rows\":[{"), std::string::npos);
+  EXPECT_NE(json.str().find("scenario_e2e.edges"), std::string::npos);
+  // The cache flag produced the sidecar.
+  std::ifstream sidecar(cache);
+  EXPECT_TRUE(sidecar.good());
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
 }
 
 // Every registered scenario must complete a smoke run and produce at
