@@ -9,6 +9,15 @@
 //   dpkron_experiments --list
 //   dpkron_experiments --scenario=fig1_ca_grqc --realizations=100
 //   dpkron_experiments --scenario=all --smoke --out=BENCH_scenarios.json
+//
+// Sweep mode executes the scenario × dataset × ε × seed matrix
+// concurrently with cross-run stat caching and writes one
+// BENCH_sweeps.json document:
+//
+//   dpkron_experiments --sweep --scenario=fig2_as20
+//     --dataset=data/ca_test.edges --dataset-cache
+//     --sweep-epsilons=0.1,0.2,0.5,1,2 --sweep-seeds=3
+//     --cache-stats --out=BENCH_sweeps.json
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,7 +26,9 @@
 #include <vector>
 
 #include "src/common/parallel.h"
+#include "src/common/stat_cache.h"
 #include "src/core/scenario.h"
+#include "src/core/sweep.h"
 #include "src/datasets/graph_source.h"
 #include "src/scenarios/scenarios.h"
 
@@ -44,8 +55,19 @@ void PrintUsage(std::FILE* out) {
                "  --trials=N            override mechanism trials per point\n"
                "  --kronfit-iterations=N  override KronFit iterations\n"
                "  --sweep-epsilons=a,b  override the epsilon sweep axis\n"
+               "                        (in --sweep mode: the ε grid)\n"
                "  --smoke               shrink every axis for a fast pass\n"
-               "  --out=PATH            write BENCH_scenarios.json here\n");
+               "  --out=PATH            write BENCH_scenarios.json here\n"
+               "                        (BENCH_sweeps.json in --sweep mode)\n"
+               "\n"
+               "sweep mode (batch matrix with cross-run stat caching):\n"
+               "  --sweep               run scenarios x datasets x epsilons\n"
+               "                        x seeds concurrently; failures are\n"
+               "                        recorded per run, not fatal\n"
+               "  --sweep-seeds=N       seed-axis length (default 1; seed 0\n"
+               "                        is the base seed itself)\n"
+               "  --cache-stats         print StatCache hit/miss counters\n"
+               "                        (they are always in the JSON)\n");
 }
 
 void PrintList() {
@@ -111,11 +133,26 @@ std::vector<std::string> SplitCommaList(const char* value) {
   return items;
 }
 
+void PrintCacheStats() {
+  const StatCache::Counters total = StatCache::Instance().TotalCounters();
+  std::printf("# stat cache: %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(total.hits),
+              static_cast<unsigned long long>(total.misses));
+  for (const auto& [domain, counters] : StatCache::Instance().DomainCounters()) {
+    std::printf("#   %-18s %llu hits, %llu misses\n", domain.c_str(),
+                static_cast<unsigned long long>(counters.hits),
+                static_cast<unsigned long long>(counters.misses));
+  }
+}
+
 int Main(int argc, char** argv) {
   RegisterAllScenarios();
 
   bool list = false;
   bool list_datasets = false;
+  bool sweep_mode = false;
+  bool cache_stats = false;
+  uint32_t sweep_seeds = 1;
   std::vector<std::string> names;
   std::string out_path;
   int threads = 0;
@@ -127,6 +164,17 @@ int Main(int argc, char** argv) {
       list = true;
     } else if (std::strcmp(arg, "--list-datasets") == 0) {
       list_datasets = true;
+    } else if (std::strcmp(arg, "--sweep") == 0) {
+      sweep_mode = true;
+    } else if (std::strcmp(arg, "--cache-stats") == 0) {
+      cache_stats = true;
+    } else if (std::strncmp(arg, "--sweep-seeds=", 14) == 0) {
+      const int seeds = std::atoi(arg + 14);
+      if (seeds < 1) {
+        std::fprintf(stderr, "--sweep-seeds must be >= 1\n");
+        return 2;
+      }
+      sweep_seeds = static_cast<uint32_t>(seeds);
     } else if (std::strcmp(arg, "--smoke") == 0) {
       overrides.smoke = true;
     } else if (std::strcmp(arg, "--dataset-cache") == 0) {
@@ -140,7 +188,9 @@ int Main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       threads = std::atoi(arg + 10);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      overrides.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+      // strtoull, not atoll: sweep-derived seeds are full 64-bit values
+      // and must round-trip from the JSON back through --seed.
+      overrides.seed = std::strtoull(arg + 7, nullptr, 10);
     } else if (std::strncmp(arg, "--epsilon=", 10) == 0) {
       overrides.epsilon = std::atof(arg + 10);
     } else if (std::strncmp(arg, "--realizations=", 15) == 0) {
@@ -182,13 +232,26 @@ int Main(int argc, char** argv) {
     PrintDatasetList();
     return 0;
   }
+  if (sweep_seeds != 1 && !sweep_mode) {
+    // Silently dropping the requested seed axis would hand back a
+    // single run with no diagnostic.
+    std::fprintf(stderr, "--sweep-seeds requires --sweep\n");
+    return 2;
+  }
+  // In sweep mode --dataset is the dataset axis (comma-separated refs);
+  // in single-run mode it is one ref. Either way, fail fast on a bad
+  // reference instead of deep inside a scenario.
+  std::vector<std::string> dataset_axis;
   if (overrides.dataset) {
-    // Fail fast on a bad reference instead of deep inside a scenario.
-    auto source = ResolveGraphSource(*overrides.dataset);
-    if (!source.ok()) {
-      std::fprintf(stderr, "--dataset: %s\n",
-                   source.status().ToString().c_str());
-      return 2;
+    dataset_axis = sweep_mode ? SplitCommaList(overrides.dataset->c_str())
+                              : std::vector<std::string>{*overrides.dataset};
+    for (const std::string& ref : dataset_axis) {
+      auto source = ResolveGraphSource(ref);
+      if (!source.ok()) {
+        std::fprintf(stderr, "--dataset: %s\n",
+                     source.status().ToString().c_str());
+        return 2;
+      }
     }
   }
   if (names.empty()) {
@@ -202,6 +265,59 @@ int Main(int argc, char** argv) {
     }
   }
   if (threads > 0) SetParallelThreadCount(threads);
+  // Cross-run stat caching is on for the whole runner: in-run reuse
+  // (e.g. one sensitivity profile across Table 1's private trials) is
+  // free, and cached values are bit-identical to recomputation, so
+  // single-run output is unchanged.
+  StatCache::Instance().set_enabled(true);
+
+  if (sweep_mode) {
+    SweepSpec sweep;
+    sweep.scenarios = names;
+    sweep.datasets = dataset_axis;
+    if (overrides.sweep_epsilons) {
+      // Repurposed as the sweep's ε grid; scenarios keep their own
+      // internal sweep axes untouched.
+      sweep.epsilons = *overrides.sweep_epsilons;
+      overrides.sweep_epsilons.reset();
+    }
+    sweep.seeds = sweep_seeds;
+    sweep.base = overrides;
+    sweep.base.dataset.reset();  // carried by the dataset axis instead
+    auto result = RunSweep(sweep);
+    if (!result.ok()) {
+      std::fprintf(stderr, "sweep failed: %s\n",
+                   result.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("# sweep: %zu runs (%zu failed) in %.2fs\n",
+                result.value().runs.size(), result.value().failed_runs,
+                result.value().elapsed_seconds);
+    for (const SweepRun& run : result.value().runs) {
+      if (!run.status.ok()) {
+        std::printf("#   failed: %s eps=%g seed=%llu: %s\n",
+                    run.scenario.c_str(), run.epsilon,
+                    static_cast<unsigned long long>(run.seed),
+                    run.status.ToString().c_str());
+      }
+    }
+    if (cache_stats) PrintCacheStats();
+    if (!out_path.empty()) {
+      const std::string json =
+          SweepsJson(result.value(), ParallelThreadCount());
+      std::FILE* f = std::fopen(out_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("# wrote %s (%zu runs)\n", out_path.c_str(),
+                  result.value().runs.size());
+    }
+    return 0;
+  }
 
   std::vector<ScenarioOutput> outputs;
   outputs.reserve(names.size());
@@ -223,6 +339,7 @@ int Main(int argc, char** argv) {
     std::printf("# %s done in %.2fs\n\n", name.c_str(),
                 outputs.back().elapsed_seconds());
   }
+  if (cache_stats) PrintCacheStats();
 
   if (!out_path.empty()) {
     std::vector<const ScenarioOutput*> runs;

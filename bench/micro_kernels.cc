@@ -9,6 +9,7 @@
 #include <fstream>
 #include <string>
 
+#include "src/common/fnv.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/core/release.h"
@@ -346,8 +347,11 @@ const IngestFixture& Ingest() {
     f.binary_path = BinaryCachePath(f.text_path);
     std::ofstream(f.text_path, std::ios::binary) << f.text;
     const auto graph = ParseEdgeList(f.text);
-    // Record the text size so the sidecar passes cache validation.
-    (void)WriteBinaryGraph(graph.value(), f.binary_path, f.text.size());
+    // Record the source stamp so the sidecar passes cache validation.
+    (void)WriteBinaryGraph(
+        graph.value(), f.binary_path,
+        DpkbSourceStamp{f.text.size(),
+                        Fnv1a64Words(f.text.data(), f.text.size())});
     return f;
   }());
   return fixture;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/common/fnv.h"
 #include "src/common/macros.h"
 
 namespace dpkron {
@@ -127,6 +128,28 @@ uint64_t Rng::NextBinomial(uint64_t n, double p) {
     remaining -= failures + 1;
   }
   return successes;
+}
+
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = state_[i];
+  state.have_gaussian = have_gaussian_;
+  state.spare_gaussian = spare_gaussian_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  have_gaussian_ = state.have_gaussian;
+  spare_gaussian_ = state.spare_gaussian;
+}
+
+uint64_t Rng::StateFingerprint() const {
+  uint64_t hash = Fnv1a64(state_, sizeof(state_));
+  const uint64_t gaussian = have_gaussian_ ? 1 : 0;
+  hash = Fnv1a64(&gaussian, sizeof(gaussian), hash);
+  hash = Fnv1a64(&spare_gaussian_, sizeof(spare_gaussian_), hash);
+  return hash;
 }
 
 Rng Rng::Split() {

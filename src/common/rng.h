@@ -67,6 +67,25 @@ class Rng {
   // outputs of this one), derived from the current state.
   Rng Split();
 
+  // The complete generator state, for memoized replay of randomized
+  // computations (StatCache): a cache entry stores the state the stream
+  // reached when the computation was first run, and a cache hit restores
+  // it so the caller's stream advances exactly as if the computation had
+  // re-run. Restoring a state anywhere else duplicates a stream — the
+  // bug the deleted copy constructor exists to prevent — so these are
+  // not for general use.
+  struct State {
+    uint64_t s[4];
+    bool have_gaussian;
+    double spare_gaussian;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
+  // FNV-1a digest of the complete state — the RNG component of StatCache
+  // keys. Two Rngs with equal fingerprints produce identical streams.
+  uint64_t StateFingerprint() const;
+
   // Random permutation of {0, ..., n-1} (Fisher–Yates).
   std::vector<uint32_t> Permutation(uint32_t n);
 

@@ -1,0 +1,55 @@
+#include "src/common/stat_cache.h"
+
+namespace dpkron {
+
+StatCache& StatCache::Instance() {
+  // Leaked singleton: cached values may be handed out up to process
+  // exit, so the cache must never be destroyed before its clients.
+  static StatCache& instance = *new StatCache;
+  return instance;
+}
+
+StatCache::Lookup StatCache::LookupOrRegister(
+    const char* domain, uint64_t key,
+    std::shared_future<std::shared_ptr<const void>> candidate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Domain& d = domains_[domain];
+  auto [it, inserted] = d.entries.try_emplace(key, std::move(candidate));
+  if (inserted) {
+    ++d.counters.misses;
+  } else {
+    ++d.counters.hits;
+  }
+  return Lookup{it->second, inserted};
+}
+
+void StatCache::Clear() {
+  // An in-flight owner still fulfills its promise after its entry is
+  // dropped here: waiters hold their own shared_future copies, so they
+  // complete normally; only future lookups recompute.
+  std::lock_guard<std::mutex> lock(mu_);
+  domains_.clear();
+}
+
+StatCache::Counters StatCache::TotalCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters total;
+  for (const auto& [name, domain] : domains_) {
+    total.hits += domain.counters.hits;
+    total.misses += domain.counters.misses;
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, StatCache::Counters>>
+StatCache::DomainCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Counters>> counters;
+  counters.reserve(domains_.size());
+  for (const auto& [name, domain] : domains_) {
+    counters.emplace_back(name, domain.counters);
+  }
+  return counters;
+}
+
+}  // namespace dpkron

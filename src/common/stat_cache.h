@@ -1,0 +1,167 @@
+// StatCache — a process-wide, content-addressed memo for the expensive
+// deterministic quantities an ε/seed sweep recomputes otherwise: degree
+// sequences, per-node triangle counts, TriangleSensitivityProfiles,
+// KronFit fits, graph features, statistics panels and expected-statistic
+// tables. A 5-ε sweep computes each of them once instead of once per ε.
+//
+// Keying. Entries live in named *domains* (one per computation kind,
+// e.g. "kronfit", "triangle_profile") and are addressed by a 64-bit
+// FNV-1a digest built with CacheKey over every input the computation is
+// a function of: the graph's content fingerprint (identical to its
+// .dpkb checksum — see Graph::ContentFingerprint), the computation's
+// parameters, and — for randomized computations — the Rng's
+// StateFingerprint. Because every cached computation is a pure function
+// of its key, a hit is bit-identical to a recomputation, which is what
+// keeps cached scenario output byte-identical to the uncached path
+// (tests/stat_cache_test.cc enforces it).
+//
+// Randomized computations additionally store the Rng::State their stream
+// reached, and the call-site wrappers (FitKronFitCached,
+// ReleasePipeline::Compute) restore it on a hit — so the caller's stream
+// advances exactly as if the work had re-run and every downstream draw
+// is unchanged.
+//
+// Concurrency. The cache is shared by all threads (the sweep engine runs
+// the run matrix over the thread pool). A miss registers an in-flight
+// entry before computing, so concurrent requests for the same key wait
+// on the first computation instead of duplicating it; waiting is
+// deadlock-free because the compute-dependency graph is a shallow DAG
+// (composite entries depend only on leaf entries, which wait on nothing).
+//
+// The cache is DISABLED by default: library callers and the test suite
+// see plain recomputation unless a driver (dpkron_experiments, RunSweep)
+// opts in with set_enabled(true). Entries are never evicted — memory
+// grows with the number of DISTINCT keys, which includes one-off
+// entries (e.g. the statistics of a per-run private sample that no
+// later run can reuse). The memo is scoped to a driver process; call
+// Clear() between batches to release it.
+
+#ifndef DPKRON_COMMON_STAT_CACHE_H_
+#define DPKRON_COMMON_STAT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/fnv.h"
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+// Accumulates an FNV-1a digest over the typed fields of a cache key.
+// Field order matters (by design: keys are positional, like a struct).
+class CacheKey {
+ public:
+  CacheKey& Mix(uint64_t value) {
+    hash_ = Fnv1a64(&value, sizeof(value), hash_);
+    return *this;
+  }
+  CacheKey& MixDouble(double value) {
+    // Bit pattern, not value: -0.0 and 0.0 key differently, NaNs key
+    // stably — the same criterion GraphStatistics equality uses.
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    return Mix(bits);
+  }
+  CacheKey& MixBytes(const void* data, size_t len) {
+    hash_ = Fnv1a64(&len, sizeof(len), hash_);  // length-prefixed
+    hash_ = Fnv1a64(data, len, hash_);
+    return *this;
+  }
+
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = kFnv1aOffsetBasis;
+};
+
+class StatCache {
+ public:
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  // The one process-wide instance.
+  static StatCache& Instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // The memoized value for (domain, key), computing it with `fn` on the
+  // first request. `fn` must be a pure function of the key's inputs
+  // (that is the cache contract — see file comment) and must not throw:
+  // the codebase is exception-free by policy, and an unwinding compute
+  // would otherwise leave a forever-pending in-flight entry that every
+  // waiter and future lookup blocks on — so an unwind is converted into
+  // the standard precondition abort instead. When the cache is disabled
+  // this is a transparent passthrough: `fn` runs every time and no
+  // counter moves.
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> GetOrCompute(const char* domain, uint64_t key,
+                                        Fn&& fn) {
+    if (!enabled()) return std::make_shared<const T>(fn());
+    std::promise<std::shared_ptr<const void>> promise;
+    const Lookup lookup =
+        LookupOrRegister(domain, key, promise.get_future().share());
+    if (!lookup.owner) {
+      return std::static_pointer_cast<const T>(lookup.future.get());
+    }
+    struct FulfillGuard {
+      bool fulfilled = false;
+      ~FulfillGuard() {
+        DPKRON_CHECK_MSG(fulfilled,
+                         "StatCache compute function must not throw");
+      }
+    } guard;
+    auto value = std::make_shared<const T>(fn());
+    guard.fulfilled = true;
+    promise.set_value(value);
+    return value;
+  }
+
+  // Drops every entry and zeroes all counters.
+  void Clear();
+
+  // Hit/miss totals across all domains.
+  Counters TotalCounters() const;
+
+  // Per-domain counters, sorted by domain name (stable JSON output).
+  std::vector<std::pair<std::string, Counters>> DomainCounters() const;
+
+ private:
+  struct Lookup {
+    std::shared_future<std::shared_ptr<const void>> future;
+    bool owner = false;  // true: the caller must compute and fulfill
+  };
+  struct Domain {
+    std::unordered_map<uint64_t,
+                       std::shared_future<std::shared_ptr<const void>>>
+        entries;
+    Counters counters;
+  };
+
+  StatCache() = default;
+
+  Lookup LookupOrRegister(
+      const char* domain, uint64_t key,
+      std::shared_future<std::shared_ptr<const void>> candidate);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, Domain> domains_;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_COMMON_STAT_CACHE_H_

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "src/common/macros.h"
 #include "src/common/parallel.h"
+#include "src/common/stat_cache.h"
 #include "src/graph/anf.h"
 #include "src/graph/clustering.h"
 #include "src/graph/degree.h"
@@ -21,13 +23,54 @@ ReleasePipeline::ReleasePipeline(StatisticsOptions options,
 
 GraphStatistics ReleasePipeline::Compute(const Graph& graph,
                                          Rng& rng) const {
+  StatCache& cache = StatCache::Instance();
+  if (!cache.enabled()) return ComputeImpl(graph, rng, /*cache_leaves=*/false);
+  const uint64_t key = CacheKey()
+                           .Mix(graph.ContentFingerprint())
+                           .Mix(rng.StateFingerprint())
+                           .Mix(options_.num_singular_values)
+                           .Mix(options_.num_network_values)
+                           .Mix(options_.exact_hop_plot_limit)
+                           .Mix(options_.anf_trials)
+                           .digest();
+  // Entries pair the panels with the Rng state the computation reached:
+  // restoring it on a hit replays the stream advance (ANF trials,
+  // Lanczos starts), so every downstream draw matches the uncached path.
+  struct Entry {
+    GraphStatistics stats;
+    Rng::State end_state;
+  };
+  const auto entry = cache.GetOrCompute<Entry>("statistics", key, [&] {
+    Entry e;
+    e.stats = ComputeImpl(graph, rng, /*cache_leaves=*/true);
+    e.end_state = rng.SaveState();
+    return e;
+  });
+  rng.RestoreState(entry->end_state);
+  return entry->stats;
+}
+
+GraphStatistics ReleasePipeline::ComputeImpl(const Graph& graph, Rng& rng,
+                                             bool cache_leaves) const {
   GraphStatistics stats;
 
   // Shared intermediates: the degree vector feeds the histogram and the
   // clustering panel; per-node triangle counts feed clustering. Computing
   // them once saves the dominant recomputation of the old per-panel path
-  // (each ClusteringByDegree call re-ran the triangle kernel).
-  const std::vector<uint32_t> degrees = DegreeVector(graph);
+  // (each ClusteringByDegree call re-ran the triangle kernel); the
+  // StatCache additionally shares both across runs of a sweep.
+  StatCache& cache = StatCache::Instance();
+  const bool use_cache = cache_leaves && cache.enabled();
+  const uint64_t graph_key =
+      use_cache ? CacheKey().Mix(graph.ContentFingerprint()).digest() : 0;
+  auto leaf = [&](const char* domain, auto kernel) {
+    using Value = decltype(kernel());
+    return use_cache ? cache.GetOrCompute<Value>(domain, graph_key, kernel)
+                     : std::make_shared<const Value>(kernel());
+  };
+  const auto degrees_ptr =
+      leaf("degree_vector", [&graph] { return DegreeVector(graph); });
+  const std::vector<uint32_t>& degrees = *degrees_ptr;
 
   for (const auto& [degree, count] : DegreeHistogramFromDegrees(degrees)) {
     stats.degree_histogram.emplace_back(double(degree), double(count));
@@ -56,9 +99,10 @@ GraphStatistics ReleasePipeline::Compute(const Graph& graph,
     }
   }
 
-  const std::vector<uint64_t> triangles = PerNodeTriangles(graph);
+  const auto triangles_ptr = leaf(
+      "triangles_per_node", [&graph] { return PerNodeTriangles(graph); });
   for (const auto& [degree, cc] :
-       ClusteringByDegreeFromParts(degrees, triangles)) {
+       ClusteringByDegreeFromParts(degrees, *triangles_ptr)) {
     stats.clustering_by_degree.emplace_back(double(degree), cc);
   }
   return stats;
@@ -90,6 +134,36 @@ GraphStatistics ReleasePipeline::Expected(const Initiator2& theta, uint32_t k,
                                           Rng& rng) const {
   DPKRON_CHECK_GE(realizations, 1u);
 
+  // The parent stream is split BEFORE the cache lookup and regardless of
+  // its outcome, so `rng` advances identically on hit and miss — the
+  // expected table is a pure function of (θ, k, R, options, method,
+  // parent state), which is exactly the cache key.
+  StatCache& cache = StatCache::Instance();
+  const uint64_t rng_fingerprint = rng.StateFingerprint();
+  std::vector<Rng> streams = SplitRngStreams(rng, realizations);
+  if (!cache.enabled()) return ExpectedImpl(theta, k, realizations, streams);
+  const uint64_t key = CacheKey()
+                           .MixDouble(theta.a)
+                           .MixDouble(theta.b)
+                           .MixDouble(theta.c)
+                           .Mix(k)
+                           .Mix(realizations)
+                           .Mix(options_.num_singular_values)
+                           .Mix(options_.num_network_values)
+                           .Mix(options_.exact_hop_plot_limit)
+                           .Mix(options_.anf_trials)
+                           .Mix(static_cast<uint64_t>(method_))
+                           .Mix(rng_fingerprint)
+                           .digest();
+  return *cache.GetOrCompute<GraphStatistics>(
+      "expected", key,
+      [&] { return ExpectedImpl(theta, k, realizations, streams); });
+}
+
+GraphStatistics ReleasePipeline::ExpectedImpl(const Initiator2& theta,
+                                              uint32_t k,
+                                              uint32_t realizations,
+                                              std::vector<Rng>& streams) const {
   // Fan the realizations across the pool: stream r drives realization r
   // end to end (sample + statistics), so each per-realization result is a
   // pure function of (θ, k, options, stream r) and the grain-1 chunk
@@ -97,12 +171,16 @@ GraphStatistics ReleasePipeline::Expected(const Initiator2& theta, uint32_t k,
   // count. The statistics kernels inside each realization degrade to
   // serial execution when nested in a pool worker, which by the parallel.h
   // contract computes the same values they would in parallel.
-  std::vector<Rng> streams = SplitRngStreams(rng, realizations);
   std::vector<GraphStatistics> per_realization(realizations);
   ParallelForChunks(realizations, 1, [&](const ParallelChunk& chunk) {
     for (size_t r = chunk.begin; r < chunk.end; ++r) {
       const Graph sample = Sample(theta, k, streams[r]);
-      per_realization[r] = Compute(sample, streams[r]);
+      // ComputeImpl without leaf caching: the whole Expected table is
+      // cached as one entry, so memoizing a realization's one-off
+      // sample (or its intermediates) would only fill the memo with
+      // unreusable entries.
+      per_realization[r] = ComputeImpl(sample, streams[r],
+                                       /*cache_leaves=*/false);
     }
   });
 
@@ -140,6 +218,20 @@ GraphStatistics ReleasePipeline::Expected(const Initiator2& theta, uint32_t k,
   mean.scree = AveragePositional(scree_series);
   mean.network_value = AveragePositional(netval_series);
   return mean;
+}
+
+GraphStatistics ReleasePipeline::ComputeEphemeral(const Graph& graph,
+                                                  Rng& rng) const {
+  return ComputeImpl(graph, rng, /*cache_leaves=*/false);
+}
+
+GraphStatistics ReleasePipeline::ExpectedEphemeral(const Initiator2& theta,
+                                                   uint32_t k,
+                                                   uint32_t realizations,
+                                                   Rng& rng) const {
+  DPKRON_CHECK_GE(realizations, 1u);
+  std::vector<Rng> streams = SplitRngStreams(rng, realizations);
+  return ExpectedImpl(theta, k, realizations, streams);
 }
 
 Graph ReleasePipeline::Sample(const Initiator2& theta, uint32_t k,

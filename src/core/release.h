@@ -58,6 +58,14 @@ struct StatisticsOptions {
 // worker runs it — and aggregates the per-realization results in
 // realization order, so the mean is bit-identical at 1, 2 or 8 threads
 // (tests/parallel_test.cc enforces it).
+//
+// StatCache integration: when the process-wide StatCache is enabled,
+// Compute() and Expected() are memoized on every input they are a pure
+// function of — graph fingerprint / (Θ, k, R), the statistics options,
+// and the Rng state — and Compute() restores the rng to the state the
+// original computation left it in, so downstream draws are identical
+// whether the panels were computed or served. An ε sweep thus computes
+// each deterministic panel set once, not once per ε.
 class ReleasePipeline {
  public:
   explicit ReleasePipeline(
@@ -65,8 +73,9 @@ class ReleasePipeline {
       SkgSampleMethod method = SkgSampleMethod::kClassSkip);
 
   // All five statistics of one concrete graph. The degree vector and
-  // per-node triangle counts are materialized once and feed both the
-  // histogram and the clustering-by-degree panel.
+  // per-node triangle counts are materialized once — served through the
+  // StatCache when enabled — and feed both the histogram and the
+  // clustering-by-degree panel.
   GraphStatistics Compute(const Graph& graph, Rng& rng) const;
 
   // "Expected" statistics: mean of each statistic over `realizations`
@@ -82,10 +91,30 @@ class ReleasePipeline {
   // "KronMom" / "Private" single-realization series).
   Graph Sample(const Initiator2& theta, uint32_t k, Rng& rng) const;
 
+  // Compute()/Expected() without memoization, for inputs that cannot
+  // recur — e.g. the sample of a per-run private Θ̃, whose ε-dependent
+  // fingerprint no later run shares. Values and rng consumption are
+  // identical to the cached paths; the only difference is that nothing
+  // is stored, which keeps the never-evicted StatCache from
+  // accumulating one-off O(N) entries across a sweep.
+  GraphStatistics ComputeEphemeral(const Graph& graph, Rng& rng) const;
+  GraphStatistics ExpectedEphemeral(const Initiator2& theta, uint32_t k,
+                                    uint32_t realizations, Rng& rng) const;
+
   const StatisticsOptions& options() const { return options_; }
   SkgSampleMethod method() const { return method_; }
 
  private:
+  // `cache_leaves` routes the degree vector / per-node triangle
+  // intermediates through the StatCache; Expected() passes false for
+  // its one-off realization samples, whose entries could never be
+  // reused and would only grow the memo.
+  GraphStatistics ComputeImpl(const Graph& graph, Rng& rng,
+                              bool cache_leaves) const;
+  GraphStatistics ExpectedImpl(const Initiator2& theta, uint32_t k,
+                               uint32_t realizations,
+                               std::vector<Rng>& streams) const;
+
   StatisticsOptions options_;
   SkgSampleMethod method_;
 };

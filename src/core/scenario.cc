@@ -5,6 +5,7 @@
 #include <cstdarg>
 
 #include "src/common/macros.h"
+#include "src/common/stat_cache.h"
 #include "src/datasets/graph_source.h"
 
 namespace dpkron {
@@ -102,6 +103,11 @@ void ScenarioOutput::RecordBudget(const PrivacyBudget& budget, bool print) {
   budgets_.push_back(budget);
 }
 
+void ScenarioOutput::RecordExactSensitivity(bool exact) {
+  ++exact_sensitivity_records_;
+  exact_sensitivity_all_ = exact_sensitivity_all_ && exact;
+}
+
 void ScenarioOutput::PrintTables() const {
   if (text_out_ == nullptr) return;
   for (const TableEntry& entry : tables_) {
@@ -115,6 +121,13 @@ void ScenarioOutput::AppendRunJson(JsonWriter& json) const {
   json.String(scenario_);
   json.Key("elapsed_seconds");
   json.Number(elapsed_seconds_);
+  // null = the run computed no smooth-sensitivity profile at all.
+  json.Key("exact_sensitivity");
+  if (exact_sensitivity_records_ == 0) {
+    json.Null();
+  } else {
+    json.Bool(exact_sensitivity_all_);
+  }
 
   json.Key("params");
   json.BeginObject();
@@ -245,6 +258,22 @@ Status RunScenario(const ScenarioSpec& spec,
                    ScenarioOutput& output) {
   const ScenarioParams params = ResolveParams(spec.defaults, overrides);
   output.set_params(params);
+  // Degenerate privacy parameters are data a sweep grid can contain
+  // (--sweep-epsilons=...,0). They must fail here, as a Status the sweep
+  // report records, before any mechanism or budget constructor can
+  // abort the whole batch on them.
+  if (!(params.epsilon > 0.0)) {
+    return Status::InvalidArgument(
+        spec.name + ": epsilon must be positive, got " +
+        std::to_string(params.epsilon));
+  }
+  // delta = 0 would also pass every budget constructor only to abort
+  // inside the smooth-sensitivity mechanism; scenarios are (ε, δ)
+  // pipelines, so require a usable δ here.
+  if (!(params.delta > 0.0 && params.delta < 1.0)) {
+    return Status::InvalidArgument(spec.name + ": delta must be in (0, 1), got " +
+                                   std::to_string(params.delta));
+  }
   output.Printf("# %s: seed=%llu epsilon=%g delta=%g realizations=%u"
                 " trials=%u%s%s%s\n",
                 spec.name.c_str(),
@@ -262,6 +291,31 @@ Status RunScenario(const ScenarioSpec& spec,
   return Status::Ok();
 }
 
+void AppendStatCacheJson(JsonWriter& json, bool enabled) {
+  StatCache& cache = StatCache::Instance();
+  const StatCache::Counters total = cache.TotalCounters();
+  json.BeginObject();
+  json.Key("enabled");
+  json.Bool(enabled);
+  json.Key("hits");
+  json.UInt(total.hits);
+  json.Key("misses");
+  json.UInt(total.misses);
+  json.Key("domains");
+  json.BeginObject();
+  for (const auto& [domain, counters] : cache.DomainCounters()) {
+    json.Key(domain);
+    json.BeginObject();
+    json.Key("hits");
+    json.UInt(counters.hits);
+    json.Key("misses");
+    json.UInt(counters.misses);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
 std::string ScenariosJson(const std::vector<const ScenarioOutput*>& runs,
                           int threads) {
   JsonWriter json;
@@ -270,6 +324,8 @@ std::string ScenariosJson(const std::vector<const ScenarioOutput*>& runs,
   json.String("dpkron.scenarios.v1");
   json.Key("threads");
   json.Int(threads);
+  json.Key("cache");
+  AppendStatCacheJson(json, StatCache::Instance().enabled());
   json.Key("runs");
   json.BeginArray();
   for (const ScenarioOutput* run : runs) run->AppendRunJson(json);

@@ -122,6 +122,14 @@ class ScenarioOutput {
   // (suppress inside sweep loops that would flood the text output).
   void RecordBudget(const PrivacyBudget& budget, bool print = true);
 
+  // Records whether a smooth-sensitivity computation used the exact
+  // profile (TriangleSensitivityProfile::exact()). A run that records
+  // any conservative fallback reports "exact_sensitivity": false in its
+  // JSON; a run that never computes a profile reports null. This is the
+  // audit trail for the silent-fallback bug: the release path can no
+  // longer drop the flag on the floor.
+  void RecordExactSensitivity(bool exact);
+
   // Prints every printable table (RunScenario calls this at the end, the
   // position the standalone binaries printed their tables in).
   void PrintTables() const;
@@ -150,6 +158,8 @@ class ScenarioOutput {
   std::deque<TableEntry> tables_;  // deque: stable references on growth
   std::vector<SummaryBlock> summaries_;
   std::vector<PrivacyBudget> budgets_;
+  uint32_t exact_sensitivity_records_ = 0;
+  bool exact_sensitivity_all_ = true;  // AND over recorded flags
 };
 
 struct ScenarioSpec {
@@ -181,7 +191,16 @@ Status RunScenario(const ScenarioSpec& spec,
                    const ScenarioOverrides& overrides,
                    ScenarioOutput& output);
 
-// The BENCH_scenarios.json document: {schema, threads, runs: [...]}.
+// Appends the process-wide StatCache counters as one JSON object
+// ({enabled, hits, misses, domains: {...}}) — shared by the scenario and
+// sweep documents. `enabled` is passed by the caller because the
+// document must report the state the runs executed under, not the
+// live state at serialization time (RunSweep restores the caller's
+// state before its result is serialized).
+void AppendStatCacheJson(JsonWriter& json, bool enabled);
+
+// The BENCH_scenarios.json document:
+// {schema, threads, cache: {...}, runs: [...]}.
 std::string ScenariosJson(const std::vector<const ScenarioOutput*>& runs,
                           int threads);
 

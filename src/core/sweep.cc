@@ -1,0 +1,205 @@
+#include "src/core/sweep.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/parallel.h"
+#include "src/common/rng.h"
+#include "src/common/stat_cache.h"
+
+namespace dpkron {
+
+std::vector<uint64_t> SweepSeeds(uint64_t base_seed, uint32_t count) {
+  std::vector<uint64_t> seeds;
+  seeds.reserve(count);
+  if (count == 0) return seeds;
+  // Index 0 is the base itself: a 1-seed sweep is the plain run. Later
+  // indices take the first output of independent Split streams, so the
+  // axis inherits the stream-decorrelation properties of Rng::Split.
+  seeds.push_back(base_seed);
+  Rng root(base_seed);
+  std::vector<Rng> streams = SplitRngStreams(root, count);
+  for (uint32_t j = 1; j < count; ++j) seeds.push_back(streams[j].NextU64());
+  return seeds;
+}
+
+Result<SweepResult> RunSweep(const SweepSpec& spec) {
+  if (spec.scenarios.empty()) {
+    return Status::InvalidArgument("sweep needs at least one scenario");
+  }
+  if (spec.seeds == 0) {
+    return Status::InvalidArgument("sweep needs at least one seed");
+  }
+  std::vector<const ScenarioSpec*> scenario_specs;
+  for (const std::string& name : spec.scenarios) {
+    const ScenarioSpec* scenario = FindScenario(name);
+    if (scenario == nullptr) {
+      return Status::NotFound("unknown scenario in sweep: " + name);
+    }
+    scenario_specs.push_back(scenario);
+  }
+
+  // ------------------------------------------------- matrix expansion
+  // Axis order is fixed — scenario, dataset, ε, seed — and the runs
+  // vector IS the aggregation order: chunk i of the parallel section
+  // writes runs[i] and nothing else, so the document never depends on
+  // completion order.
+  SweepResult result;
+  struct RunPlan {
+    const ScenarioSpec* scenario;
+    ScenarioOverrides overrides;
+  };
+  std::vector<RunPlan> plans;
+  for (const ScenarioSpec* scenario : scenario_specs) {
+    const uint64_t base_seed =
+        spec.base.seed ? *spec.base.seed : scenario->defaults.seed;
+    const std::vector<uint64_t> seeds = SweepSeeds(base_seed, spec.seeds);
+    // Collapsed single-entry axes: one pass with the base override left
+    // as-is (unset = the scenario's own default).
+    const size_t num_datasets = spec.datasets.empty() ? 1 : spec.datasets.size();
+    const size_t num_epsilons = spec.epsilons.empty() ? 1 : spec.epsilons.size();
+    for (size_t d = 0; d < num_datasets; ++d) {
+      for (size_t e = 0; e < num_epsilons; ++e) {
+        for (uint32_t j = 0; j < spec.seeds; ++j) {
+          RunPlan plan{scenario, spec.base};
+          if (!spec.datasets.empty()) plan.overrides.dataset = spec.datasets[d];
+          if (!spec.epsilons.empty()) plan.overrides.epsilon = spec.epsilons[e];
+          plan.overrides.seed = seeds[j];
+
+          SweepRun run;
+          run.scenario = scenario->name;
+          run.dataset = plan.overrides.dataset ? *plan.overrides.dataset : "";
+          run.seed = seeds[j];
+          run.seed_index = j;
+          result.runs.push_back(std::move(run));
+          plans.push_back(std::move(plan));
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------- execution
+  // Runs fan across the shared pool, one per chunk; nested ParallelFor
+  // calls inside scenario bodies degrade to serial per the parallel.h
+  // contract. The StatCache turns the matrix's redundancy (same graph
+  // under many ε/seeds) into hits; the caller's enabled-state is
+  // restored afterwards (counters stay readable either way), so a
+  // library caller keeps the disabled-by-default contract.
+  StatCache& cache = StatCache::Instance();
+  const bool cache_was_enabled = cache.enabled();
+  const auto counters_before = cache.DomainCounters();
+  cache.set_enabled(true);
+  const auto start = std::chrono::steady_clock::now();
+  auto execute = [&](size_t i) {
+    SweepRun& run = result.runs[i];
+    // Text output suppressed: concurrent runs must not interleave on
+    // stdout, and every row lands in the JSON document anyway. The
+    // ScenarioOutput is built here (not during expansion) so its
+    // construction cost is also off the serial path.
+    run.output = ScenarioOutput(run.scenario, /*text_out=*/nullptr);
+    run.status =
+        RunScenario(*plans[i].scenario, plans[i].overrides, run.output);
+    run.epsilon = run.output.params().epsilon;
+  };
+  if (plans.size() == 1) {
+    // A single cell gets no cross-run concurrency from the pool, and
+    // entering a parallel region would serialize the scenario's own
+    // nested ParallelFor kernels — run it directly so a 1-cell sweep is
+    // never slower than the standalone --scenario invocation.
+    execute(0);
+  } else {
+    ParallelForChunks(plans.size(), 1, [&](const ParallelChunk& chunk) {
+      for (size_t i = chunk.begin; i < chunk.end; ++i) execute(i);
+    });
+  }
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  cache.set_enabled(cache_was_enabled);
+  result.cache_enabled = true;
+  // Per-domain counter deltas: what THIS sweep hit and missed,
+  // independent of prior activity in the process.
+  for (const auto& [domain, after] : cache.DomainCounters()) {
+    StatCache::Counters delta = after;
+    for (const auto& [name, before] : counters_before) {
+      if (name == domain) {
+        delta.hits -= before.hits;
+        delta.misses -= before.misses;
+        break;
+      }
+    }
+    if (delta.hits == 0 && delta.misses == 0) continue;
+    result.cache_domains.emplace_back(domain, delta);
+    result.cache_total.hits += delta.hits;
+    result.cache_total.misses += delta.misses;
+  }
+  for (const SweepRun& run : result.runs) {
+    if (!run.status.ok()) ++result.failed_runs;
+  }
+  return result;
+}
+
+std::string SweepsJson(const SweepResult& result, int threads) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema");
+  json.String("dpkron.sweeps.v1");
+  json.Key("threads");
+  json.Int(threads);
+  json.Key("elapsed_seconds");
+  json.Number(result.elapsed_seconds);
+  json.Key("failed_runs");
+  json.UInt(result.failed_runs);
+  // This sweep's own deltas, not the live process totals.
+  json.Key("cache");
+  json.BeginObject();
+  json.Key("enabled");
+  json.Bool(result.cache_enabled);
+  json.Key("hits");
+  json.UInt(result.cache_total.hits);
+  json.Key("misses");
+  json.UInt(result.cache_total.misses);
+  json.Key("domains");
+  json.BeginObject();
+  for (const auto& [domain, counters] : result.cache_domains) {
+    json.Key(domain);
+    json.BeginObject();
+    json.Key("hits");
+    json.UInt(counters.hits);
+    json.Key("misses");
+    json.UInt(counters.misses);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  json.Key("runs");
+  json.BeginArray();
+  for (const SweepRun& run : result.runs) {
+    json.BeginObject();
+    json.Key("scenario");
+    json.String(run.scenario);
+    json.Key("dataset");
+    json.String(run.dataset);
+    json.Key("epsilon");
+    json.Number(run.epsilon);
+    json.Key("seed");
+    json.UInt(run.seed);
+    json.Key("seed_index");
+    json.UInt(run.seed_index);
+    json.Key("ok");
+    json.Bool(run.status.ok());
+    json.Key("status");
+    json.String(run.status.ToString());
+    // The full per-run document — params, budgets (ledgers preserved),
+    // exact_sensitivity, summaries, tables — exactly as the standalone
+    // --scenario path emits it.
+    json.Key("run");
+    run.output.AppendRunJson(json);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace dpkron

@@ -1,0 +1,112 @@
+// The batch sweep engine — the evaluation loop the paper implies run as
+// one declarative job. conf_edbt_MirW12's experiments release the same
+// input graph under many ε values, seeds and estimator routes; a
+// SweepSpec names those axes (scenarios × datasets × ε-grid × seeds)
+// and RunSweep expands them into a run matrix, executes it concurrently
+// over the shared thread pool, and aggregates the per-run outputs in
+// matrix order into one BENCH_sweeps.json document.
+//
+// Guarantees:
+//   * Determinism / byte-identity. Run (scenario, dataset, ε, seed_j)
+//     produces exactly the output a standalone
+//     `--scenario=<name> --epsilon=ε --seed=seed_j --dataset=<ref>`
+//     invocation produces: each run re-derives its streams from its own
+//     seed, runs are independent, and aggregation is by matrix index —
+//     never by completion order — so the document is identical at any
+//     thread count (tests/sweep_test.cc enforces both).
+//   * Amortization. RunSweep enables the process-wide StatCache, so the
+//     deterministic per-graph quantities (profiles, KronFit fits,
+//     degree sequences, triangle counts, statistics panels) are
+//     computed once per distinct key instead of once per run; the
+//     cache's hit/miss counters land in the document.
+//   * Isolation of failures. A run that fails (degenerate ε, bad
+//     dataset, exhausted budget) is recorded in the report with its
+//     Status; it never aborts the batch.
+//
+// Seed axis: seed index 0 is the base seed itself (so a 1-seed sweep is
+// exactly the plain scenario run); indices 1.. are drawn from Rng::Split
+// streams of an Rng seeded with the base — published by SweepSeeds so a
+// standalone run can reproduce any cell of the matrix.
+
+#ifndef DPKRON_CORE_SWEEP_H_
+#define DPKRON_CORE_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/stat_cache.h"
+#include "src/common/status.h"
+#include "src/core/scenario.h"
+
+namespace dpkron {
+
+// The declarative run matrix: every combination of the four axes is one
+// run. Empty axes collapse to a single "spec default" entry.
+struct SweepSpec {
+  // Scenario names (must all be registered). Required, non-empty.
+  std::vector<std::string> scenarios;
+  // Dataset references (GraphSource refs); empty = each scenario's own
+  // spec-declared datasets.
+  std::vector<std::string> datasets;
+  // ε grid; empty = each scenario's default (or base.epsilon) only.
+  std::vector<double> epsilons;
+  // Seed-axis length (>= 1): seeds are derived per scenario from its
+  // effective base seed via SweepSeeds.
+  uint32_t seeds = 1;
+  // Everything else (smoke, trials, realizations, kronfit iterations,
+  // base seed, dataset cache) applies to every run. base.epsilon /
+  // base.dataset act as the single-entry axis when the corresponding
+  // axis above is empty; base.seed overrides the scenario's default
+  // base seed.
+  ScenarioOverrides base;
+};
+
+// One cell of the executed matrix.
+struct SweepRun {
+  std::string scenario;
+  std::string dataset;  // "" = scenario's own datasets
+  double epsilon = 0.0;  // resolved value this run used
+  uint64_t seed = 0;
+  uint32_t seed_index = 0;
+  Status status;  // OK unless the run failed
+  // Tables/summaries/budgets; text output suppressed (nullptr sink) —
+  // concurrent runs must not interleave on stdout and the JSON document
+  // carries every row.
+  ScenarioOutput output{"", nullptr};
+};
+
+struct SweepResult {
+  std::vector<SweepRun> runs;  // matrix order: scenario, dataset, ε, seed
+  double elapsed_seconds = 0.0;
+  size_t failed_runs = 0;
+  // The StatCache state the runs executed under (RunSweep always
+  // enables it; recorded here because it restores the caller's state
+  // before this result is serialized).
+  bool cache_enabled = true;
+  // Hit/miss DELTAS attributable to this sweep alone (counters
+  // snapshotted around the execution), so back-to-back sweeps in one
+  // process each report their own amortization, not the cumulative
+  // process totals.
+  StatCache::Counters cache_total;
+  std::vector<std::pair<std::string, StatCache::Counters>> cache_domains;
+};
+
+// The seed axis for `base_seed`: index 0 = base_seed, indices 1..count-1
+// drawn from independent Rng::Split streams of Rng(base_seed).
+std::vector<uint64_t> SweepSeeds(uint64_t base_seed, uint32_t count);
+
+// Expands and executes the matrix. Fails (without running anything) on
+// an empty/unknown scenario list or seeds == 0; per-run failures are
+// recorded in the result instead.
+Result<SweepResult> RunSweep(const SweepSpec& spec);
+
+// The BENCH_sweeps.json document: {schema: "dpkron.sweeps.v1", threads,
+// cache: {...}, runs: [{scenario, dataset, epsilon, seed, seed_index,
+// ok, status, run: {...}}]}.
+std::string SweepsJson(const SweepResult& result, int threads);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_CORE_SWEEP_H_

@@ -2,22 +2,24 @@
 
 #include <algorithm>
 
-#include "src/common/macros.h"
+#include "src/common/stat_cache.h"
 #include "src/dp/isotonic.h"
 #include "src/dp/laplace_mechanism.h"
 #include "src/graph/degree.h"
 
 namespace dpkron {
 
-std::vector<double> PrivatizeSortedDegrees(
+Result<std::vector<double>> PrivatizeSortedDegrees(
     const std::vector<uint32_t>& sorted_degrees, double epsilon,
     uint32_t num_nodes, Rng& rng, const PrivateDegreeOptions& options) {
-  DPKRON_CHECK_GT(epsilon, 0.0);
-  std::vector<double> noisy(sorted_degrees.size());
-  const double scale = kDegreeSequenceSensitivity / epsilon;
-  for (size_t i = 0; i < sorted_degrees.size(); ++i) {
-    noisy[i] = static_cast<double>(sorted_degrees[i]) + rng.NextLaplace(scale);
-  }
+  // One vector-Laplace mechanism in the codebase: the noising and its
+  // degenerate-parameter validation live in AddLaplaceNoiseVector.
+  const std::vector<double> values(sorted_degrees.begin(),
+                                   sorted_degrees.end());
+  auto noisy_result = AddLaplaceNoiseVector(
+      values, kDegreeSequenceSensitivity, epsilon, rng);
+  if (!noisy_result.ok()) return noisy_result.status();
+  std::vector<double> noisy = std::move(noisy_result).value();
   if (options.postprocess) {
     noisy = IsotonicRegression(noisy);
   }
@@ -29,11 +31,17 @@ std::vector<double> PrivatizeSortedDegrees(
   return noisy;
 }
 
-std::vector<double> PrivateDegreeSequence(const Graph& graph, double epsilon,
-                                          Rng& rng,
-                                          const PrivateDegreeOptions& options) {
-  return PrivatizeSortedDegrees(SortedDegreeVector(graph), epsilon,
-                                graph.NumNodes(), rng, options);
+Result<std::vector<double>> PrivateDegreeSequence(
+    const Graph& graph, double epsilon, Rng& rng,
+    const PrivateDegreeOptions& options) {
+  // The sorted degree sequence is the deterministic half of the
+  // mechanism; only the noise depends on (ε, rng). Serving it through
+  // the StatCache lets an ε/seed sweep extract it once per graph.
+  const auto sorted = StatCache::Instance().GetOrCompute<std::vector<uint32_t>>(
+      "sorted_degrees", CacheKey().Mix(graph.ContentFingerprint()).digest(),
+      [&graph] { return SortedDegreeVector(graph); });
+  return PrivatizeSortedDegrees(*sorted, epsilon, graph.NumNodes(), rng,
+                                options);
 }
 
 }  // namespace dpkron

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/status.h"
 #include "src/graph/graph.h"
 
 namespace dpkron {
@@ -30,13 +31,16 @@ struct PrivateDegreeOptions {
 };
 
 // (ε, 0)-differentially private estimate of the sorted degree sequence.
-std::vector<double> PrivateDegreeSequence(
+// InvalidArgument on a degenerate ε (≤ 0, non-finite) — a data-dependent
+// condition a sweep can reach, so it surfaces as a Status the run
+// report records, not a process abort.
+Result<std::vector<double>> PrivateDegreeSequence(
     const Graph& graph, double epsilon, Rng& rng,
     const PrivateDegreeOptions& options = {});
 
 // The same mechanism applied to a pre-sorted degree vector (exposed so
 // tests and ablations can drive it without a Graph).
-std::vector<double> PrivatizeSortedDegrees(
+Result<std::vector<double>> PrivatizeSortedDegrees(
     const std::vector<uint32_t>& sorted_degrees, double epsilon,
     uint32_t num_nodes, Rng& rng, const PrivateDegreeOptions& options = {});
 

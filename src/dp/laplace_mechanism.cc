@@ -1,21 +1,42 @@
 #include "src/dp/laplace_mechanism.h"
 
-#include "src/common/macros.h"
+#include <cmath>
 
 namespace dpkron {
+namespace {
 
-double AddLaplaceNoise(double value, double sensitivity, double epsilon,
-                       Rng& rng) {
-  DPKRON_CHECK_GT(sensitivity, 0.0);
-  DPKRON_CHECK_GT(epsilon, 0.0);
+// Shared validation, one function so the scalar and vector mechanisms
+// can never drift.
+Status ValidateLaplaceParams(double sensitivity, double epsilon) {
+  if (!(sensitivity > 0.0) || !std::isfinite(sensitivity)) {
+    return Status::InvalidArgument(
+        "Laplace mechanism needs sensitivity > 0, got " +
+        std::to_string(sensitivity));
+  }
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "Laplace mechanism needs epsilon > 0, got " +
+        std::to_string(epsilon));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<double> AddLaplaceNoise(double value, double sensitivity,
+                               double epsilon, Rng& rng) {
+  if (Status s = ValidateLaplaceParams(sensitivity, epsilon); !s.ok()) {
+    return s;
+  }
   return value + rng.NextLaplace(sensitivity / epsilon);
 }
 
-std::vector<double> AddLaplaceNoiseVector(const std::vector<double>& values,
-                                          double sensitivity, double epsilon,
-                                          Rng& rng) {
-  DPKRON_CHECK_GT(sensitivity, 0.0);
-  DPKRON_CHECK_GT(epsilon, 0.0);
+Result<std::vector<double>> AddLaplaceNoiseVector(
+    const std::vector<double>& values, double sensitivity, double epsilon,
+    Rng& rng) {
+  if (Status s = ValidateLaplaceParams(sensitivity, epsilon); !s.ok()) {
+    return s;
+  }
   const double scale = sensitivity / epsilon;
   std::vector<double> noisy(values.size());
   for (size_t i = 0; i < values.size(); ++i) {

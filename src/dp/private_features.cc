@@ -28,13 +28,16 @@ Result<PrivateFeaturesResult> ComputePrivateFeatures(
 
   PrivateFeaturesResult result;
   // Steps 1–3: private degree sequence -> Ẽ, H̃, T̃.
-  result.noisy_degrees =
+  auto noisy_degrees =
       PrivateDegreeSequence(graph, epsilon / 2, rng, options.degrees);
+  if (!noisy_degrees.ok()) return noisy_degrees.status();
+  result.noisy_degrees = std::move(noisy_degrees).value();
   // Steps 4–5: smooth-sensitivity private triangle count -> ∆̃.
   const PrivateTriangleResult triangles =
       PrivateTriangleCount(graph, epsilon / 2, delta, rng);
   result.smooth_sensitivity = triangles.smooth_sensitivity;
   result.beta = triangles.beta;
+  result.exact_sensitivity = triangles.exact_sensitivity;
 
   result.raw = FeaturesFromDegrees(result.noisy_degrees, triangles.value);
   result.features = ClampFeatures(result.raw, options.feature_floor);

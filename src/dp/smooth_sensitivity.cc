@@ -8,6 +8,7 @@
 
 #include "src/common/macros.h"
 #include "src/common/parallel.h"
+#include "src/common/stat_cache.h"
 #include "src/graph/triangles.h"
 
 namespace dpkron {
@@ -215,8 +216,16 @@ double TriangleSensitivityProfile::SmoothSensitivity(double beta) const {
   return best;
 }
 
+std::shared_ptr<const TriangleSensitivityProfile>
+CachedTriangleSensitivityProfile(const Graph& graph) {
+  return StatCache::Instance().GetOrCompute<TriangleSensitivityProfile>(
+      "triangle_profile",
+      CacheKey().Mix(graph.ContentFingerprint()).digest(),
+      [&graph] { return TriangleSensitivityProfile(graph); });
+}
+
 double SmoothSensitivityTriangles(const Graph& graph, double beta) {
-  return TriangleSensitivityProfile(graph).SmoothSensitivity(beta);
+  return CachedTriangleSensitivityProfile(graph)->SmoothSensitivity(beta);
 }
 
 PrivateTriangleResult PrivateTriangleCount(const Graph& graph, double epsilon,
@@ -226,8 +235,14 @@ PrivateTriangleResult PrivateTriangleCount(const Graph& graph, double epsilon,
   DPKRON_CHECK_LT(delta, 1.0);
   PrivateTriangleResult result;
   result.beta = epsilon / (2.0 * std::log(2.0 / delta));
-  result.smooth_sensitivity = SmoothSensitivityTriangles(graph, result.beta);
-  result.exact = static_cast<double>(CountTriangles(graph));
+  // The profile is the expensive, ε-independent half of the mechanism;
+  // evaluating SS_β at this run's β is a cheap scan over its frontier.
+  const auto profile = CachedTriangleSensitivityProfile(graph);
+  result.smooth_sensitivity = profile->SmoothSensitivity(result.beta);
+  result.exact_sensitivity = profile->exact();
+  result.exact = static_cast<double>(*StatCache::Instance().GetOrCompute<uint64_t>(
+      "triangle_count", CacheKey().Mix(graph.ContentFingerprint()).digest(),
+      [&graph] { return CountTriangles(graph); }));
   result.value = result.exact +
                  2.0 * result.smooth_sensitivity / epsilon * rng.NextLaplace(1.0);
   return result;

@@ -28,6 +28,7 @@
 #define DPKRON_DP_SMOOTH_SENSITIVITY_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -71,6 +72,14 @@ class TriangleSensitivityProfile {
   std::vector<std::pair<uint64_t, uint64_t>> frontier_;  // (a, b), a desc
 };
 
+// The profile of `graph`, served through the process-wide StatCache
+// when it is enabled (keyed by the graph's content fingerprint — the
+// profile is a deterministic pure function of the graph, so an ε sweep
+// builds it once, not once per ε). With the cache disabled this is a
+// plain computation.
+std::shared_ptr<const TriangleSensitivityProfile>
+CachedTriangleSensitivityProfile(const Graph& graph);
+
 // Convenience wrapper: SS_{β,∆}(graph).
 double SmoothSensitivityTriangles(const Graph& graph, double beta);
 
@@ -79,6 +88,12 @@ struct PrivateTriangleResult {
   double exact = 0.0;               // ∆ (kept private by callers!)
   double smooth_sensitivity = 0.0;  // SS_{β,∆}(G)
   double beta = 0.0;
+  // TriangleSensitivityProfile::exact() of the profile behind SS: false
+  // means the far-pair search fell back to the conservative bound.
+  // Plumbed up to the scenario/sweep JSON so the fallback is never
+  // silent (the bound is still a valid upper bound, but possibly
+  // non-smooth — a run report must say so).
+  bool exact_sensitivity = true;
 };
 
 // (ε, δ)-differentially private triangle count via Theorem 4.8:

@@ -129,8 +129,10 @@ Result<GraphFeatures> ComputeDirectPrivateFeatures(
   }
 
   GraphFeatures features;
-  features.edges =
+  const auto noisy_edges =
       AddLaplaceNoise(double(graph.NumEdges()), 1.0, eps_each, rng);
+  if (!noisy_edges.ok()) return noisy_edges.status();
+  features.edges = noisy_edges.value();
   features.hairpins =
       PrivateWedgeCount(graph, eps_each, delta_each, rng).value;
   features.tripins =

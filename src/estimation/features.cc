@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/common/stat_cache.h"
 #include "src/graph/degree.h"
 #include "src/graph/triangles.h"
 
@@ -22,6 +23,12 @@ GraphFeatures ComputeFeatures(const Graph& graph) {
   f.triangles = static_cast<double>(CountTriangles(graph));
   f.tripins = static_cast<double>(CountTripins(graph));
   return f;
+}
+
+GraphFeatures ComputeFeaturesCached(const Graph& graph) {
+  return *StatCache::Instance().GetOrCompute<GraphFeatures>(
+      "features", CacheKey().Mix(graph.ContentFingerprint()).digest(),
+      [&graph] { return ComputeFeatures(graph); });
 }
 
 GraphFeatures FeaturesFromDegrees(const std::vector<double>& degrees,

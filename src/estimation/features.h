@@ -29,6 +29,13 @@ struct GraphFeatures {
 // from the degree sequence).
 GraphFeatures ComputeFeatures(const Graph& graph);
 
+// ComputeFeatures served through the process-wide StatCache when it is
+// enabled (keyed by the graph's content fingerprint; the features are a
+// deterministic pure function of the graph). The KronMom and private
+// estimation routes call this, so a sweep extracts each graph's exact
+// features once instead of once per run.
+GraphFeatures ComputeFeaturesCached(const Graph& graph);
+
 // E, H, T from a (possibly noisy, fractional) degree vector using the
 // Algorithm 1 step-3 formulas; `triangles` must be supplied separately.
 GraphFeatures FeaturesFromDegrees(const std::vector<double>& degrees,

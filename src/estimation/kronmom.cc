@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/macros.h"
+#include "src/common/stat_cache.h"
 
 namespace dpkron {
 
@@ -20,11 +21,12 @@ uint32_t ChooseKroneckerOrder(uint64_t num_nodes) {
   return k;
 }
 
-KronMomResult FitKronMomToFeatures(const GraphFeatures& observed, uint32_t k,
-                                   const KronMomOptions& options) {
-  DPKRON_CHECK_GE(k, 1u);
-  DPKRON_CHECK_GE(options.grid_points, 2u);
-  DPKRON_CHECK_GE(options.num_starts, 1u);
+namespace {
+
+// The grid search + multi-start Nelder-Mead behind FitKronMomToFeatures.
+KronMomResult FitKronMomToFeaturesImpl(const GraphFeatures& observed,
+                                       uint32_t k,
+                                       const KronMomOptions& options) {
 
   auto objective = [&](const std::vector<double>& x) {
     return MomentObjective(Initiator2{x[0], x[1], x[2]}, k, observed,
@@ -75,8 +77,47 @@ KronMomResult FitKronMomToFeatures(const GraphFeatures& observed, uint32_t k,
   return best;
 }
 
+}  // namespace
+
+KronMomResult FitKronMomToFeatures(const GraphFeatures& observed, uint32_t k,
+                                   const KronMomOptions& options) {
+  DPKRON_CHECK_GE(k, 1u);
+  DPKRON_CHECK_GE(options.grid_points, 2u);
+  DPKRON_CHECK_GE(options.num_starts, 1u);
+  // The fit is a deterministic pure function of (features, k, options):
+  // memoize it by value through the StatCache. In an ε sweep the exact-
+  // feature fit recurs in every run of a dataset; fits on privatized
+  // (per-run-noise) features simply key distinctly and miss.
+  const uint64_t key = CacheKey()
+                           .MixDouble(observed.edges)
+                           .MixDouble(observed.hairpins)
+                           .MixDouble(observed.triangles)
+                           .MixDouble(observed.tripins)
+                           .Mix(k)
+                           .Mix(static_cast<uint64_t>(options.objective.dist))
+                           .Mix(static_cast<uint64_t>(options.objective.norm))
+                           .Mix(options.objective.use_edges)
+                           .Mix(options.objective.use_hairpins)
+                           .Mix(options.objective.use_triangles)
+                           .Mix(options.objective.use_tripins)
+                           .Mix(options.solver.max_iterations)
+                           .MixDouble(options.solver.value_tolerance)
+                           .MixDouble(options.solver.point_tolerance)
+                           .MixDouble(options.solver.initial_step)
+                           .MixDouble(options.solver.reflection)
+                           .MixDouble(options.solver.expansion)
+                           .MixDouble(options.solver.contraction)
+                           .MixDouble(options.solver.shrink)
+                           .Mix(options.grid_points)
+                           .Mix(options.num_starts)
+                           .digest();
+  return *StatCache::Instance().GetOrCompute<KronMomResult>(
+      "kronmom_fit", key,
+      [&] { return FitKronMomToFeaturesImpl(observed, k, options); });
+}
+
 KronMomResult FitKronMom(const Graph& graph, const KronMomOptions& options) {
-  const GraphFeatures observed = ComputeFeatures(graph);
+  const GraphFeatures observed = ComputeFeaturesCached(graph);
   const uint32_t k = ChooseKroneckerOrder(graph.NumNodes());
   return FitKronMomToFeatures(observed, k, options);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/fnv.h"
 #include "src/common/macros.h"
 
 namespace dpkron {
@@ -32,6 +33,20 @@ bool Graph::HasEdge(NodeId u, NodeId v) const {
   DPKRON_CHECK_LT(v, NumNodes());
   const auto neighbors = Neighbors(u);
   return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+uint64_t Graph::ContentFingerprint() const {
+  const uint64_t cached = fingerprint_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  // Same formula as the .dpkb payload checksum (graph_io.cc):
+  // word-wise FNV-1a over the offsets bytes, continued over the
+  // adjacency bytes.
+  uint64_t hash =
+      Fnv1a64Words(offsets_.data(), offsets_.size() * sizeof(uint32_t));
+  hash = Fnv1a64Words(adjacency_.data(), adjacency_.size() * sizeof(NodeId),
+                      hash);
+  fingerprint_.store(hash, std::memory_order_relaxed);
+  return hash;
 }
 
 std::vector<std::pair<Graph::NodeId, Graph::NodeId>> Graph::Edges() const {

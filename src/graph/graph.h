@@ -13,6 +13,7 @@
 #ifndef DPKRON_GRAPH_GRAPH_H_
 #define DPKRON_GRAPH_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -35,10 +36,35 @@ class Graph {
   static Graph FromCsr(std::vector<uint32_t> offsets,
                        std::vector<NodeId> adjacency);
 
-  Graph(const Graph&) = default;
-  Graph& operator=(const Graph&) = default;
-  Graph(Graph&&) = default;
-  Graph& operator=(Graph&&) = default;
+  // Hand-written only because of the atomic fingerprint memo below
+  // (std::atomic is neither copyable nor movable); semantics are the
+  // member-wise defaults, with the memo carried along — the fingerprint
+  // is a pure function of the CSR arrays, so a copy shares it.
+  Graph(const Graph& other)
+      : offsets_(other.offsets_),
+        adjacency_(other.adjacency_),
+        fingerprint_(other.fingerprint_.load(std::memory_order_relaxed)) {}
+  Graph& operator=(const Graph& other) {
+    offsets_ = other.offsets_;
+    adjacency_ = other.adjacency_;
+    fingerprint_.store(other.fingerprint_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+  Graph(Graph&& other) noexcept
+      : offsets_(std::move(other.offsets_)),
+        adjacency_(std::move(other.adjacency_)),
+        fingerprint_(other.fingerprint_.load(std::memory_order_relaxed)) {
+    other.fingerprint_.store(0, std::memory_order_relaxed);
+  }
+  Graph& operator=(Graph&& other) noexcept {
+    offsets_ = std::move(other.offsets_);
+    adjacency_ = std::move(other.adjacency_);
+    fingerprint_.store(other.fingerprint_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    other.fingerprint_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
 
   uint32_t NumNodes() const {
     return static_cast<uint32_t>(offsets_.size() - 1);
@@ -76,12 +102,26 @@ class Graph {
   std::span<const uint32_t> Offsets() const { return offsets_; }
   std::span<const NodeId> Adjacency() const { return adjacency_; }
 
+  // FNV-1a digest of the CSR arrays — the graph component of StatCache
+  // keys. Because the CSR form is canonical, equal fingerprints mean
+  // equal graphs (up to hash collision), however the graphs were built;
+  // and the value is exactly the checksum a .dpkb file of this graph
+  // records. Computed lazily once per Graph object (O(N + E)) and then
+  // served from the memo — several cached computations key off it per
+  // scenario run, and the arrays are immutable after construction.
+  uint64_t ContentFingerprint() const;
+
  private:
   Graph(std::vector<uint32_t> offsets, std::vector<NodeId> adjacency)
       : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {}
 
   std::vector<uint32_t> offsets_;
   std::vector<NodeId> adjacency_;
+  // Lazily memoized ContentFingerprint. 0 = not yet computed (a real
+  // digest of 0 has probability 2^-64 and would merely be recomputed
+  // per call — correct, just uncached). Atomic: concurrent first calls
+  // race benignly, both publishing the same value.
+  mutable std::atomic<uint64_t> fingerprint_{0};
 };
 
 }  // namespace dpkron

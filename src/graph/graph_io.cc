@@ -6,14 +6,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/fnv.h"
 #include "src/common/parallel.h"
+#include "src/common/stat_cache.h"
 #include "src/graph/graph_builder.h"
 
 namespace dpkron {
@@ -256,7 +257,11 @@ Status WriteEdgeList(const Graph& graph, const std::string& path) {
 namespace {
 
 constexpr char kDpkbMagic[8] = {'D', 'P', 'K', 'B', 'C', 'S', 'R', '1'};
-constexpr uint32_t kDpkbVersion = 1;
+// Version 2 added source_checksum (and 8 bytes of header). Version 1
+// files fail the version check, which the sidecar-cache path treats as
+// "stale": old caches are silently reparsed and rewritten, never
+// misloaded (tests/graph_io_test.cc exercises a crafted v1 file).
+constexpr uint32_t kDpkbVersion = 2;
 
 struct DpkbHeader {
   char magic[8];
@@ -265,28 +270,25 @@ struct DpkbHeader {
   uint64_t num_nodes;
   uint64_t adjacency_len;
   uint64_t checksum;
-  // Byte size of the text file a sidecar cache was parsed from (0 for
-  // standalone .dpkb datasets): lets cache validation catch a source
-  // replaced by an mtime-preserving copy, which timestamps alone miss.
+  // Provenance of a sidecar cache: byte size and FNV-1a checksum of the
+  // text file it was parsed from (both 0 for standalone .dpkb
+  // datasets). Cached loads revalidate against the current source
+  // content, which catches every rewrite timestamps miss: same-size
+  // same-mtime-granularity rewrites and mtime-preserving replacements
+  // (cp -p, rsync -t) alike.
   uint64_t source_size;
+  uint64_t source_checksum;
 };
-static_assert(sizeof(DpkbHeader) == 48, "dpkb header must be packed");
-
-uint64_t Fnv1a64(const void* data, size_t len, uint64_t hash) {
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < len; ++i) {
-    hash ^= p[i];
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
+static_assert(sizeof(DpkbHeader) == 56, "dpkb header must be packed");
 
 uint64_t PayloadChecksum(std::span<const uint32_t> offsets,
                          std::span<const Graph::NodeId> adjacency) {
-  uint64_t hash = 14695981039346656037ULL;  // FNV offset basis
-  hash = Fnv1a64(offsets.data(), offsets.size_bytes(), hash);
-  hash = Fnv1a64(adjacency.data(), adjacency.size_bytes(), hash);
-  return hash;
+  // Word-wise FNV-1a (see fnv.h): this checksum is recomputed over the
+  // full CSR payload on every cached load, so throughput is part of the
+  // cache's >=10x contract. Must stay the Graph::ContentFingerprint
+  // formula exactly.
+  uint64_t hash = Fnv1a64Words(offsets.data(), offsets.size_bytes());
+  return Fnv1a64Words(adjacency.data(), adjacency.size_bytes(), hash);
 }
 
 }  // namespace
@@ -294,14 +296,15 @@ uint64_t PayloadChecksum(std::span<const uint32_t> offsets,
 std::string BinaryCachePath(const std::string& path) { return path + ".dpkb"; }
 
 Status WriteBinaryGraph(const Graph& graph, const std::string& path,
-                        uint64_t source_size) {
+                        const DpkbSourceStamp& source) {
   DpkbHeader header{};
   std::memcpy(header.magic, kDpkbMagic, sizeof(kDpkbMagic));
   header.version = kDpkbVersion;
   header.num_nodes = graph.NumNodes();
   header.adjacency_len = graph.Adjacency().size();
   header.checksum = PayloadChecksum(graph.Offsets(), graph.Adjacency());
-  header.source_size = source_size;
+  header.source_size = source.size;
+  header.source_checksum = source.checksum;
 
   // Write-then-rename so a crashed or concurrent writer can never leave
   // a torn file where a reader expects a cache. The temp name is unique
@@ -337,8 +340,8 @@ Status WriteBinaryGraph(const Graph& graph, const std::string& path,
 }
 
 Result<Graph> ReadBinaryGraph(const std::string& path,
-                              uint64_t* source_size) {
-  if (source_size != nullptr) *source_size = 0;
+                              DpkbSourceStamp* source) {
+  if (source != nullptr) *source = DpkbSourceStamp{};
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open binary graph: " + path);
   in.seekg(0, std::ios::end);
@@ -384,7 +387,10 @@ Result<Graph> ReadBinaryGraph(const std::string& path,
   if (PayloadChecksum(offsets, adjacency) != header.checksum) {
     return Status::InvalidArgument(path + ": dpkb checksum mismatch");
   }
-  if (source_size != nullptr) *source_size = header.source_size;
+  if (source != nullptr) {
+    source->size = header.source_size;
+    source->checksum = header.source_checksum;
+  }
 
   // CSR invariants — untrusted data must fail with a Status, not trip
   // the DPKRON_CHECKs inside Graph::FromCsr.
@@ -408,34 +414,89 @@ Result<Graph> ReadBinaryGraph(const std::string& path,
   return Graph::FromCsr(std::move(offsets), std::move(adjacency));
 }
 
+namespace {
+
+// The sidecar route once the source bytes are in hand: binary-load if
+// the recorded stamp matches the current content, else parse the bytes
+// and (best-effort) rewrite the sidecar. `sidecar_hit` reports which
+// route served the graph.
+Result<Graph> LoadViaSidecar(const std::string& path,
+                             const std::string& bytes,
+                             const DpkbSourceStamp& current,
+                             const EdgeListParseOptions& options,
+                             bool* sidecar_hit) {
+  *sidecar_hit = false;
+  const std::string cache = BinaryCachePath(path);
+  DpkbSourceStamp recorded;
+  auto cached = ReadBinaryGraph(cache, &recorded);
+  if (cached.ok() && recorded.size == current.size &&
+      recorded.checksum == current.checksum) {
+    // A standalone .dpkb (stamp {0, 0}) can never match: the FNV-1a
+    // checksum of any source text — even empty — is non-zero.
+    *sidecar_hit = true;
+    return cached;
+  }
+  // A missing, stale, old-version or corrupt sidecar is rebuilt from the
+  // bytes already in hand, never fatal.
+  auto parsed = ParseEdgeListImpl(bytes, path, options);
+  if (!parsed.ok()) return parsed;
+  (void)WriteBinaryGraph(parsed.value(), cache, current);  // best-effort
+  return parsed;
+}
+
+}  // namespace
+
 Result<Graph> ReadEdgeListCached(const std::string& path, bool* cache_hit,
                                  const EdgeListParseOptions& options) {
   if (cache_hit != nullptr) *cache_hit = false;
-  const std::string cache = BinaryCachePath(path);
-  std::error_code source_error, size_error, cache_error;
-  const auto source_time =
-      std::filesystem::last_write_time(path, source_error);
-  uint64_t source_bytes = std::filesystem::file_size(path, size_error);
-  if (size_error) source_bytes = 0;
-  const auto cache_time = std::filesystem::last_write_time(cache, cache_error);
-  // Freshness = sidecar no older than the source AND recorded source
-  // size unchanged; the size check catches mtime-preserving source
-  // replacements (cp -p, rsync -t) that timestamps alone would miss.
-  // (Residual: a same-size, same-or-older-mtime rewrite still hits.)
-  if (!source_error && !size_error && !cache_error &&
-      cache_time >= source_time) {
-    uint64_t recorded_source_size = 0;
-    auto cached = ReadBinaryGraph(cache, &recorded_source_size);
-    if (cached.ok() && recorded_source_size == source_bytes) {
-      if (cache_hit != nullptr) *cache_hit = true;
-      return cached;
+
+  // Freshness is content-addressed, not timestamp-based: the current
+  // source bytes are read and checksummed on every load, and the sidecar
+  // serves only if its recorded (size, checksum) stamp matches. This
+  // closes the staleness holes timestamps cannot see — a same-size
+  // rewrite within mtime granularity of the cache write, or a same-size
+  // mtime-preserving replacement (cp -p, rsync -t). Reading + hashing
+  // the text is the cheap part of ingestion; the tokenize/densify/CSR
+  // build the cache skips is what IngestionPerfTest measures.
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  const DpkbSourceStamp current{bytes.value().size(),
+                                Fnv1a64Words(bytes.value().data(),
+                                             bytes.value().size())};
+
+  // With the StatCache enabled (sweep drivers), an in-memory memo keyed
+  // by the same content stamp sits above the sidecar: the concurrent
+  // runs of a cold sweep wait on one parse instead of each duplicating
+  // it, and warm runs skip even the binary load. Keying by content — not
+  // path — keeps the freshness semantics identical to the sidecar's: a
+  // rewritten source is a new key, never a stale serve.
+  StatCache& memo = StatCache::Instance();
+  if (memo.enabled()) {
+    struct MemoEntry {
+      Result<Graph> result;
+      bool sidecar_hit;
+    };
+    bool computed = false;
+    const uint64_t key =
+        CacheKey().Mix(current.size).Mix(current.checksum).digest();
+    const auto entry = memo.GetOrCompute<MemoEntry>("graph_load", key, [&] {
+      computed = true;
+      MemoEntry e{Status::Internal("unreachable"), false};
+      e.result = LoadViaSidecar(path, bytes.value(), current, options,
+                                &e.sidecar_hit);
+      return e;
+    });
+    if (cache_hit != nullptr) {
+      *cache_hit = computed ? entry->sidecar_hit : true;
     }
-    // A stale or corrupt sidecar is rebuilt below, never fatal.
+    return entry->result;
   }
-  auto parsed = ReadEdgeList(path, options);
-  if (!parsed.ok()) return parsed;
-  (void)WriteBinaryGraph(parsed.value(), cache, source_bytes);  // best-effort
-  return parsed;
+
+  bool sidecar_hit = false;
+  auto result =
+      LoadViaSidecar(path, bytes.value(), current, options, &sidecar_hit);
+  if (cache_hit != nullptr) *cache_hit = sidecar_hit;
+  return result;
 }
 
 }  // namespace dpkron

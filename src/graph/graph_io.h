@@ -23,20 +23,28 @@
 //
 //   bytes  field
 //   0..7   magic "DPKBCSR1"
-//   8..11  version (uint32, currently 1)
+//   8..11  version (uint32, currently 2)
 //   12..15 reserved (uint32, 0)
 //   16..23 num_nodes (uint64)
 //   24..31 adjacency length (uint64, = 2·edges)
 //   32..39 FNV-1a 64 checksum of the offsets + adjacency payload
-//   40..47 source text size in bytes (uint64; 0 = standalone file) —
-//          sidecar caches record it so validation catches a source
-//          replaced by an mtime-preserving copy
-//   48..   offsets ((num_nodes+1) × uint32), adjacency (len × uint32)
+//   40..47 source text size in bytes (uint64; 0 = standalone file)
+//   48..55 FNV-1a 64 checksum of the source text (uint64; 0 =
+//          standalone file) — version 2's addition. Sidecar caches
+//          record the (size, checksum) stamp of the text they were
+//          parsed from, and cached loads revalidate it against the
+//          current source bytes, so no rewrite — same-size within mtime
+//          granularity, mtime-preserving replacement — can serve a
+//          stale graph.
+//   56..   offsets ((num_nodes+1) × uint32), adjacency (len × uint32)
 //
 // ReadBinaryGraph verifies magic/version/sizes/checksum and the CSR
 // invariants (monotone offsets, strictly sorted in-range lists, no
 // self-loops) before constructing the Graph, so a truncated or
 // corrupted cache degrades to a Status, never an aborted process.
+// Version-1 files fail the version check; the sidecar-cache path treats
+// that exactly like a stale cache (silent reparse + rewrite), so a
+// repo upgraded across the version bump never misloads an old cache.
 
 #ifndef DPKRON_GRAPH_GRAPH_IO_H_
 #define DPKRON_GRAPH_GRAPH_IO_H_
@@ -76,25 +84,35 @@ Status WriteEdgeList(const Graph& graph, const std::string& path);
 
 // ------------------------------------------------------ binary (.dpkb)
 
+// Provenance stamp of the source text a sidecar cache was parsed from;
+// {0, 0} for standalone .dpkb files (and never matches a real text: the
+// FNV-1a checksum of any byte string is non-zero).
+struct DpkbSourceStamp {
+  uint64_t size = 0;      // source text bytes
+  uint64_t checksum = 0;  // FNV-1a 64 of the source text
+};
+
 // Serializes the graph's CSR arrays in the .dpkb format above.
-// `source_size` is recorded in the header (sidecar caches pass the
-// text file's byte size; standalone writers leave the default 0).
+// `source` is recorded in the header (sidecar caches pass the text
+// file's stamp; standalone writers leave the default {0, 0}).
 Status WriteBinaryGraph(const Graph& graph, const std::string& path,
-                        uint64_t source_size = 0);
+                        const DpkbSourceStamp& source = {});
 
 // Loads a .dpkb file, validating header, checksum and CSR invariants.
-// `source_size`, when non-null, receives the header's recorded source
-// text size.
+// `source`, when non-null, receives the header's recorded source stamp.
 Result<Graph> ReadBinaryGraph(const std::string& path,
-                              uint64_t* source_size = nullptr);
+                              DpkbSourceStamp* source = nullptr);
 
 // The sidecar cache path for an edge-list file: "<path>.dpkb".
 std::string BinaryCachePath(const std::string& path);
 
-// Parse-once cache: loads "<path>.dpkb" when it exists, validates and
-// is at least as new as the source; otherwise parses the text and
-// (best-effort) writes the sidecar for next time. `cache_hit`, when
-// non-null, reports which route served the graph.
+// Parse-once cache: reads and checksums the source text, then loads
+// "<path>.dpkb" if its recorded source stamp matches the current
+// content; otherwise parses the bytes already in hand and (best-effort)
+// writes the sidecar for next time. Freshness is content-addressed —
+// timestamps play no part — so no rewrite of the source can be served
+// stale. `cache_hit`, when non-null, reports which route served the
+// graph.
 Result<Graph> ReadEdgeListCached(const std::string& path,
                                  bool* cache_hit = nullptr,
                                  const EdgeListParseOptions& options = {});

@@ -5,6 +5,7 @@
 
 #include "src/common/macros.h"
 #include "src/common/parallel.h"
+#include "src/common/stat_cache.h"
 #include "src/estimation/kronmom.h"
 #include "src/graph/graph_builder.h"
 
@@ -156,6 +157,41 @@ KronFitResult FitKronFit(const Graph& graph, Rng& rng,
   const KronFitLikelihood final_model(result.theta, k);
   result.log_likelihood = chains.BestLogLikelihood(final_model);
   return result;
+}
+
+KronFitResult FitKronFitCached(const Graph& graph, Rng& rng,
+                               const KronFitOptions& options) {
+  StatCache& cache = StatCache::Instance();
+  if (!cache.enabled()) return FitKronFit(graph, rng, options);
+  const uint64_t key =
+      CacheKey()
+          .Mix(graph.ContentFingerprint())
+          .Mix(rng.StateFingerprint())
+          .Mix(options.iterations)
+          .MixDouble(options.warmup_factor)
+          .Mix(options.samples_per_iteration)
+          .MixDouble(options.decorrelation_factor)
+          .MixDouble(options.max_step)
+          .MixDouble(options.step_decay)
+          .Mix(options.tail_average)
+          .MixDouble(options.init.a)
+          .MixDouble(options.init.b)
+          .MixDouble(options.init.c)
+          .digest();
+  struct Entry {
+    KronFitResult result;
+    Rng::State end_state;
+  };
+  const auto entry = cache.GetOrCompute<Entry>("kronfit", key, [&] {
+    Entry e;
+    e.result = FitKronFit(graph, rng, options);
+    e.end_state = rng.SaveState();
+    return e;
+  });
+  // Replay the stream advance on a hit (no-op for the computing caller):
+  // downstream consumers of `rng` see the same draws either way.
+  rng.RestoreState(entry->end_state);
+  return entry->result;
 }
 
 }  // namespace dpkron

@@ -101,6 +101,16 @@ class MetropolisChains {
 KronFitResult FitKronFit(const Graph& graph, Rng& rng,
                          const KronFitOptions& options = {});
 
+// FitKronFit served through the process-wide StatCache when it is
+// enabled, keyed by (graph fingerprint, rng state fingerprint, options)
+// — the inputs the fit is a pure function of. On a hit `rng` is
+// restored to the state the original fit left it in, so downstream
+// draws are identical whether the fit ran or was served; a sweep that
+// varies only ε therefore pays for each (graph, seed) fit exactly once.
+// With the cache disabled this is exactly FitKronFit.
+KronFitResult FitKronFitCached(const Graph& graph, Rng& rng,
+                               const KronFitOptions& options = {});
+
 // `graph` with isolated nodes appended until NumNodes() == num_nodes.
 // Requires num_nodes >= graph.NumNodes().
 Graph PadWithIsolatedNodes(const Graph& graph, uint32_t num_nodes);

@@ -52,6 +52,7 @@ void SweepOnGraph(const std::string& label, const Graph& graph,
           EstimatePrivateSkg(graph, epsilon, p.delta, budget, rng);
       if (!fit.ok()) continue;
       if (t == 0) out.RecordBudget(budget, /*print=*/false);
+      out.RecordExactSensitivity(fit.value().exact_sensitivity);
       sum_theta += MaxAbsDifference(fit.value().theta, non_private.theta);
       const GraphFeatures& f = fit.value().private_features;
       sum_edges += std::fabs(f.edges - exact.edges) / exact.edges;
@@ -125,6 +126,7 @@ Status RunFeatureRoute(const ScenarioSpec& spec, const ScenarioParams& p,
           ComputeDirectPrivateFeatures(g, epsilon, p.delta, budget, rng);
       if (!degree_route.ok() || !direct_route.ok()) continue;
       if (trial == 0) out.RecordBudget(budget, /*print=*/false);
+      out.RecordExactSensitivity(degree_route.value().exact_sensitivity);
       const GraphFeatures& a = degree_route.value().features;
       const GraphFeatures& b = direct_route.value();
       deg_e += std::fabs(a.edges - exact.edges) / exact.edges;
@@ -231,6 +233,7 @@ Status RunObjectiveAblation(const ScenarioSpec& spec,
     const auto private_features =
         ComputePrivateFeatures(g, p.epsilon, p.delta, rng);
     if (!private_features.ok()) return private_features.status();
+    out.RecordExactSensitivity(private_features.value().exact_sensitivity);
     for (int di = 0; di < 2; ++di) {
       for (int ni = 0; ni < 4; ++ni) {
         KronMomOptions options;
@@ -298,10 +301,14 @@ Status RunPostprocessAblation(const ScenarioSpec& spec,
       PrivateDegreeOptions fit_options;
       fit_options.postprocess = true;
       fit_options.clamp_to_range = true;
-      const auto d_raw =
+      const auto d_raw_result =
           PrivateDegreeSequence(g, epsilon, rng_raw, raw_options);
-      const auto d_fit =
+      const auto d_fit_result =
           PrivateDegreeSequence(g, epsilon, rng_fit, fit_options);
+      if (!d_raw_result.ok()) return d_raw_result.status();
+      if (!d_fit_result.ok()) return d_fit_result.status();
+      const std::vector<double>& d_raw = d_raw_result.value();
+      const std::vector<double>& d_fit = d_fit_result.value();
       raw_e += std::fabs(EdgesFromDegrees(d_raw) - e_true) / e_true;
       raw_h += std::fabs(HairpinsFromDegrees(d_raw) - h_true) / h_true;
       raw_t += std::fabs(TripinsFromDegrees(d_raw) - t_true) / t_true;
@@ -346,6 +353,7 @@ Status RunSmoothSensitivity(const ScenarioSpec& spec,
   for (uint32_t k = 6; k <= max_k; ++k) {
     const Graph g = SampleSkg({0.99, 0.45, 0.25}, k, rng);
     const TriangleSensitivityProfile profile(g);
+    out.RecordExactSensitivity(profile.exact());
     const double n = double(g.NumNodes());
     const double ss = profile.SmoothSensitivity(beta);
     const double triangles = double(CountTriangles(g));
@@ -363,6 +371,7 @@ Status RunSmoothSensitivity(const ScenarioSpec& spec,
     options.num_papers = (authors * 5) / 8;
     const Graph g = AffiliationGraph(options, rng);
     const TriangleSensitivityProfile profile(g);
+    out.RecordExactSensitivity(profile.exact());
     const double ss = profile.SmoothSensitivity(beta);
     const double triangles = double(CountTriangles(g));
     local.Add("coauthorship", double(authors),

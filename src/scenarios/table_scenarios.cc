@@ -67,7 +67,8 @@ Status RunTable1(const ScenarioSpec& spec, const ScenarioParams& p,
     KronFitOptions kf_options;
     kf_options.iterations = p.kronfit_iterations;
     Rng kronfit_rng = rng.Split();
-    const KronFitResult kronfit = FitKronFit(graph, kronfit_rng, kf_options);
+    const KronFitResult kronfit =
+        FitKronFitCached(graph, kronfit_rng, kf_options);
 
     // The private estimator is a randomized mechanism; a single draw can
     // be unlucky when the triangle count is noise-dominated (sparse
@@ -91,6 +92,7 @@ Status RunTable1(const ScenarioSpec& spec, const ScenarioParams& p,
                           fit.status().ToString());
       }
       out.RecordBudget(budget, /*print=*/false);
+      out.RecordExactSensitivity(fit.value().exact_sensitivity);
       trials.push_back({fit.value().theta,
                         MaxAbsDifference(fit.value().theta, kronmom.theta)});
     }
@@ -216,6 +218,7 @@ Status RunComparisonDk2(const ScenarioSpec& spec, const ScenarioParams& p,
         EstimatePrivateSkg(original, epsilon, p.delta, skg_budget, skg_rng);
     if (fit.ok()) {
       out.RecordBudget(skg_budget, /*print=*/false);
+      out.RecordExactSensitivity(fit.value().exact_sensitivity);
       const Graph sample =
           pipeline.Sample(fit.value().theta, fit.value().k, skg_rng);
       Rng stats_rng = rng.Split();

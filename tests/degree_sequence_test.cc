@@ -25,14 +25,14 @@ double L2Error(const std::vector<double>& estimate,
 TEST(PrivateDegreeSequenceTest, SizeMatchesNodeCount) {
   Rng rng(1);
   const Graph g = testing::CycleGraph(20);
-  const auto d = PrivateDegreeSequence(g, 1.0, rng);
+  const auto d = PrivateDegreeSequence(g, 1.0, rng).value();
   EXPECT_EQ(d.size(), 20u);
 }
 
 TEST(PrivateDegreeSequenceTest, PostprocessedOutputIsMonotone) {
   Rng rng(2);
   const Graph g = SampleSkg({0.9, 0.5, 0.2}, 8, rng);
-  const auto d = PrivateDegreeSequence(g, 0.2, rng);
+  const auto d = PrivateDegreeSequence(g, 0.2, rng).value();
   for (size_t i = 1; i < d.size(); ++i) EXPECT_GE(d[i], d[i - 1]);
 }
 
@@ -40,7 +40,7 @@ TEST(PrivateDegreeSequenceTest, ClampKeepsFeasibleRange) {
   Rng rng(3);
   const Graph g = testing::PathGraph(10);
   // Tiny epsilon → huge noise; clamp must hold the estimates in [0, n-1].
-  const auto d = PrivateDegreeSequence(g, 0.001, rng);
+  const auto d = PrivateDegreeSequence(g, 0.001, rng).value();
   for (double x : d) {
     EXPECT_GE(x, 0.0);
     EXPECT_LE(x, 9.0);
@@ -53,7 +53,7 @@ TEST(PrivateDegreeSequenceTest, NoClampOptionAllowsExcursions) {
   PrivateDegreeOptions options;
   options.clamp_to_range = false;
   options.postprocess = false;
-  const auto d = PrivateDegreeSequence(g, 0.001, rng, options);
+  const auto d = PrivateDegreeSequence(g, 0.001, rng, options).value();
   bool out_of_range = false;
   for (double x : d) out_of_range |= (x < 0.0 || x > 49.0);
   EXPECT_TRUE(out_of_range);
@@ -63,7 +63,7 @@ TEST(PrivateDegreeSequenceTest, HighEpsilonTracksTruthClosely) {
   Rng rng(5);
   const Graph g = SampleSkg({0.9, 0.5, 0.2}, 9, rng);
   const auto truth = SortedDegreeVector(g);
-  const auto d = PrivateDegreeSequence(g, 100.0, rng);
+  const auto d = PrivateDegreeSequence(g, 100.0, rng).value();
   for (size_t i = 0; i < truth.size(); ++i) {
     EXPECT_NEAR(d[i], double(truth[i]), 1.0);
   }
@@ -84,12 +84,12 @@ TEST(PrivateDegreeSequenceTest, PostprocessingReducesError) {
     raw.postprocess = false;
     raw.clamp_to_range = false;
     Rng rng_a(1000 + t), rng_b(1000 + t);
-    raw_error += L2Error(PrivateDegreeSequence(g, 0.2, rng_a, raw), truth);
+    raw_error += L2Error(PrivateDegreeSequence(g, 0.2, rng_a, raw).value(), truth);
     PrivateDegreeOptions fitted;
     fitted.postprocess = true;
     fitted.clamp_to_range = false;
     fitted_error +=
-        L2Error(PrivateDegreeSequence(g, 0.2, rng_b, fitted), truth);
+        L2Error(PrivateDegreeSequence(g, 0.2, rng_b, fitted).value(), truth);
   }
   EXPECT_LT(fitted_error, 0.5 * raw_error);
 }
@@ -99,7 +99,7 @@ TEST(PrivateDegreeSequenceTest, DerivedFeaturesApproximateTruth) {
   // exact counts at a moderate epsilon (the Algorithm 1 accuracy story).
   Rng rng(7);
   const Graph g = SampleSkg({0.95, 0.55, 0.25}, 10, rng);
-  const auto d = PrivateDegreeSequence(g, 1.0, rng);
+  const auto d = PrivateDegreeSequence(g, 1.0, rng).value();
   const double e_true = double(g.NumEdges());
   const double h_true = double(CountWedges(g));
   EXPECT_NEAR(EdgesFromDegrees(d), e_true, 0.05 * e_true);
@@ -109,14 +109,19 @@ TEST(PrivateDegreeSequenceTest, DerivedFeaturesApproximateTruth) {
 TEST(PrivatizeSortedDegreesTest, WorksWithoutGraph) {
   Rng rng(8);
   const std::vector<uint32_t> sorted = {1, 1, 2, 2, 3, 5};
-  const auto d = PrivatizeSortedDegrees(sorted, 2.0, 6, rng);
+  const auto d = PrivatizeSortedDegrees(sorted, 2.0, 6, rng).value();
   EXPECT_EQ(d.size(), 6u);
   for (size_t i = 1; i < d.size(); ++i) EXPECT_GE(d[i], d[i - 1]);
 }
 
-TEST(PrivatizeSortedDegreesDeathTest, RequiresPositiveEpsilon) {
+TEST(PrivatizeSortedDegreesTest, DegenerateEpsilonIsStatusNotAbort) {
   Rng rng(9);
-  EXPECT_DEATH(PrivatizeSortedDegrees({1, 2}, 0.0, 2, rng), "CHECK");
+  const uint64_t fingerprint = rng.StateFingerprint();
+  const auto result = PrivatizeSortedDegrees({1, 2}, 0.0, 2, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // No noise was drawn on the rejected call.
+  EXPECT_EQ(rng.StateFingerprint(), fingerprint);
 }
 
 }  // namespace

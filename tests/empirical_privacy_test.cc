@@ -44,8 +44,8 @@ TEST(EmpiricalPrivacyTest, LaplaceMechanismCountingQuery) {
   std::map<int, double> pa, pb;
   for (int r = 0; r < runs; ++r) {
     // Bin width 1.
-    ++pa[int(std::floor(AddLaplaceNoise(100.0, 1.0, epsilon, rng)))];
-    ++pb[int(std::floor(AddLaplaceNoise(101.0, 1.0, epsilon, rng)))];
+    ++pa[int(std::floor(AddLaplaceNoise(100.0, 1.0, epsilon, rng).value()))];
+    ++pb[int(std::floor(AddLaplaceNoise(101.0, 1.0, epsilon, rng).value()))];
   }
   for (auto& [bin, mass] : pa) mass /= runs;
   for (auto& [bin, mass] : pb) mass /= runs;
@@ -73,9 +73,9 @@ TEST(EmpiricalPrivacyTest, DegreeSequenceMechanismOnNeighbors) {
   std::map<int, double> pa, pb;
   for (int r = 0; r < runs; ++r) {
     ++pa[int(std::floor(
-        PrivateDegreeSequence(g1, epsilon, rng, options).back()))];
+        PrivateDegreeSequence(g1, epsilon, rng, options).value().back()))];
     ++pb[int(std::floor(
-        PrivateDegreeSequence(g2, epsilon, rng, options).back()))];
+        PrivateDegreeSequence(g2, epsilon, rng, options).value().back()))];
   }
   for (auto& [bin, mass] : pa) mass /= runs;
   for (auto& [bin, mass] : pb) mass /= runs;
@@ -91,8 +91,8 @@ TEST(EmpiricalPrivacyTest, WrongSensitivityWouldBeDetected) {
   Rng rng(99);
   std::map<int, double> pa, pb;
   for (int r = 0; r < runs; ++r) {
-    ++pa[int(std::floor(AddLaplaceNoise(100.0, 0.25, epsilon, rng)))];
-    ++pb[int(std::floor(AddLaplaceNoise(101.0, 0.25, epsilon, rng)))];
+    ++pa[int(std::floor(AddLaplaceNoise(100.0, 0.25, epsilon, rng).value()))];
+    ++pb[int(std::floor(AddLaplaceNoise(101.0, 0.25, epsilon, rng).value()))];
   }
   for (auto& [bin, mass] : pa) mass /= runs;
   for (auto& [bin, mass] : pb) mass /= runs;

@@ -410,6 +410,109 @@ TEST(EdgeListCacheTest, MtimePreservingSourceReplacementDetected) {
   std::remove(cache.c_str());
 }
 
+TEST(EdgeListCacheTest, SameSizeSameSecondRewriteDetected) {
+  // THE staleness hole the content checksum closes: the source is
+  // rewritten with the same byte count and a timestamp the filesystem
+  // cannot distinguish from the cache write's. Every mtime/size
+  // heuristic passes; only the recorded source checksum can tell the
+  // contents apart. The mtimes are pinned equal to make the worst case
+  // deterministic rather than racing the clock granularity.
+  const std::string path = TempPath("same_size.edges");
+  const std::string cache = BinaryCachePath(path);
+  WriteFile(path, "0 1\n0 2\n");
+  bool hit = false;
+  ASSERT_TRUE(ReadEdgeListCached(path, &hit).ok());
+
+  WriteFile(path, "0 1\n0 3\n");  // same size, different content
+  std::filesystem::last_write_time(path,
+                                   std::filesystem::last_write_time(cache));
+
+  const auto rewritten = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_FALSE(hit);
+  // Nodes 0, 1, 3 — the "3" proves the new content was parsed.
+  EXPECT_EQ(rewritten.value().NumNodes(), 3u);
+  EXPECT_EQ(rewritten.value().NumEdges(), 2u);
+  EXPECT_EQ(rewritten.value().Degree(0), 2u);
+
+  // The rebuilt sidecar serves the new content from now on.
+  const auto again = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_TRUE(SameCsr(again.value(), rewritten.value()));
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
+}
+
+TEST(EdgeListCacheTest, OldVersionSidecarReparsedSilently) {
+  // A version-1 sidecar (48-byte header, no source checksum) left over
+  // from before the format bump: the version check must classify it as
+  // stale — silent reparse + v2 rewrite — and never misload it.
+  const std::string path = TempPath("old_version.edges");
+  const std::string cache = BinaryCachePath(path);
+  const std::string text = "0 1\n1 2\n";
+  WriteFile(path, text);
+
+  // Craft a faithful v1 file for the parsed graph: magic, version 1,
+  // counts, payload checksum (any value — the version check fires
+  // first), recorded source size, then the CSR payload.
+  const auto graph = ParseEdgeListSerial(text);
+  ASSERT_TRUE(graph.ok());
+  {
+    std::ofstream out(cache, std::ios::binary);
+    const char magic[8] = {'D', 'P', 'K', 'B', 'C', 'S', 'R', '1'};
+    const uint32_t version = 1, reserved = 0;
+    const uint64_t num_nodes = graph.value().NumNodes();
+    const uint64_t adjacency_len = graph.value().Adjacency().size();
+    const uint64_t checksum = 0, source_size = text.size();
+    out.write(magic, sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&reserved), sizeof(reserved));
+    out.write(reinterpret_cast<const char*>(&num_nodes), sizeof(num_nodes));
+    out.write(reinterpret_cast<const char*>(&adjacency_len),
+              sizeof(adjacency_len));
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out.write(reinterpret_cast<const char*>(&source_size),
+              sizeof(source_size));
+    out.write(reinterpret_cast<const char*>(graph.value().Offsets().data()),
+              static_cast<std::streamsize>(
+                  graph.value().Offsets().size_bytes()));
+    out.write(reinterpret_cast<const char*>(graph.value().Adjacency().data()),
+              static_cast<std::streamsize>(
+                  graph.value().Adjacency().size_bytes()));
+  }
+  const auto direct = ReadBinaryGraph(cache);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_NE(direct.status().message().find("version"), std::string::npos);
+
+  bool hit = true;
+  const auto result = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(hit);
+  EXPECT_TRUE(SameCsr(result.value(), graph.value()));
+
+  // The sidecar was upgraded in place: a v2 load now succeeds and hits.
+  EXPECT_TRUE(ReadBinaryGraph(cache).ok());
+  const auto upgraded = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_TRUE(hit);
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
+}
+
+TEST(BinaryGraphTest, SourceStampRoundTrips) {
+  const std::string path = TempPath("stamped.dpkb");
+  const DpkbSourceStamp stamp{123, 0xDEADBEEFCAFEF00DULL};
+  ASSERT_TRUE(WriteBinaryGraph(testing::PetersenGraph(), path, stamp).ok());
+  DpkbSourceStamp back;
+  ASSERT_TRUE(ReadBinaryGraph(path, &back).ok());
+  EXPECT_EQ(back.size, stamp.size);
+  EXPECT_EQ(back.checksum, stamp.checksum);
+  std::remove(path.c_str());
+}
+
 TEST(EdgeListCacheTest, CorruptCacheFallsBackToParse) {
   const std::string path = TempPath("corrupt_cache.edges");
   const std::string cache = BinaryCachePath(path);

@@ -15,7 +15,7 @@ TEST(LaplaceMechanismTest, UnbiasedAroundTrueValue) {
   const int n = 100000;
   double sum = 0.0;
   for (int i = 0; i < n; ++i) {
-    sum += AddLaplaceNoise(truth, 1.0, 0.5, rng);
+    sum += AddLaplaceNoise(truth, 1.0, 0.5, rng).value();
   }
   EXPECT_NEAR(sum / n, truth, 0.05);
 }
@@ -26,7 +26,8 @@ TEST(LaplaceMechanismTest, NoiseScaleIsSensitivityOverEpsilon) {
   const int n = 100000;
   double sum_abs = 0.0;
   for (int i = 0; i < n; ++i) {
-    sum_abs += std::fabs(AddLaplaceNoise(0.0, sensitivity, epsilon, rng));
+    sum_abs +=
+        std::fabs(AddLaplaceNoise(0.0, sensitivity, epsilon, rng).value());
   }
   // E[|Lap(b)|] = b = sensitivity / epsilon = 8.
   EXPECT_NEAR(sum_abs / n, sensitivity / epsilon, 0.1);
@@ -37,8 +38,8 @@ TEST(LaplaceMechanismTest, HigherEpsilonLessNoise) {
   double spread_low = 0.0, spread_high = 0.0;
   const int n = 20000;
   for (int i = 0; i < n; ++i) {
-    spread_low += std::fabs(AddLaplaceNoise(0, 1.0, 0.1, rng));
-    spread_high += std::fabs(AddLaplaceNoise(0, 1.0, 10.0, rng));
+    spread_low += std::fabs(AddLaplaceNoise(0, 1.0, 0.1, rng).value());
+    spread_high += std::fabs(AddLaplaceNoise(0, 1.0, 10.0, rng).value());
   }
   EXPECT_GT(spread_low, 10 * spread_high);
 }
@@ -46,7 +47,9 @@ TEST(LaplaceMechanismTest, HigherEpsilonLessNoise) {
 TEST(LaplaceMechanismTest, VectorVariantSizeAndIndependence) {
   Rng rng(4);
   const std::vector<double> values(100, 5.0);
-  const auto noisy = AddLaplaceNoiseVector(values, 2.0, 1.0, rng);
+  const auto result = AddLaplaceNoiseVector(values, 2.0, 1.0, rng);
+  ASSERT_TRUE(result.ok());
+  const std::vector<double>& noisy = result.value();
   ASSERT_EQ(noisy.size(), values.size());
   // All coordinates perturbed (probability of any exact tie ~ 0).
   int unchanged = 0;
@@ -56,10 +59,27 @@ TEST(LaplaceMechanismTest, VectorVariantSizeAndIndependence) {
   EXPECT_NE(noisy[0], noisy[1]);
 }
 
-TEST(LaplaceMechanismDeathTest, RejectsNonPositiveParameters) {
+// Degenerate parameters are data-dependent (a zero-sensitivity query, an
+// ε = 0 sweep grid entry): they must come back as a Status a batch can
+// record, not a process abort — and no noise may be drawn.
+TEST(LaplaceMechanismTest, DegenerateParametersAreStatusNotAbort) {
   Rng rng(5);
-  EXPECT_DEATH(AddLaplaceNoise(0, 0.0, 1.0, rng), "CHECK");
-  EXPECT_DEATH(AddLaplaceNoise(0, 1.0, 0.0, rng), "CHECK");
+  const uint64_t fingerprint = rng.StateFingerprint();
+  for (const auto& [sensitivity, epsilon] :
+       {std::pair<double, double>{0.0, 1.0},
+        {-1.0, 1.0},
+        {1.0, 0.0},
+        {1.0, -0.5}}) {
+    const auto scalar = AddLaplaceNoise(0.0, sensitivity, epsilon, rng);
+    ASSERT_FALSE(scalar.ok());
+    EXPECT_EQ(scalar.status().code(), StatusCode::kInvalidArgument);
+    const auto vector =
+        AddLaplaceNoiseVector({1.0, 2.0}, sensitivity, epsilon, rng);
+    ASSERT_FALSE(vector.ok());
+    EXPECT_EQ(vector.status().code(), StatusCode::kInvalidArgument);
+  }
+  // The rejected calls consumed no randomness.
+  EXPECT_EQ(rng.StateFingerprint(), fingerprint);
 }
 
 }  // namespace

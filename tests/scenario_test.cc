@@ -210,6 +210,36 @@ TEST_F(ScenarioTest, EveryScenarioSmokeRunEmitsSeries) {
   }
 }
 
+TEST_F(ScenarioTest, ExactSensitivityFlagLandsInRunJson) {
+  ScenarioOutput output("flagged", nullptr);
+  auto doc = [&output] {
+    JsonWriter json;
+    output.AppendRunJson(json);
+    return json.str();
+  };
+  // No profile computed: null.
+  EXPECT_NE(doc().find("\"exact_sensitivity\":null"), std::string::npos);
+  output.RecordExactSensitivity(true);
+  EXPECT_NE(doc().find("\"exact_sensitivity\":true"), std::string::npos);
+  // AND semantics: one conservative fallback taints the whole run.
+  output.RecordExactSensitivity(false);
+  output.RecordExactSensitivity(true);
+  EXPECT_NE(doc().find("\"exact_sensitivity\":false"), std::string::npos);
+}
+
+TEST_F(ScenarioTest, DegenerateEpsilonFailsWithStatusBeforeRunning) {
+  const ScenarioSpec* spec = FindScenario("fig2_as20");
+  ASSERT_NE(spec, nullptr);
+  ScenarioOverrides overrides;
+  overrides.smoke = true;
+  overrides.epsilon = 0.0;
+  ScenarioOutput output(spec->name, /*text_out=*/nullptr);
+  const Status status = RunScenario(*spec, overrides, output);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("epsilon"), std::string::npos);
+}
+
 TEST_F(ScenarioTest, ScenariosJsonWrapsRuns) {
   ScenarioOutput a("alpha", nullptr);
   a.Table("panel").Add("s", 1.0, 2.0);

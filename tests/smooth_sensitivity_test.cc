@@ -171,6 +171,28 @@ INSTANTIATE_TEST_SUITE_P(RandomGraphs, ProfileBruteForceTest,
 // Smooth sensitivity.
 // ---------------------------------------------------------------------------
 
+TEST(SmoothSensitivityTest, FarPairBudgetFallbackIsReportedNotSilent) {
+  // A 400-leaf star has diameter 2, so the far-pair search must inspect
+  // all ~80k degree-sorted pairs — past its 50k budget — and fall back
+  // to the conservative bound. The fallback must be visible both on the
+  // profile and through PrivateTriangleCount's result, which is what
+  // the scenario engine records into the run JSON (the pre-fix release
+  // path dropped the flag on the floor).
+  const Graph star = StarGraph(400);
+  const TriangleSensitivityProfile profile(star);
+  EXPECT_FALSE(profile.exact());
+
+  Rng rng(5);
+  const PrivateTriangleResult fallback =
+      PrivateTriangleCount(star, 1.0, 0.01, rng);
+  EXPECT_FALSE(fallback.exact_sensitivity);
+
+  // A small graph stays exact and says so.
+  const PrivateTriangleResult small =
+      PrivateTriangleCount(CompleteGraph(10), 1.0, 0.01, rng);
+  EXPECT_TRUE(small.exact_sensitivity);
+}
+
 TEST(SmoothSensitivityTest, AtLeastLocalSensitivity) {
   Rng rng(7);
   const Graph g = SampleSkg({0.9, 0.5, 0.3}, 7, rng);
