@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/common/parallel.h"
 #include "src/common/stat_cache.h"
 #include "src/core/scenario.h"
@@ -67,7 +68,17 @@ void PrintUsage(std::FILE* out) {
                "  --sweep-seeds=N       seed-axis length (default 1; seed 0\n"
                "                        is the base seed itself)\n"
                "  --cache-stats         print StatCache hit/miss counters\n"
-               "                        (they are always in the JSON)\n");
+               "                        (they are always in the JSON)\n"
+               "  --checkpoint=PATH     journal each completed cell to PATH\n"
+               "                        (fsynced per cell; switches the JSON\n"
+               "                        document to its stable form)\n"
+               "  --resume              skip cells already completed in the\n"
+               "                        --checkpoint journal; the merged\n"
+               "                        document is byte-identical to an\n"
+               "                        uninterrupted run\n"
+               "  --retries=N           extra attempts per cell for\n"
+               "                        transient (UNAVAILABLE) failures\n"
+               "                        (default 0)\n");
 }
 
 void PrintList() {
@@ -152,7 +163,10 @@ int Main(int argc, char** argv) {
   bool list_datasets = false;
   bool sweep_mode = false;
   bool cache_stats = false;
+  bool resume = false;
   uint32_t sweep_seeds = 1;
+  uint32_t retries = 0;
+  std::string checkpoint_path;
   std::vector<std::string> names;
   std::string out_path;
   int threads = 0;
@@ -168,6 +182,17 @@ int Main(int argc, char** argv) {
       sweep_mode = true;
     } else if (std::strcmp(arg, "--cache-stats") == 0) {
       cache_stats = true;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      resume = true;
+    } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
+      checkpoint_path = arg + 13;
+    } else if (std::strncmp(arg, "--retries=", 10) == 0) {
+      const int value = std::atoi(arg + 10);
+      if (value < 0) {
+        std::fprintf(stderr, "--retries must be >= 0\n");
+        return 2;
+      }
+      retries = static_cast<uint32_t>(value);
     } else if (std::strncmp(arg, "--sweep-seeds=", 14) == 0) {
       const int seeds = std::atoi(arg + 14);
       if (seeds < 1) {
@@ -238,6 +263,15 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "--sweep-seeds requires --sweep\n");
     return 2;
   }
+  if ((!checkpoint_path.empty() || resume || retries > 0) && !sweep_mode) {
+    std::fprintf(stderr,
+                 "--checkpoint / --resume / --retries require --sweep\n");
+    return 2;
+  }
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint=PATH\n");
+    return 2;
+  }
   // In sweep mode --dataset is the dataset axis (comma-separated refs);
   // in single-run mode it is one ref. Either way, fail fast on a bad
   // reference instead of deep inside a scenario.
@@ -284,14 +318,18 @@ int Main(int argc, char** argv) {
     sweep.seeds = sweep_seeds;
     sweep.base = overrides;
     sweep.base.dataset.reset();  // carried by the dataset axis instead
+    sweep.checkpoint_path = checkpoint_path;
+    sweep.resume = resume;
+    sweep.max_attempts = retries + 1;
     auto result = RunSweep(sweep);
     if (!result.ok()) {
       std::fprintf(stderr, "sweep failed: %s\n",
                    result.status().ToString().c_str());
       return 2;
     }
-    std::printf("# sweep: %zu runs (%zu failed) in %.2fs\n",
+    std::printf("# sweep: %zu runs (%zu failed, %zu resumed) in %.2fs\n",
                 result.value().runs.size(), result.value().failed_runs,
+                result.value().resumed_runs,
                 result.value().elapsed_seconds);
     for (const SweepRun& run : result.value().runs) {
       if (!run.status.ok()) {
@@ -305,14 +343,14 @@ int Main(int argc, char** argv) {
     if (!out_path.empty()) {
       const std::string json =
           SweepsJson(result.value(), ParallelThreadCount());
-      std::FILE* f = std::fopen(out_path.c_str(), "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      // Temp-file + fsync + atomic rename: an interrupted run never
+      // leaves a truncated/unparseable benchmark artifact in place.
+      const Status wrote = WriteFileDurable(out_path, json + "\n");
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                     wrote.ToString().c_str());
         return 1;
       }
-      std::fwrite(json.data(), 1, json.size(), f);
-      std::fputc('\n', f);
-      std::fclose(f);
       std::printf("# wrote %s (%zu runs)\n", out_path.c_str(),
                   result.value().runs.size());
     }
@@ -345,14 +383,12 @@ int Main(int argc, char** argv) {
     std::vector<const ScenarioOutput*> runs;
     for (const ScenarioOutput& output : outputs) runs.push_back(&output);
     const std::string json = ScenariosJson(runs, ParallelThreadCount());
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    const Status wrote = WriteFileDurable(out_path, json + "\n");
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                   wrote.ToString().c_str());
       return 1;
     }
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
     std::printf("# wrote %s (%zu scenarios)\n", out_path.c_str(),
                 runs.size());
   }

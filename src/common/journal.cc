@@ -1,0 +1,119 @@
+#include "src/common/journal.h"
+
+#include <cstring>
+
+#include "src/common/fnv.h"
+
+namespace dpkron {
+namespace {
+
+constexpr size_t kFrameBytes = sizeof(uint32_t) + sizeof(uint64_t);
+
+// Records carrying more than this are a programming error upstream, and
+// a plausibility bound lets recovery reject a torn length field without
+// attempting a multi-gigabyte read.
+constexpr uint32_t kMaxRecordBytes = 1u << 30;
+
+}  // namespace
+
+Result<JournalRecovery> ReadJournal(const std::string& path, Env* env) {
+  auto bytes = env->ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::string& data = bytes.value();
+
+  JournalRecovery recovery;
+  size_t offset = 0;
+  while (offset + kFrameBytes <= data.size()) {
+    uint32_t len;
+    uint64_t checksum;
+    std::memcpy(&len, data.data() + offset, sizeof(len));
+    std::memcpy(&checksum, data.data() + offset + sizeof(len),
+                sizeof(checksum));
+    if (len > kMaxRecordBytes ||
+        offset + kFrameBytes + len > data.size()) {
+      break;  // torn length field or torn payload
+    }
+    const char* payload = data.data() + offset + kFrameBytes;
+    if (Fnv1a64Words(payload, len) != checksum) break;  // torn/corrupt
+    recovery.records.emplace_back(payload, len);
+    offset += kFrameBytes + len;
+  }
+  recovery.valid_bytes = offset;
+  recovery.truncated_tail = offset != data.size();
+  return recovery;
+}
+
+Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
+    const std::string& path, uint64_t valid_bytes, Env* env) {
+  // Clear any torn tail FIRST: appending after garbage would strand the
+  // new records behind bytes recovery refuses to cross.
+  if (env->FileExists(path)) {
+    auto size = env->FileSize(path);
+    if (!size.ok()) return size.status();
+    if (size.value() < valid_bytes) {
+      return Status::InvalidArgument(
+          path + ": journal shrank below its recovered prefix");
+    }
+    if (size.value() > valid_bytes) {
+      const Status status = env->TruncateFile(path, valid_bytes);
+      if (!status.ok()) return status;
+    }
+  } else if (valid_bytes != 0) {
+    return Status::InvalidArgument(path +
+                                   ": journal vanished since recovery");
+  }
+  auto file = env->NewAppendableFile(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<JournalWriter>(new JournalWriter(
+      path, std::move(file).value(), valid_bytes, env));
+}
+
+Status JournalWriter::Append(std::string_view payload) {
+  if (wounded_) {
+    return Status::Internal(path_ +
+                            ": journal wounded by an earlier failed append");
+  }
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument(path_ + ": journal record too large");
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint64_t checksum = Fnv1a64Words(payload.data(), payload.size());
+  char frame[kFrameBytes];
+  std::memcpy(frame, &len, sizeof(len));
+  std::memcpy(frame + sizeof(len), &checksum, sizeof(checksum));
+
+  Status status = file_->Append(frame, sizeof(frame));
+  if (status.ok()) status = file_->Append(payload.data(), payload.size());
+  if (status.ok()) status = file_->Sync();
+  if (status.ok()) {
+    acknowledged_bytes_ += kFrameBytes + payload.size();
+    return status;
+  }
+
+  // The file may now hold a torn record. Repair by truncating back to
+  // the acknowledged prefix (through a fresh handle — the current one's
+  // write position is past the tear). If the repair itself fails the
+  // journal is wounded: its on-disk tail is unknown, so taking further
+  // records would risk stranding them behind garbage.
+  (void)file_->Close();
+  file_.reset();
+  Status repair = env_->TruncateFile(path_, acknowledged_bytes_);
+  if (repair.ok()) {
+    auto reopened = env_->NewAppendableFile(path_);
+    if (reopened.ok()) {
+      file_ = std::move(reopened).value();
+    } else {
+      repair = reopened.status();
+    }
+  }
+  if (!repair.ok()) wounded_ = true;
+  return status;
+}
+
+Status JournalWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  auto file = std::move(file_);
+  return file->Close();
+}
+
+}  // namespace dpkron

@@ -24,6 +24,11 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  // I/O-layer additions (PR 6): kResourceExhausted maps ENOSPC/EDQUOT;
+  // kUnavailable marks TRANSIENT failures — the one code the sweep
+  // engine's bounded retry loop is allowed to retry.
+  kResourceExhausted,
+  kUnavailable,
 };
 
 // Human-readable name for a StatusCode ("OK", "INVALID_ARGUMENT", ...).
@@ -52,6 +57,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

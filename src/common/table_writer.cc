@@ -137,6 +137,11 @@ void JsonWriter::String(const std::string& value) {
   out_ += '"';
 }
 
+void JsonWriter::Raw(const std::string& json) {
+  BeforeValue();
+  out_ += json;
+}
+
 void JsonWriter::Number(double value) {
   if (!std::isfinite(value)) {
     Null();

@@ -85,6 +85,11 @@ class JsonWriter {
   void Key(const std::string& key);
 
   void String(const std::string& value);
+  // Splices a pre-serialized JSON value verbatim (one value position,
+  // like String). Used by the sweep engine to merge checkpointed run
+  // documents byte-identically; the caller vouches that `json` is one
+  // complete JSON value.
+  void Raw(const std::string& json);
   void Number(double value);  // NaN / ±Inf -> null
   void Int(int64_t value);
   void UInt(uint64_t value);

@@ -1,13 +1,170 @@
 #include "src/core/sweep.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
 #include <utility>
 
+#include "src/common/journal.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/common/stat_cache.h"
 
 namespace dpkron {
+namespace {
+
+// ------------------------------------------------ checkpoint journal
+//
+// Record 0: magic + a fingerprint of the expanded matrix + cell count,
+// so a checkpoint can only resume the sweep it was written by. Then one
+// record per completed cell, in COMPLETION order (cells finish out of
+// matrix order under the pool); the cell index is what merges them back
+// into matrix order on resume.
+
+constexpr char kCheckpointMagic[8] = {'D', 'P', 'K', 'S', 'W', 'P', 'C', '1'};
+
+void MixOptionalU64(CacheKey& key, bool present, uint64_t value) {
+  key.Mix(present ? 1 : 0).Mix(present ? value : 0);
+}
+
+void MixString(CacheKey& key, const std::string& value) {
+  key.MixBytes(value.data(), value.size());
+}
+
+// Everything the run matrix is a function of. Two specs with the same
+// fingerprint expand to cell-for-cell identical matrices.
+uint64_t MatrixFingerprint(const SweepSpec& spec) {
+  CacheKey key;
+  key.Mix(spec.scenarios.size());
+  for (const std::string& name : spec.scenarios) MixString(key, name);
+  key.Mix(spec.datasets.size());
+  for (const std::string& ref : spec.datasets) MixString(key, ref);
+  key.Mix(spec.epsilons.size());
+  for (double epsilon : spec.epsilons) key.MixDouble(epsilon);
+  key.Mix(spec.seeds);
+  const ScenarioOverrides& base = spec.base;
+  MixOptionalU64(key, base.seed.has_value(), base.seed.value_or(0));
+  key.Mix(base.epsilon.has_value() ? 1 : 0);
+  key.MixDouble(base.epsilon.value_or(0.0));
+  MixOptionalU64(key, base.realizations.has_value(),
+                 base.realizations.value_or(0));
+  MixOptionalU64(key, base.trials.has_value(), base.trials.value_or(0));
+  MixOptionalU64(key, base.kronfit_iterations.has_value(),
+                 base.kronfit_iterations.value_or(0));
+  key.Mix(base.sweep_epsilons.has_value() ? 1 : 0);
+  if (base.sweep_epsilons) {
+    key.Mix(base.sweep_epsilons->size());
+    for (double epsilon : *base.sweep_epsilons) key.MixDouble(epsilon);
+  }
+  key.Mix(base.smoke ? 1 : 0);
+  key.Mix(base.dataset.has_value() ? 1 : 0);
+  MixString(key, base.dataset.value_or(""));
+  key.Mix(base.dataset_cache ? 1 : 0);
+  return key.digest();
+}
+
+std::string CheckpointHeader(uint64_t fingerprint, uint64_t num_cells) {
+  return RecordBuilder()
+      .Str(std::string_view(kCheckpointMagic, sizeof(kCheckpointMagic)))
+      .U64(fingerprint)
+      .U64(num_cells)
+      .str();
+}
+
+std::string EncodeCell(uint64_t index, const SweepRun& run,
+                       const std::string& run_json) {
+  return RecordBuilder()
+      .U64(index)
+      .U32(static_cast<uint32_t>(run.status.code()))
+      .Str(run.status.message())
+      .Double(run.epsilon)
+      .U64(run.seed)
+      .U32(run.seed_index)
+      .Str(run.scenario)
+      .Str(run.dataset)
+      .Str(run_json)
+      .str();
+}
+
+// The checkpoint state a resumed sweep starts from.
+struct CheckpointState {
+  // Per matrix index: the recorded cell, or empty run_json = pending.
+  struct Cell {
+    bool complete = false;
+    Status status;
+    double epsilon = 0.0;
+    std::string run_json;
+  };
+  std::vector<Cell> cells;
+  uint64_t valid_bytes = 0;  // append offset for the journal writer
+  bool has_header = false;
+};
+
+Result<CheckpointState> LoadCheckpoint(const std::string& path,
+                                       uint64_t fingerprint,
+                                       size_t num_cells) {
+  CheckpointState state;
+  state.cells.resize(num_cells);
+  auto read = ReadJournal(path);
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) return state;  // fresh
+    return read.status();
+  }
+  const JournalRecovery& recovery = read.value();
+  state.valid_bytes = recovery.valid_bytes;
+  if (recovery.records.empty()) return state;
+
+  RecordParser header(recovery.records.front());
+  const std::string magic = header.Str();
+  const uint64_t recorded_fingerprint = header.U64();
+  const uint64_t recorded_cells = header.U64();
+  if (!header.done() ||
+      magic != std::string_view(kCheckpointMagic, sizeof(kCheckpointMagic))) {
+    return Status::InvalidArgument(path + ": not a sweep checkpoint");
+  }
+  if (recorded_fingerprint != fingerprint || recorded_cells != num_cells) {
+    return Status::InvalidArgument(
+        path + ": checkpoint was written by a different sweep spec "
+               "(refusing to merge foreign cells)");
+  }
+  state.has_header = true;
+  for (size_t i = 1; i < recovery.records.size(); ++i) {
+    RecordParser parser(recovery.records[i]);
+    const uint64_t index = parser.U64();
+    const StatusCode code = static_cast<StatusCode>(parser.U32());
+    const std::string message = parser.Str();
+    const double epsilon = parser.Double();
+    parser.U64();  // seed — re-derived from the matrix
+    parser.U32();  // seed_index
+    parser.Str();  // scenario
+    parser.Str();  // dataset
+    std::string run_json = parser.Str();
+    if (!parser.done() || index >= num_cells) {
+      return Status::InvalidArgument(path + ": malformed checkpoint cell " +
+                                     std::to_string(i));
+    }
+    CheckpointState::Cell& cell = state.cells[index];
+    cell.complete = true;
+    cell.status = Status(code, message);
+    cell.epsilon = epsilon;
+    cell.run_json = std::move(run_json);
+  }
+  return state;
+}
+
+// The per-run JSON fragment with wall time zeroed — the only
+// non-deterministic field a run document carries, and meaningless
+// across the process boundary a checkpoint exists to survive.
+std::string StableRunJson(ScenarioOutput& output) {
+  output.set_elapsed_seconds(0.0);
+  JsonWriter json;
+  output.AppendRunJson(json);
+  return json.str();
+}
+
+}  // namespace
 
 std::vector<uint64_t> SweepSeeds(uint64_t base_seed, uint32_t count) {
   std::vector<uint64_t> seeds;
@@ -29,6 +186,12 @@ Result<SweepResult> RunSweep(const SweepSpec& spec) {
   }
   if (spec.seeds == 0) {
     return Status::InvalidArgument("sweep needs at least one seed");
+  }
+  if (spec.max_attempts == 0) {
+    return Status::InvalidArgument("sweep needs max_attempts >= 1");
+  }
+  if (spec.resume && spec.checkpoint_path.empty()) {
+    return Status::InvalidArgument("resume requires a checkpoint path");
   }
   std::vector<const ScenarioSpec*> scenario_specs;
   for (const std::string& name : spec.scenarios) {
@@ -78,6 +241,49 @@ Result<SweepResult> RunSweep(const SweepSpec& spec) {
     }
   }
 
+  // ------------------------------------------------ checkpoint recovery
+  // With a checkpoint: bind (or validate) the journal against this
+  // matrix, mark recovered cells complete, and open the journal for
+  // appending new completions. Checkpoint I/O failures AFTER this point
+  // degrade to warnings (a sweep with a broken checkpoint still
+  // computes); failures HERE are refusals — silently ignoring an
+  // unreadable checkpoint on --resume would re-run and re-bill cells
+  // the user believes are done.
+  const bool checkpointing = !spec.checkpoint_path.empty();
+  result.stable_document = checkpointing;
+  std::unique_ptr<JournalWriter> checkpoint;
+  std::mutex checkpoint_mu;
+  if (checkpointing) {
+    const uint64_t fingerprint = MatrixFingerprint(spec);
+    CheckpointState state;
+    if (spec.resume) {
+      auto loaded =
+          LoadCheckpoint(spec.checkpoint_path, fingerprint, plans.size());
+      if (!loaded.ok()) return loaded.status();
+      state = std::move(loaded).value();
+    }
+    // Not resuming (or fresh file): Open() at offset 0 truncates any
+    // previous content, so a stale checkpoint can't leak old cells.
+    auto writer = JournalWriter::Open(spec.checkpoint_path, state.valid_bytes);
+    if (!writer.ok()) return writer.status();
+    checkpoint = std::move(writer).value();
+    if (!state.has_header) {
+      const Status status =
+          checkpoint->Append(CheckpointHeader(fingerprint, plans.size()));
+      if (!status.ok()) return status;
+    }
+    for (size_t i = 0; i < state.cells.size(); ++i) {
+      CheckpointState::Cell& cell = state.cells[i];
+      if (!cell.complete) continue;
+      SweepRun& run = result.runs[i];
+      run.status = cell.status;
+      run.epsilon = cell.epsilon;
+      run.attempts = 0;  // restored, not executed
+      run.checkpointed_run_json = std::move(cell.run_json);
+      ++result.resumed_runs;
+    }
+  }
+
   // -------------------------------------------------------- execution
   // Runs fan across the shared pool, one per chunk; nested ParallelFor
   // calls inside scenario bodies degrade to serial per the parallel.h
@@ -92,14 +298,45 @@ Result<SweepResult> RunSweep(const SweepSpec& spec) {
   const auto start = std::chrono::steady_clock::now();
   auto execute = [&](size_t i) {
     SweepRun& run = result.runs[i];
+    if (!run.checkpointed_run_json.empty()) return;  // restored cell
     // Text output suppressed: concurrent runs must not interleave on
     // stdout, and every row lands in the JSON document anyway. The
     // ScenarioOutput is built here (not during expansion) so its
     // construction cost is also off the serial path.
-    run.output = ScenarioOutput(run.scenario, /*text_out=*/nullptr);
-    run.status =
-        RunScenario(*plans[i].scenario, plans[i].overrides, run.output);
-    run.epsilon = run.output.params().epsilon;
+    for (uint32_t attempt = 1;; ++attempt) {
+      run.output = ScenarioOutput(run.scenario, /*text_out=*/nullptr);
+      run.status =
+          RunScenario(*plans[i].scenario, plans[i].overrides, run.output);
+      run.epsilon = run.output.params().epsilon;
+      run.attempts = attempt;
+      if (run.status.ok() ||
+          run.status.code() != StatusCode::kUnavailable ||
+          attempt >= spec.max_attempts) {
+        break;
+      }
+      // Deterministic exponential backoff — 10, 20, 40, ... ms, capped.
+      // The schedule depends only on the attempt number, never on wall
+      // time or other cells, so retried sweeps stay reproducible.
+      const uint64_t backoff_ms =
+          std::min<uint64_t>(10ull << (attempt - 1), 500);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    if (checkpoint != nullptr) {
+      // A cell still UNAVAILABLE after its retry budget is NOT
+      // checkpointed: the failure is by definition transient, and a
+      // --resume is exactly the retry that should re-attempt it.
+      if (run.status.code() == StatusCode::kUnavailable) return;
+      const std::string run_json = StableRunJson(run.output);
+      std::lock_guard<std::mutex> lock(checkpoint_mu);
+      const Status journaled =
+          checkpoint->Append(EncodeCell(i, run, run_json));
+      if (!journaled.ok()) {
+        std::fprintf(stderr,
+                     "# warning: sweep checkpoint append failed (%s); "
+                     "this cell will re-run on --resume\n",
+                     journaled.ToString().c_str());
+      }
+    }
   };
   if (plans.size() == 1) {
     // A single cell gets no cross-run concurrency from the pool, and
@@ -111,6 +348,22 @@ Result<SweepResult> RunSweep(const SweepSpec& spec) {
     ParallelForChunks(plans.size(), 1, [&](const ParallelChunk& chunk) {
       for (size_t i = chunk.begin; i < chunk.end; ++i) execute(i);
     });
+  }
+  if (checkpoint != nullptr) {
+    const Status closed = checkpoint->Close();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "# warning: sweep checkpoint close failed (%s)\n",
+                   closed.ToString().c_str());
+    }
+    // Stable-document invariant: no freshly-executed cell keeps a wall
+    // time (cells that went through StableRunJson are already zeroed;
+    // this also covers retry-exhausted UNAVAILABLE cells, which skip
+    // the checkpoint).
+    for (SweepRun& run : result.runs) {
+      if (run.checkpointed_run_json.empty()) {
+        run.output.set_elapsed_seconds(0.0);
+      }
+    }
   }
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -146,8 +399,15 @@ std::string SweepsJson(const SweepResult& result, int threads) {
   json.String("dpkron.sweeps.v1");
   json.Key("threads");
   json.Int(threads);
+  json.Key("stable");
+  json.Bool(result.stable_document);
+  // Stable form: wall time and cache counters are properties of one
+  // process's execution (a resumed sweep legitimately has different
+  // values), so the checkpointed document pins the time to 0 and omits
+  // the counters — that's what makes interrupted-then-resumed output
+  // byte-identical to an uninterrupted run.
   json.Key("elapsed_seconds");
-  json.Number(result.elapsed_seconds);
+  json.Number(result.stable_document ? 0.0 : result.elapsed_seconds);
   json.Key("failed_runs");
   json.UInt(result.failed_runs);
   // This sweep's own deltas, not the live process totals.
@@ -155,22 +415,24 @@ std::string SweepsJson(const SweepResult& result, int threads) {
   json.BeginObject();
   json.Key("enabled");
   json.Bool(result.cache_enabled);
-  json.Key("hits");
-  json.UInt(result.cache_total.hits);
-  json.Key("misses");
-  json.UInt(result.cache_total.misses);
-  json.Key("domains");
-  json.BeginObject();
-  for (const auto& [domain, counters] : result.cache_domains) {
-    json.Key(domain);
-    json.BeginObject();
+  if (!result.stable_document) {
     json.Key("hits");
-    json.UInt(counters.hits);
+    json.UInt(result.cache_total.hits);
     json.Key("misses");
-    json.UInt(counters.misses);
+    json.UInt(result.cache_total.misses);
+    json.Key("domains");
+    json.BeginObject();
+    for (const auto& [domain, counters] : result.cache_domains) {
+      json.Key(domain);
+      json.BeginObject();
+      json.Key("hits");
+      json.UInt(counters.hits);
+      json.Key("misses");
+      json.UInt(counters.misses);
+      json.EndObject();
+    }
     json.EndObject();
   }
-  json.EndObject();
   json.EndObject();
   json.Key("runs");
   json.BeginArray();
@@ -192,9 +454,16 @@ std::string SweepsJson(const SweepResult& result, int threads) {
     json.String(run.status.ToString());
     // The full per-run document — params, budgets (ledgers preserved),
     // exact_sensitivity, summaries, tables — exactly as the standalone
-    // --scenario path emits it.
+    // --scenario path emits it. A checkpointed cell splices the
+    // fragment recorded at completion time; it is byte-identical to
+    // what re-executing the cell would serialize (the sweep engine's
+    // determinism contract is what makes resume legal at all).
     json.Key("run");
-    run.output.AppendRunJson(json);
+    if (!run.checkpointed_run_json.empty()) {
+      json.Raw(run.checkpointed_run_json);
+    } else {
+      run.output.AppendRunJson(json);
+    }
     json.EndObject();
   }
   json.EndArray();

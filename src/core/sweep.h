@@ -61,6 +61,26 @@ struct SweepSpec {
   // axis above is empty; base.seed overrides the scenario's default
   // base seed.
   ScenarioOverrides base;
+
+  // ------------------------------------------------- crash-safety knobs
+  // When non-empty, every completed cell is journaled here (append-only,
+  // checksummed, fsynced per record — see common/journal.h) as soon as
+  // it finishes, and the emitted document switches to its STABLE form
+  // (wall times zeroed, volatile cache counters omitted) so an
+  // interrupted-then-resumed sweep serializes byte-identically to an
+  // uninterrupted one.
+  std::string checkpoint_path;
+  // With `resume`, cells found complete in the checkpoint are not
+  // re-executed; their recorded results merge back in matrix order. The
+  // checkpoint binds itself to the expanded matrix (a fingerprint in
+  // record 0), so resuming under a different spec refuses cleanly.
+  // Without `resume`, an existing checkpoint is overwritten.
+  bool resume = false;
+  // Attempts per cell: a cell whose run fails with the TRANSIENT status
+  // (UNAVAILABLE — injectable via FaultInjectionEnv, returned by flaky
+  // storage) is retried up to this many times with deterministic
+  // exponential backoff. Non-transient failures never retry. >= 1.
+  uint32_t max_attempts = 1;
 };
 
 // One cell of the executed matrix.
@@ -75,6 +95,13 @@ struct SweepRun {
   // concurrent runs must not interleave on stdout and the JSON document
   // carries every row.
   ScenarioOutput output{"", nullptr};
+  // Executions this cell took (1 = first try; >1 only after transient
+  // retries). 0 for a cell restored from a checkpoint.
+  uint32_t attempts = 1;
+  // Non-empty iff the cell was restored from a checkpoint: the exact
+  // per-run JSON fragment recorded at completion time, spliced verbatim
+  // into the document (`output` is empty for such cells).
+  std::string checkpointed_run_json;
 };
 
 struct SweepResult {
@@ -91,6 +118,11 @@ struct SweepResult {
   // process totals.
   StatCache::Counters cache_total;
   std::vector<std::pair<std::string, StatCache::Counters>> cache_domains;
+  // Checkpointing state: `stable_document` selects the stable JSON form
+  // (set iff the sweep ran with a checkpoint); `resumed_runs` counts
+  // cells served from the checkpoint instead of executed.
+  bool stable_document = false;
+  size_t resumed_runs = 0;
 };
 
 // The seed axis for `base_seed`: index 0 = base_seed, indices 1..count-1
@@ -103,8 +135,14 @@ std::vector<uint64_t> SweepSeeds(uint64_t base_seed, uint32_t count);
 Result<SweepResult> RunSweep(const SweepSpec& spec);
 
 // The BENCH_sweeps.json document: {schema: "dpkron.sweeps.v1", threads,
-// cache: {...}, runs: [{scenario, dataset, epsilon, seed, seed_index,
-// ok, status, run: {...}}]}.
+// stable, cache: {...}, runs: [{scenario, dataset, epsilon, seed,
+// seed_index, ok, status, run: {...}}]}.
+//
+// Stable form (`result.stable_document`, i.e. checkpointed sweeps):
+// wall times serialize as 0 and the cache block carries only `enabled` —
+// those are properties of one process's execution, not of the run
+// matrix, and a resumed sweep must serialize byte-identically to an
+// uninterrupted one.
 std::string SweepsJson(const SweepResult& result, int threads);
 
 }  // namespace dpkron

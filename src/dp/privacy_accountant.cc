@@ -1,0 +1,191 @@
+#include "src/dp/privacy_accountant.h"
+
+#include <cstring>
+#include <utility>
+
+namespace dpkron {
+namespace {
+
+// Record 0 of every accountant journal: identifies the format and pins
+// the per-analyst totals the ledger was opened with.
+constexpr char kHeaderMagic[8] = {'D', 'P', 'K', 'A', 'C', 'C', 'T', '1'};
+
+std::string HeaderRecord(double epsilon_total, double delta_total) {
+  return RecordBuilder()
+      .Str(std::string_view(kHeaderMagic, sizeof(kHeaderMagic)))
+      .Double(epsilon_total)
+      .Double(delta_total)
+      .str();
+}
+
+struct SpendRecord {
+  std::string analyst;
+  std::string label;
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+std::string EncodeSpend(const SpendRecord& spend) {
+  return RecordBuilder()
+      .Str(spend.analyst)
+      .Str(spend.label)
+      .Double(spend.epsilon)
+      .Double(spend.delta)
+      .str();
+}
+
+bool DecodeSpend(std::string_view record, SpendRecord* spend) {
+  RecordParser parser(record);
+  spend->analyst = parser.Str();
+  spend->label = parser.Str();
+  spend->epsilon = parser.Double();
+  spend->delta = parser.Double();
+  return parser.done();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PrivacyAccountant>> PrivacyAccountant::Open(
+    const std::string& path, double epsilon_total, double delta_total,
+    Env* env) {
+  if (!(epsilon_total > 0.0) || delta_total < 0.0 || delta_total >= 1.0) {
+    return Status::InvalidArgument("accountant totals out of range");
+  }
+
+  JournalRecovery recovery;
+  auto read = ReadJournal(path, env);
+  if (read.ok()) {
+    recovery = std::move(read).value();
+  } else if (read.status().code() != StatusCode::kNotFound) {
+    return read.status();
+  }
+
+  // Validate the header before taking the journal over. An empty
+  // recovery (fresh file, or a journal whose very first append tore)
+  // restarts from scratch — nothing was ever acknowledged from it.
+  if (!recovery.records.empty()) {
+    RecordParser header(recovery.records.front());
+    const std::string magic = header.Str();
+    const double recorded_epsilon = header.Double();
+    const double recorded_delta = header.Double();
+    if (!header.done() ||
+        magic != std::string_view(kHeaderMagic, sizeof(kHeaderMagic))) {
+      return Status::InvalidArgument(path +
+                                     ": not a privacy-accountant journal");
+    }
+    if (recorded_epsilon != epsilon_total || recorded_delta != delta_total) {
+      return Status::InvalidArgument(
+          path + ": journal totals differ from requested totals");
+    }
+  }
+
+  auto writer = JournalWriter::Open(path, recovery.valid_bytes, env);
+  if (!writer.ok()) return writer.status();
+
+  std::unique_ptr<PrivacyAccountant> accountant(new PrivacyAccountant(
+      epsilon_total, delta_total, std::move(writer).value()));
+
+  if (recovery.records.empty()) {
+    const Status status =
+        accountant->journal_->Append(HeaderRecord(epsilon_total, delta_total));
+    if (!status.ok()) return status;
+  } else {
+    // Replay: apply every recovered spend. These all passed CheckSpend
+    // before being journaled, so a replay that does not fit can only
+    // mean a foreign file that happened to parse — refuse it.
+    for (size_t i = 1; i < recovery.records.size(); ++i) {
+      SpendRecord spend;
+      if (!DecodeSpend(recovery.records[i], &spend)) {
+        return Status::InvalidArgument(path + ": malformed spend record " +
+                                       std::to_string(i));
+      }
+      const Status status =
+          accountant->BudgetLocked(spend.analyst)
+              .Spend(spend.epsilon, spend.delta, spend.label);
+      if (!status.ok()) {
+        return Status::InvalidArgument(path + ": journal replay refused: " +
+                                       status.ToString());
+      }
+      ++accountant->total_spends_;
+    }
+  }
+  return accountant;
+}
+
+PrivacyBudget& PrivacyAccountant::BudgetLocked(const std::string& analyst) {
+  auto it = budgets_.find(analyst);
+  if (it == budgets_.end()) {
+    it = budgets_
+             .emplace(analyst, PrivacyBudget(epsilon_total_, delta_total_))
+             .first;
+  }
+  return it->second;
+}
+
+Status PrivacyAccountant::Spend(const std::string& analyst, double epsilon,
+                                double delta, const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PrivacyBudget& budget = BudgetLocked(analyst);
+  // Validate first: a refused charge must leave no trace in the journal
+  // (recovery would otherwise re-apply a spend that never happened).
+  const Status check = budget.CheckSpend(epsilon, delta, label);
+  if (!check.ok()) return check;
+  // Durability before acknowledgment: the record hits stable storage
+  // (or the spend is refused) before the in-memory state moves.
+  const Status journaled =
+      journal_->Append(EncodeSpend({analyst, label, epsilon, delta}));
+  if (!journaled.ok()) return journaled;
+  const Status applied = budget.Spend(epsilon, delta, label);
+  DPKRON_CHECK_MSG(applied.ok(), "checked spend must apply");
+  ++total_spends_;
+  return Status::Ok();
+}
+
+double PrivacyAccountant::epsilon_spent(const std::string& analyst) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = budgets_.find(analyst);
+  return it == budgets_.end() ? 0.0 : it->second.epsilon_spent();
+}
+
+double PrivacyAccountant::delta_spent(const std::string& analyst) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = budgets_.find(analyst);
+  return it == budgets_.end() ? 0.0 : it->second.delta_spent();
+}
+
+double PrivacyAccountant::epsilon_remaining(const std::string& analyst) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = budgets_.find(analyst);
+  return it == budgets_.end() ? epsilon_total_
+                              : it->second.epsilon_remaining();
+}
+
+uint64_t PrivacyAccountant::total_spends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_spends_;
+}
+
+std::vector<std::string> PrivacyAccountant::analysts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(budgets_.size());
+  for (const auto& [name, budget] : budgets_) names.push_back(name);
+  return names;
+}
+
+bool PrivacyAccountant::wounded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_->wounded();
+}
+
+std::string PrivacyAccountant::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "PrivacyAccountant (" + std::to_string(budgets_.size()) +
+                    " analysts)\n";
+  for (const auto& [name, budget] : budgets_) {
+    out += "analyst " + name + ": " + budget.ToString();
+  }
+  return out;
+}
+
+}  // namespace dpkron

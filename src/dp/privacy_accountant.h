@@ -1,0 +1,104 @@
+// PrivacyAccountant — a crash-safe, multi-analyst budget store: the
+// persistent accounting layer the ROADMAP's `dpkrond` daemon needs
+// ("budgets survive restarts, concurrent spends are atomic, exhausted
+// budgets refuse with a clean Status").
+//
+// The differential-privacy guarantee of the whole system reduces to
+// this ledger: an ε-spend that is lost (a crash forgets a release that
+// was already handed out) silently breaks the composition bound of
+// Theorem 4.10, while a spend that is double-counted merely wastes
+// budget. The accountant is therefore built so recovery can only err in
+// the SAFE direction:
+//
+//   * A spend is acknowledged only after its journal record is durable
+//     (write + fsync through the Env seam; see journal.h). An
+//     acknowledged spend survives any later crash.
+//   * Recovery replays the longest valid record prefix. A torn tail
+//     record — the signature of a crash mid-append — is discarded whole,
+//     never half-applied.
+//   * The recovered epsilon_spent is therefore at least the prefix-sum
+//     of all acknowledged spends. The only record that can exceed it is
+//     a trailing spend whose fsync raced the crash: it was never
+//     acknowledged (no release was handed out against it), so counting
+//     it merely over-reserves — DP-safe.
+//   * A journal append failure (ENOSPC, EIO) refuses the spend and does
+//     not advance the in-memory state; the journal repairs its tail or
+//     wounds itself (further spends refuse) — the accountant never acks
+//     a spend whose durability is unknown.
+//
+// Concurrency: Spend() is atomic under one mutex (check → journal →
+// apply is a critical section), so concurrent spenders serialize and
+// the journal order equals the ledger order. Exercised under TSan in CI.
+
+#ifndef DPKRON_DP_PRIVACY_ACCOUNTANT_H_
+#define DPKRON_DP_PRIVACY_ACCOUNTANT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/env.h"
+#include "src/common/journal.h"
+#include "src/common/status.h"
+#include "src/dp/privacy_budget.h"
+
+namespace dpkron {
+
+class PrivacyAccountant {
+ public:
+  // Opens (creating if absent) the journal at `path` and recovers the
+  // spend history. Every analyst gets an (epsilon_total, delta_total)
+  // budget; reopening an existing journal validates that its recorded
+  // totals match (changing totals under a live ledger would silently
+  // re-derive "remaining" — refused as InvalidArgument).
+  static Result<std::unique_ptr<PrivacyAccountant>> Open(
+      const std::string& path, double epsilon_total, double delta_total,
+      Env* env = GetEnv());
+
+  // Atomically charges (epsilon, delta) to `analyst`'s budget. OK means
+  // the spend is DURABLE (it will be recovered after any crash).
+  // FailedPrecondition = budget exhausted (nothing journaled); I/O
+  // statuses = the spend was refused and not applied.
+  Status Spend(const std::string& analyst, double epsilon, double delta,
+               const std::string& label);
+
+  // Snapshot accessors (mutex-guarded; values are consistent points).
+  double epsilon_spent(const std::string& analyst) const;
+  double delta_spent(const std::string& analyst) const;
+  double epsilon_remaining(const std::string& analyst) const;
+  // Number of applied spend records across all analysts.
+  uint64_t total_spends() const;
+  std::vector<std::string> analysts() const;
+
+  double epsilon_total() const { return epsilon_total_; }
+  double delta_total() const { return delta_total_; }
+  // True after a journal failure left the on-disk tail unrepairable;
+  // every further Spend() refuses until the accountant is reopened.
+  bool wounded() const;
+
+  // Per-analyst ledgers, one block each (diagnostics).
+  std::string ToString() const;
+
+ private:
+  PrivacyAccountant(double epsilon_total, double delta_total,
+                    std::unique_ptr<JournalWriter> journal)
+      : epsilon_total_(epsilon_total),
+        delta_total_(delta_total),
+        journal_(std::move(journal)) {}
+
+  // The budget for `analyst`, created on first touch. Callers hold mu_.
+  PrivacyBudget& BudgetLocked(const std::string& analyst);
+
+  const double epsilon_total_;
+  const double delta_total_;
+  mutable std::mutex mu_;
+  std::unique_ptr<JournalWriter> journal_;
+  std::map<std::string, PrivacyBudget> budgets_;
+  uint64_t total_spends_ = 0;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_DP_PRIVACY_ACCOUNTANT_H_

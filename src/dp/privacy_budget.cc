@@ -26,8 +26,8 @@ PrivacyBudget::PrivacyBudget(double epsilon_total, double delta_total)
   DPKRON_CHECK_LT(delta_total, 1.0);
 }
 
-Status PrivacyBudget::Spend(double epsilon, double delta,
-                            const std::string& label) {
+Status PrivacyBudget::CheckSpend(double epsilon, double delta,
+                                 const std::string& label) const {
   if (epsilon < 0.0 || delta < 0.0) {
     return Status::InvalidArgument("negative privacy charge: " + label);
   }
@@ -40,6 +40,13 @@ Status PrivacyBudget::Spend(double epsilon, double delta,
   if (!Fits(delta_spent_, delta, delta_total_)) {
     return Status::FailedPrecondition("delta budget exhausted at: " + label);
   }
+  return Status::Ok();
+}
+
+Status PrivacyBudget::Spend(double epsilon, double delta,
+                            const std::string& label) {
+  const Status check = CheckSpend(epsilon, delta, label);
+  if (!check.ok()) return check;
   epsilon_spent_ += epsilon;
   delta_spent_ += delta;
   ledger_.push_back({label, epsilon, delta});

@@ -26,6 +26,14 @@ class PrivacyBudget {
   // is never refused over accumulated floating-point rounding.
   Status Spend(double epsilon, double delta, const std::string& label);
 
+  // The validation half of Spend() without the recording half: OK iff a
+  // Spend() with the same arguments would succeed right now. The
+  // durable PrivacyAccountant needs the check separately — a spend must
+  // be validated BEFORE its journal record is written (refused charges
+  // are never journaled) and applied only after the record is durable.
+  Status CheckSpend(double epsilon, double delta,
+                    const std::string& label) const;
+
   double epsilon_total() const { return epsilon_total_; }
   double delta_total() const { return delta_total_; }
   double epsilon_spent() const { return epsilon_spent_; }

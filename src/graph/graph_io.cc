@@ -6,12 +6,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <limits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/common/fnv.h"
 #include "src/common/parallel.h"
 #include "src/common/stat_cache.h"
@@ -205,19 +205,10 @@ Result<Graph> ParseEdgeListImpl(std::string_view text,
   return MergeChunks(chunks, origin);
 }
 
+// All file bytes through the Env seam, so tests can inject read faults
+// and the NotFound/transient distinction is uniform across call sites.
 Result<std::string> ReadFileBytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open edge list: " + path);
-  std::string bytes;
-  in.seekg(0, std::ios::end);
-  const std::streamoff size = in.tellg();
-  if (size > 0) {
-    bytes.resize(static_cast<size_t>(size));
-    in.seekg(0, std::ios::beg);
-    in.read(bytes.data(), size);
-    if (!in) return Status::Internal("read failed: " + path);
-  }
-  return bytes;
+  return GetEnv()->ReadFileToString(path);
 }
 
 }  // namespace
@@ -241,15 +232,18 @@ Result<Graph> ParseEdgeListSerial(std::string_view text) {
 }
 
 Status WriteEdgeList(const Graph& graph, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::Internal("cannot open for writing: " + path);
-  out << "# dpkron edge list: " << graph.NumNodes() << " nodes, "
-      << graph.NumEdges() << " edges\n";
-  graph.ForEachEdge(
-      [&out](Graph::NodeId u, Graph::NodeId v) { out << u << '\t' << v << '\n'; });
-  out.flush();
-  if (!out) return Status::Internal("write failed: " + path);
-  return Status::Ok();
+  std::string text = "# dpkron edge list: " + std::to_string(graph.NumNodes()) +
+                     " nodes, " + std::to_string(graph.NumEdges()) +
+                     " edges\n";
+  graph.ForEachEdge([&text](Graph::NodeId u, Graph::NodeId v) {
+    text += std::to_string(u);
+    text += '\t';
+    text += std::to_string(v);
+    text += '\n';
+  });
+  // Durable (temp + sync + rename): an edge list is a dataset artifact;
+  // a reader must never see a half-written one.
+  return WriteFileDurable(path, text);
 }
 
 // ------------------------------------------------------ binary (.dpkb)
@@ -306,53 +300,54 @@ Status WriteBinaryGraph(const Graph& graph, const std::string& path,
   header.source_size = source.size;
   header.source_checksum = source.checksum;
 
-  // Write-then-rename so a crashed or concurrent writer can never leave
-  // a torn file where a reader expects a cache. The temp name is unique
-  // per process and call — two simultaneous cache writers must not
-  // truncate each other's in-flight file.
+  // Write-temp → Sync → rename → SyncDir through the Env seam. The sync
+  // BEFORE the rename is load-bearing: rename-without-fsync can commit
+  // the name while the data blocks are still page-cache-only, and a
+  // crash then leaves a renamed-but-empty (or torn) .dpkb where readers
+  // expect a valid cache. The temp name is unique per process and call —
+  // two simultaneous cache writers must not truncate each other's
+  // in-flight file.
+  Env* env = GetEnv();
   static std::atomic<uint64_t> write_counter{0};
   const std::string temp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
       std::to_string(write_counter.fetch_add(1, std::memory_order_relaxed));
-  std::FILE* f = std::fopen(temp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::Internal("cannot open for writing: " + temp);
+  auto file = env->NewWritableFile(temp);
+  if (!file.ok()) return file.status();
+  Status status = file.value()->Append(&header, sizeof(header));
+  if (status.ok() && !graph.Offsets().empty()) {
+    status = file.value()->Append(graph.Offsets().data(),
+                                  sizeof(uint32_t) * graph.Offsets().size());
   }
-  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
-  ok = ok && (graph.Offsets().empty() ||
-              std::fwrite(graph.Offsets().data(), sizeof(uint32_t),
-                          graph.Offsets().size(),
-                          f) == graph.Offsets().size());
-  ok = ok && (graph.Adjacency().empty() ||
-              std::fwrite(graph.Adjacency().data(), sizeof(Graph::NodeId),
-                          graph.Adjacency().size(),
-                          f) == graph.Adjacency().size());
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok) {
-    std::remove(temp.c_str());
-    return Status::Internal("write failed: " + temp);
+  if (status.ok() && !graph.Adjacency().empty()) {
+    status =
+        file.value()->Append(graph.Adjacency().data(),
+                             sizeof(Graph::NodeId) * graph.Adjacency().size());
   }
-  if (std::rename(temp.c_str(), path.c_str()) != 0) {
-    std::remove(temp.c_str());
-    return Status::Internal("cannot rename " + temp + " to " + path);
+  if (status.ok()) status = file.value()->Sync();
+  const Status close_status = file.value()->Close();
+  if (status.ok()) status = close_status;
+  if (status.ok()) status = env->RenameFile(temp, path);
+  if (!status.ok()) {
+    (void)env->RemoveFile(temp);
+    return status;
   }
-  return Status::Ok();
+  return env->SyncDir(path);
 }
 
 Result<Graph> ReadBinaryGraph(const std::string& path,
                               DpkbSourceStamp* source) {
   if (source != nullptr) *source = DpkbSourceStamp{};
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open binary graph: " + path);
-  in.seekg(0, std::ios::end);
-  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
-  in.seekg(0, std::ios::beg);
+  auto bytes = GetEnv()->ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::string& data = bytes.value();
+  const uint64_t file_size = data.size();
 
   DpkbHeader header{};
-  if (file_size < sizeof(header) ||
-      !in.read(reinterpret_cast<char*>(&header), sizeof(header))) {
+  if (file_size < sizeof(header)) {
     return Status::InvalidArgument(path + ": truncated dpkb header");
   }
+  std::memcpy(&header, data.data(), sizeof(header));
   if (std::memcmp(header.magic, kDpkbMagic, sizeof(kDpkbMagic)) != 0) {
     return Status::InvalidArgument(path + ": not a dpkb file (bad magic)");
   }
@@ -377,12 +372,12 @@ Result<Graph> ReadBinaryGraph(const std::string& path,
 
   std::vector<uint32_t> offsets(header.num_nodes + 1);
   std::vector<Graph::NodeId> adjacency(header.adjacency_len);
-  if (!in.read(reinterpret_cast<char*>(offsets.data()),
-               sizeof(uint32_t) * offsets.size()) ||
-      (!adjacency.empty() &&
-       !in.read(reinterpret_cast<char*>(adjacency.data()),
-                sizeof(uint32_t) * adjacency.size()))) {
-    return Status::InvalidArgument(path + ": truncated dpkb payload");
+  std::memcpy(offsets.data(), data.data() + sizeof(header),
+              sizeof(uint32_t) * offsets.size());
+  if (!adjacency.empty()) {
+    std::memcpy(adjacency.data(),
+                data.data() + sizeof(header) + sizeof(uint32_t) * offsets.size(),
+                sizeof(uint32_t) * adjacency.size());
   }
   if (PayloadChecksum(offsets, adjacency) != header.checksum) {
     return Status::InvalidArgument(path + ": dpkb checksum mismatch");
@@ -440,7 +435,15 @@ Result<Graph> LoadViaSidecar(const std::string& path,
   // bytes already in hand, never fatal.
   auto parsed = ParseEdgeListImpl(bytes, path, options);
   if (!parsed.ok()) return parsed;
-  (void)WriteBinaryGraph(parsed.value(), cache, current);  // best-effort
+  // The cache WRITE is strictly best-effort: a full disk (ENOSPC) or
+  // injected I/O fault must degrade to a warning + the in-memory parse,
+  // never fail a load that already succeeded. The next load retries.
+  const Status cached_write = WriteBinaryGraph(parsed.value(), cache, current);
+  if (!cached_write.ok()) {
+    std::fprintf(stderr, "# warning: sidecar cache write failed (%s); "
+                 "serving the in-memory parse\n",
+                 cached_write.ToString().c_str());
+  }
   return parsed;
 }
 

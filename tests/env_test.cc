@@ -1,0 +1,208 @@
+// The Env seam: POSIX basics, the WriteFileDurable protocol, and the
+// FaultInjectionEnv double — short writes, injected EIO/ENOSPC, failed
+// renames, and the DropUnsyncedData crash model (including the
+// renamed-but-empty bug it exists to reproduce).
+
+#include "src/common/env.h"
+
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dpkron {
+namespace {
+
+std::string UniqueTempPath(const std::string& stem) {
+  return ::testing::TempDir() + "/" + stem + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(EnvTest, WriteReadRoundTrip) {
+  Env* env = Env::Default();
+  const std::string path = UniqueTempPath("env_round_trip");
+  auto file = env->NewWritableFile(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE(file.value()->Append("hello ").ok());
+  ASSERT_TRUE(file.value()->Append("world").ok());
+  ASSERT_TRUE(file.value()->Sync().ok());
+  ASSERT_TRUE(file.value()->Close().ok());
+
+  EXPECT_TRUE(env->FileExists(path));
+  const auto size = env->FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 11u);
+  const auto contents = env->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "hello world");
+  ASSERT_TRUE(env->RemoveFile(path).ok());
+  EXPECT_FALSE(env->FileExists(path));
+}
+
+TEST(EnvTest, MissingFileIsNotFound) {
+  Env* env = Env::Default();
+  const std::string path = UniqueTempPath("env_missing");
+  EXPECT_FALSE(env->FileExists(path));
+  EXPECT_EQ(env->ReadFileToString(path).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(env->FileSize(path).status().code(), StatusCode::kNotFound);
+}
+
+TEST(EnvTest, AppendableFilePreservesExistingBytes) {
+  Env* env = Env::Default();
+  const std::string path = UniqueTempPath("env_appendable");
+  {
+    auto file = env->NewWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->Append("first|").ok());
+    ASSERT_TRUE(file.value()->Close().ok());
+  }
+  {
+    auto file = env->NewAppendableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->Append("second").ok());
+    ASSERT_TRUE(file.value()->Close().ok());
+  }
+  const auto contents = env->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "first|second");
+  ASSERT_TRUE(env->RemoveFile(path).ok());
+}
+
+TEST(EnvTest, TruncateAndRename) {
+  Env* env = Env::Default();
+  const std::string from = UniqueTempPath("env_rename_from");
+  const std::string to = UniqueTempPath("env_rename_to");
+  {
+    auto file = env->NewWritableFile(from);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->Append("0123456789").ok());
+    ASSERT_TRUE(file.value()->Close().ok());
+  }
+  ASSERT_TRUE(env->TruncateFile(from, 4).ok());
+  ASSERT_TRUE(env->RenameFile(from, to).ok());
+  EXPECT_FALSE(env->FileExists(from));
+  const auto contents = env->ReadFileToString(to);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "0123");
+  ASSERT_TRUE(env->RemoveFile(to).ok());
+}
+
+TEST(EnvTest, WriteFileDurableReplacesAtomically) {
+  const std::string path = UniqueTempPath("env_durable");
+  ASSERT_TRUE(WriteFileDurable(path, "version one").ok());
+  ASSERT_TRUE(WriteFileDurable(path, "version two").ok());
+  const auto contents = GetEnv()->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "version two");
+  ASSERT_TRUE(GetEnv()->RemoveFile(path).ok());
+}
+
+TEST(EnvTest, ScopedOverrideInstallsAndRestores) {
+  FaultInjectionEnv fake;
+  Env* before = GetEnv();
+  {
+    ScopedEnvOverride scope(&fake);
+    EXPECT_EQ(GetEnv(), &fake);
+    {
+      FaultInjectionEnv nested;
+      ScopedEnvOverride inner(&nested);
+      EXPECT_EQ(GetEnv(), &nested);
+    }
+    EXPECT_EQ(GetEnv(), &fake);
+  }
+  EXPECT_EQ(GetEnv(), before);
+}
+
+TEST(FaultInjectionEnvTest, InjectedWriteFailureWithShortWrite) {
+  FaultInjectionEnv env;
+  const std::string path = UniqueTempPath("fault_short_write");
+  // First append succeeds, second fails after committing 3 bytes.
+  env.FailWrites(/*after=*/1, Status::ResourceExhausted("disk full"),
+                 /*short_write_bytes=*/3);
+  auto file = env.NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("abcd").ok());
+  const Status torn = file.value()->Append("efgh");
+  EXPECT_EQ(torn.code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(file.value()->Close().ok());
+  // The torn prefix of the failed write is on disk — exactly what a real
+  // partial write leaves behind.
+  const auto contents = env.ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "abcdefg");
+  // The fault is one-shot: a re-opened file writes cleanly again.
+  EXPECT_GE(env.write_calls(), 2u);
+  ASSERT_TRUE(env.RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionEnvTest, InjectedSyncAndRenameFailures) {
+  FaultInjectionEnv env;
+  const std::string path = UniqueTempPath("fault_sync");
+  env.FailSyncs(/*after=*/0, Status::Internal("EIO"));
+  env.FailRenames(/*after=*/0, Status::Internal("EIO"));
+  auto file = env.NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("x").ok());
+  EXPECT_EQ(file.value()->Sync().code(), StatusCode::kInternal);
+  ASSERT_TRUE(file.value()->Close().ok());
+  EXPECT_EQ(env.RenameFile(path, path + ".renamed").code(),
+            StatusCode::kInternal);
+  EXPECT_TRUE(env.FileExists(path));  // failed rename left the source
+  env.ClearFaults();
+  EXPECT_TRUE(env.RenameFile(path, path + ".renamed").ok());
+  ASSERT_TRUE(env.RemoveFile(path + ".renamed").ok());
+}
+
+TEST(FaultInjectionEnvTest, WriteFileDurableSurvivesCrashAfterRename) {
+  FaultInjectionEnv env;
+  ScopedEnvOverride scope(&env);
+  const std::string path = UniqueTempPath("fault_durable_crash");
+  ASSERT_TRUE(WriteFileDurable(path, "durable payload").ok());
+  // WriteFileDurable synced before renaming, so a crash now loses
+  // nothing.
+  env.DropUnsyncedData();
+  const auto contents = env.ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "durable payload");
+  ASSERT_TRUE(env.RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionEnvTest, DropUnsyncedDataTruncatesToSyncedPrefix) {
+  FaultInjectionEnv env;
+  const std::string path = UniqueTempPath("fault_crash_prefix");
+  auto file = env.NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("synced").ok());
+  ASSERT_TRUE(file.value()->Sync().ok());
+  ASSERT_TRUE(file.value()->Append(" and lost").ok());
+  ASSERT_TRUE(file.value()->Close().ok());
+  // Before the crash, readers see everything written.
+  EXPECT_EQ(env.ReadFileToString(path).value(), "synced and lost");
+  env.DropUnsyncedData();
+  EXPECT_EQ(env.ReadFileToString(path).value(), "synced");
+  ASSERT_TRUE(env.RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionEnvTest, RenameWithoutSyncIsEmptyAfterCrash) {
+  // The classic bug WriteBinaryGraph guards against: write temp, rename
+  // into place, crash — the rename survives (directory metadata) but the
+  // data pages were never flushed, leaving a named-but-empty file.
+  FaultInjectionEnv env;
+  const std::string temp = UniqueTempPath("fault_unsynced_tmp");
+  const std::string final_path = UniqueTempPath("fault_unsynced_final");
+  auto file = env.NewWritableFile(temp);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("never synced").ok());
+  ASSERT_TRUE(file.value()->Close().ok());
+  ASSERT_TRUE(env.RenameFile(temp, final_path).ok());
+  env.DropUnsyncedData();
+  const auto contents = env.ReadFileToString(final_path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "");  // renamed, but empty
+  ASSERT_TRUE(env.RemoveFile(final_path).ok());
+}
+
+}  // namespace
+}  // namespace dpkron

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+#include "src/common/env.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/graph/degree.h"
@@ -652,6 +653,95 @@ TEST(IngestionPerfTest, BinaryCacheReloadBeatsTextParse) {
 
   std::remove(path.c_str());
   std::remove(cache.c_str());
+}
+
+// ---------------------------------------------- fault-injected I/O
+
+TEST(EdgeListCacheTest, SidecarWriteFailureDegradesToWarningPlusParse) {
+  // ENOSPC while writing the .dpkb sidecar must not fail a load whose
+  // parse already succeeded: warn, serve the in-memory graph, and leave
+  // no half-written cache behind for the next load to trust.
+  const std::string path = TempPath("cache_enospc.edges");
+  WriteFile(path, "# g\n0 1\n1 2\n2 0\n");
+  const std::string cache = BinaryCachePath(path);
+  std::remove(cache.c_str());
+
+  FaultInjectionEnv env;
+  ScopedEnvOverride scope(&env);
+  env.FailWrites(/*after=*/1,
+                 Status::ResourceExhausted("No space left on device"));
+  bool hit = true;
+  const auto parsed = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(parsed.value().NumNodes(), 3u);
+  EXPECT_EQ(parsed.value().NumEdges(), 3u);
+  // The failed write cleaned up: no sidecar, no stray temp file.
+  EXPECT_FALSE(std::filesystem::exists(cache));
+
+  // Once space is back the next load parses again AND rebuilds the
+  // sidecar, so the one after that is a cache hit.
+  env.ClearFaults();
+  const auto rebuilt = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_TRUE(std::filesystem::exists(cache));
+  const auto served = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_TRUE(SameCsr(parsed.value(), served.value()));
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
+}
+
+TEST(EdgeListCacheTest, SidecarSurvivesCrashRightAfterWrite) {
+  // WriteBinaryGraph syncs the temp file BEFORE renaming it into place,
+  // so a kill -9 immediately after a cached load leaves a valid sidecar
+  // — never the renamed-but-empty file rename-without-fsync produces.
+  const std::string path = TempPath("cache_crash.edges");
+  {
+    // Written through the REAL env: the source file predates the
+    // "process" whose crash we simulate.
+    WriteFile(path, "# g\n0 1\n1 2\n2 0\n");
+  }
+  const std::string cache = BinaryCachePath(path);
+  std::remove(cache.c_str());
+
+  FaultInjectionEnv env;
+  ScopedEnvOverride scope(&env);
+  bool hit = true;
+  ASSERT_TRUE(ReadEdgeListCached(path, &hit).ok());
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(std::filesystem::exists(cache));
+
+  env.DropUnsyncedData();  // kill -9 + power cut
+
+  const auto recovered = ReadBinaryGraph(cache);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const auto cached = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(hit);  // the surviving sidecar serves the load
+  EXPECT_TRUE(SameCsr(recovered.value(), cached.value()));
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
+}
+
+TEST(GraphIoTest, WriteEdgeListIsAtomicUnderCrash) {
+  // WriteEdgeList goes through WriteFileDurable: after a crash the
+  // destination either does not exist or holds the complete file.
+  const std::string path = TempPath("atomic_write.edges");
+  std::remove(path.c_str());
+  FaultInjectionEnv env;
+  ScopedEnvOverride scope(&env);
+  ASSERT_TRUE(WriteEdgeList(testing::PathGraph(4), path).ok());
+  env.DropUnsyncedData();
+  const auto reloaded = ReadEdgeList(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded.value().NumNodes(), 4u);
+  EXPECT_EQ(reloaded.value().NumEdges(), 3u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,267 @@
+// The durable accountant: persistence across reopen, multi-analyst
+// isolation, exhausted-budget refusal, totals pinning, refused spends
+// under injected I/O failures, concurrent-spend atomicity (the TSan
+// target), and the crash-recovery property test — truncate the journal
+// at EVERY byte offset and assert recovery is a valid prefix of the
+// acknowledged spend history.
+
+#include "src/dp/privacy_accountant.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "src/common/env.h"
+#include "src/common/journal.h"
+#include "src/common/rng.h"
+
+namespace dpkron {
+namespace {
+
+std::string UniqueTempPath(const std::string& stem) {
+  return ::testing::TempDir() + "/" + stem + "_" +
+         std::to_string(::getpid()) + ".dpkacct";
+}
+
+void RemoveIfPresent(const std::string& path) {
+  if (GetEnv()->FileExists(path)) {
+    ASSERT_TRUE(GetEnv()->RemoveFile(path).ok());
+  }
+}
+
+TEST(PrivacyAccountantTest, RejectsBadTotals) {
+  const std::string path = UniqueTempPath("acct_bad_totals");
+  EXPECT_FALSE(PrivacyAccountant::Open(path, 0.0, 0.0).ok());
+  EXPECT_FALSE(PrivacyAccountant::Open(path, -1.0, 0.0).ok());
+  EXPECT_FALSE(PrivacyAccountant::Open(path, 1.0, 1.0).ok());
+  EXPECT_FALSE(GetEnv()->FileExists(path));  // refused opens leave no file
+}
+
+TEST(PrivacyAccountantTest, SpendsSurviveReopen) {
+  const std::string path = UniqueTempPath("acct_reopen");
+  RemoveIfPresent(path);
+  {
+    auto acct = PrivacyAccountant::Open(path, 2.0, 0.0);
+    ASSERT_TRUE(acct.ok()) << acct.status().ToString();
+    ASSERT_TRUE(acct.value()->Spend("alice", 0.5, 0.0, "degree_seq").ok());
+    ASSERT_TRUE(acct.value()->Spend("alice", 0.25, 0.0, "triangles").ok());
+    ASSERT_TRUE(acct.value()->Spend("bob", 1.0, 0.0, "kronfit").ok());
+    EXPECT_EQ(acct.value()->total_spends(), 3u);
+  }
+  auto acct = PrivacyAccountant::Open(path, 2.0, 0.0);
+  ASSERT_TRUE(acct.ok()) << acct.status().ToString();
+  EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("alice"), 0.75);
+  EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("bob"), 1.0);
+  EXPECT_DOUBLE_EQ(acct.value()->epsilon_remaining("alice"), 1.25);
+  EXPECT_DOUBLE_EQ(acct.value()->epsilon_remaining("carol"), 2.0);
+  EXPECT_EQ(acct.value()->total_spends(), 3u);
+  EXPECT_EQ(acct.value()->analysts(),
+            (std::vector<std::string>{"alice", "bob"}));
+  // The recovered ledger keeps enforcing: alice has 1.25 left.
+  EXPECT_FALSE(acct.value()->Spend("alice", 1.5, 0.0, "too much").ok());
+  ASSERT_TRUE(acct.value()->Spend("alice", 1.25, 0.0, "the rest").ok());
+  EXPECT_DOUBLE_EQ(acct.value()->epsilon_remaining("alice"), 0.0);
+  RemoveIfPresent(path);
+}
+
+TEST(PrivacyAccountantTest, ExhaustedBudgetRefusesWithoutJournaling) {
+  const std::string path = UniqueTempPath("acct_exhausted");
+  RemoveIfPresent(path);
+  auto acct = PrivacyAccountant::Open(path, 1.0, 0.0);
+  ASSERT_TRUE(acct.ok());
+  ASSERT_TRUE(acct.value()->Spend("a", 1.0, 0.0, "all of it").ok());
+  const uint64_t size_after = GetEnv()->FileSize(path).value();
+  EXPECT_EQ(acct.value()->Spend("a", 0.1, 0.0, "overdraft").code(),
+            StatusCode::kFailedPrecondition);
+  // A refused charge leaves no trace: same file size, same state.
+  EXPECT_EQ(GetEnv()->FileSize(path).value(), size_after);
+  EXPECT_EQ(acct.value()->total_spends(), 1u);
+  RemoveIfPresent(path);
+}
+
+TEST(PrivacyAccountantTest, ReopenWithDifferentTotalsRefuses) {
+  const std::string path = UniqueTempPath("acct_totals_pin");
+  RemoveIfPresent(path);
+  { ASSERT_TRUE(PrivacyAccountant::Open(path, 2.0, 0.0).ok()); }
+  const auto reopened = PrivacyAccountant::Open(path, 3.0, 0.0);
+  EXPECT_EQ(reopened.status().code(), StatusCode::kInvalidArgument);
+  RemoveIfPresent(path);
+}
+
+TEST(PrivacyAccountantTest, ForeignFileRefuses) {
+  const std::string path = UniqueTempPath("acct_foreign");
+  RemoveIfPresent(path);
+  // A valid journal, but not an accountant journal (wrong record 0).
+  {
+    auto writer = JournalWriter::Open(path, 0);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Append("not a header").ok());
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+  const auto opened = PrivacyAccountant::Open(path, 1.0, 0.0);
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  RemoveIfPresent(path);
+}
+
+TEST(PrivacyAccountantTest, FailedJournalSyncRefusesSpendAndKeepsState) {
+  FaultInjectionEnv env;
+  ScopedEnvOverride scope(&env);
+  const std::string path = UniqueTempPath("acct_sync_fail");
+  RemoveIfPresent(path);
+  auto acct = PrivacyAccountant::Open(path, 2.0, 0.0);
+  ASSERT_TRUE(acct.ok()) << acct.status().ToString();
+  ASSERT_TRUE(acct.value()->Spend("a", 0.5, 0.0, "ok spend").ok());
+
+  env.FailSyncs(/*after=*/0, Status::Internal("EIO"));
+  EXPECT_FALSE(acct.value()->Spend("a", 0.5, 0.0, "refused spend").ok());
+  env.ClearFaults();
+  // Refused means not applied — and not recoverable either.
+  EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("a"), 0.5);
+  EXPECT_EQ(acct.value()->total_spends(), 1u);
+  EXPECT_FALSE(acct.value()->wounded());  // tail repair succeeded
+
+  // The accountant keeps accepting spends after the repair, and a
+  // reopen sees exactly the acknowledged history.
+  ASSERT_TRUE(acct.value()->Spend("a", 0.25, 0.0, "after repair").ok());
+  acct.value().reset();
+  auto reopened = PrivacyAccountant::Open(path, 2.0, 0.0, &env);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_DOUBLE_EQ(reopened.value()->epsilon_spent("a"), 0.75);
+  EXPECT_EQ(reopened.value()->total_spends(), 2u);
+  RemoveIfPresent(path);
+}
+
+TEST(PrivacyAccountantTest, CrashLosesOnlyUnackedTail) {
+  // kill -9 simulation: acknowledged spends survive DropUnsyncedData
+  // because acknowledgment happens only after fsync.
+  FaultInjectionEnv env;
+  ScopedEnvOverride scope(&env);
+  const std::string path = UniqueTempPath("acct_crash");
+  RemoveIfPresent(path);
+  {
+    auto acct = PrivacyAccountant::Open(path, 4.0, 0.0);
+    ASSERT_TRUE(acct.ok());
+    ASSERT_TRUE(acct.value()->Spend("a", 1.0, 0.0, "s1").ok());
+    ASSERT_TRUE(acct.value()->Spend("b", 2.0, 0.0, "s2").ok());
+  }
+  env.DropUnsyncedData();
+  auto acct = PrivacyAccountant::Open(path, 4.0, 0.0);
+  ASSERT_TRUE(acct.ok()) << acct.status().ToString();
+  EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("a"), 1.0);
+  EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("b"), 2.0);
+  RemoveIfPresent(path);
+}
+
+// -------------------------------------------------------------------------
+// Satellite: the crash-recovery property test. Run a random spend
+// history, note the acknowledged byte offset after every spend, then
+// truncate a copy of the journal at EVERY byte offset and reopen. For
+// each cut the recovered ledger must be exactly the longest prefix of
+// acknowledged spends whose bytes survived — never a half-applied
+// record, never a sum below the acknowledged prefix.
+TEST(PrivacyAccountantTest, RecoveryAtEveryTruncationIsAnAckedPrefix) {
+  const std::string path = UniqueTempPath("acct_property");
+  RemoveIfPresent(path);
+  const double kEpsilonTotal = 100.0;
+
+  struct Ack {
+    uint64_t bytes;          // journal size when this prefix was acked
+    double epsilon_a;        // analyst "a" prefix sum
+    double epsilon_b;        // analyst "b" prefix sum
+    uint64_t spends;
+  };
+  std::vector<Ack> acks;
+
+  Rng rng(20120330);
+  {
+    auto acct = PrivacyAccountant::Open(path, kEpsilonTotal, 0.0);
+    ASSERT_TRUE(acct.ok());
+    acks.push_back({GetEnv()->FileSize(path).value(), 0.0, 0.0, 0});
+    double sum_a = 0.0, sum_b = 0.0;
+    for (int i = 0; i < 24; ++i) {
+      const bool to_a = rng.NextDouble() < 0.5;
+      // Small irregular charges so every prefix sum is distinct.
+      const double eps = 0.125 + 3.0 * rng.NextDouble();
+      ASSERT_TRUE(acct.value()
+                      ->Spend(to_a ? "a" : "b", eps, 0.0,
+                              "spend_" + std::to_string(i))
+                      .ok());
+      (to_a ? sum_a : sum_b) += eps;
+      acks.push_back({GetEnv()->FileSize(path).value(), sum_a, sum_b,
+                      static_cast<uint64_t>(i + 1)});
+    }
+  }
+
+  const std::string bytes = GetEnv()->ReadFileToString(path).value();
+  ASSERT_EQ(bytes.size(), acks.back().bytes);
+  const std::string cut_path = path + ".cut";
+  for (uint64_t cut = 0; cut <= bytes.size(); ++cut) {
+    RemoveIfPresent(cut_path);
+    ASSERT_TRUE(WriteFileDurable(cut_path, bytes.substr(0, cut)).ok());
+    auto acct = PrivacyAccountant::Open(cut_path, kEpsilonTotal, 0.0);
+    ASSERT_TRUE(acct.ok()) << "cut=" << cut << ": "
+                           << acct.status().ToString();
+    // The expected recovery: the last acknowledged prefix at or below
+    // the cut. (Cuts inside the header recover the empty ledger.)
+    size_t k = 0;
+    while (k + 1 < acks.size() && acks[k + 1].bytes <= cut) ++k;
+    EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("a"), acks[k].epsilon_a)
+        << "cut=" << cut;
+    EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("b"), acks[k].epsilon_b)
+        << "cut=" << cut;
+    EXPECT_EQ(acct.value()->total_spends(), acks[k].spends)
+        << "cut=" << cut;
+  }
+  RemoveIfPresent(cut_path);
+  RemoveIfPresent(path);
+}
+
+// The TSan target: hammer one accountant from several threads; every
+// acknowledged spend must land exactly once and the ledger must equal
+// the acknowledged total, with no torn counters.
+TEST(PrivacyAccountantTest, ConcurrentSpendsSerializeAtomically) {
+  const std::string path = UniqueTempPath("acct_concurrent");
+  RemoveIfPresent(path);
+  constexpr int kThreads = 8;
+  constexpr int kSpendsPerThread = 25;
+  constexpr double kCharge = 0.125;
+  auto acct = PrivacyAccountant::Open(
+      path, kThreads * kSpendsPerThread * kCharge + 1.0, 0.0);
+  ASSERT_TRUE(acct.ok());
+
+  std::atomic<uint64_t> acked{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSpendsPerThread; ++i) {
+        const Status status =
+            acct.value()->Spend("shared", kCharge, 0.0,
+                                "t" + std::to_string(t) + "_" +
+                                    std::to_string(i));
+        if (status.ok()) acked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(acked.load(), uint64_t{kThreads * kSpendsPerThread});
+  EXPECT_EQ(acct.value()->total_spends(), acked.load());
+  EXPECT_NEAR(acct.value()->epsilon_spent("shared"),
+              kThreads * kSpendsPerThread * kCharge, 1e-9);
+  // Reopen: the journal holds exactly the acknowledged spends.
+  acct.value().reset();
+  auto reopened = PrivacyAccountant::Open(
+      path, kThreads * kSpendsPerThread * kCharge + 1.0, 0.0);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->total_spends(),
+            uint64_t{kThreads * kSpendsPerThread});
+  RemoveIfPresent(path);
+}
+
+}  // namespace
+}  // namespace dpkron

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+#include "src/common/env.h"
 #include "src/common/parallel.h"
 #include "src/common/stat_cache.h"
 #include "src/datasets/preferential_attachment.h"
@@ -313,6 +314,243 @@ TEST_F(SweepTest, FiveEpsilonThreeSeedSweepIsThreeTimesFaster) {
 
   std::remove(path.c_str());
   std::remove(BinaryCachePath(path).c_str());
+}
+
+// ------------------------------------------------- checkpoint / resume
+
+TEST_F(SweepTest, RejectsBadCheckpointKnobs) {
+  SweepSpec resume_without_path;
+  resume_without_path.scenarios = {"fig2_as20"};
+  resume_without_path.resume = true;
+  EXPECT_EQ(RunSweep(resume_without_path).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SweepSpec zero_attempts;
+  zero_attempts.scenarios = {"fig2_as20"};
+  zero_attempts.max_attempts = 0;
+  EXPECT_EQ(RunSweep(zero_attempts).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The acceptance criterion: interrupt a checkpointed sweep anywhere
+// (simulated by truncating its checkpoint journal at arbitrary byte
+// offsets — including mid-record), resume, and the emitted document is
+// byte-identical to the uninterrupted run's — at 1, 2 and 8 threads.
+TEST_F(SweepTest, InterruptedThenResumedDocumentIsByteIdentical) {
+  const std::string path = UniqueTempPath("sweep_resume");
+  {
+    Rng rng(99);
+    PreferentialAttachmentOptions options;
+    options.num_nodes = 150;
+    options.edges_per_node = 2;
+    ASSERT_TRUE(
+        WriteEdgeList(PreferentialAttachmentGraph(options, rng), path).ok());
+  }
+  std::remove(BinaryCachePath(path).c_str());
+  const std::string ckpt = UniqueTempPath("sweep_resume_ckpt") + ".journal";
+
+  SweepSpec sweep;
+  sweep.scenarios = {"fig2_as20"};
+  sweep.datasets = {path};
+  sweep.epsilons = {0.3, 0.6};
+  sweep.base.smoke = true;
+  sweep.base.kronfit_iterations = 2;
+  sweep.base.dataset_cache = true;
+  sweep.checkpoint_path = ckpt;
+
+  // The `threads` label in the document comes from the caller; fix it so
+  // documents from different worker counts are comparable bytes.
+  constexpr int kDocThreads = 1;
+  std::string reference;  // the uninterrupted document (threads == 1)
+
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE(threads);
+    ScopedThreads scope(threads);
+
+    // Uninterrupted checkpointed run — overwrites any prior checkpoint.
+    SweepSpec fresh = sweep;
+    fresh.resume = false;
+    auto uninterrupted = RunSweep(fresh);
+    ASSERT_TRUE(uninterrupted.ok());
+    EXPECT_TRUE(uninterrupted.value().stable_document);
+    EXPECT_EQ(uninterrupted.value().resumed_runs, 0u);
+    EXPECT_EQ(uninterrupted.value().failed_runs, 0u);
+    const std::string unint_json =
+        SweepsJson(uninterrupted.value(), kDocThreads);
+    if (reference.empty()) {
+      reference = unint_json;
+      // Stable form: wall time pinned, volatile cache counters omitted.
+      EXPECT_NE(reference.find("\"stable\":true"), std::string::npos);
+      EXPECT_NE(reference.find("\"elapsed_seconds\":0,"), std::string::npos);
+      EXPECT_EQ(reference.find("\"hits\""), std::string::npos);
+    }
+    // ...and invariant to the worker count, like the unstable form.
+    EXPECT_EQ(unint_json, reference);
+
+    const std::string full = GetEnv()->ReadFileToString(ckpt).value();
+    // Crash points: nothing durable yet, a mid-record tear, and a fully
+    // intact checkpoint (the sweep finished; only the merge was lost).
+    for (const uint64_t cut :
+         {uint64_t{0}, uint64_t{full.size() / 2}, uint64_t{full.size()}}) {
+      SCOPED_TRACE(cut);
+      ASSERT_TRUE(WriteFileDurable(ckpt, full.substr(0, cut)).ok());
+      SweepSpec resumed = sweep;
+      resumed.resume = true;
+      auto result = RunSweep(resumed);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(SweepsJson(result.value(), kDocThreads), reference);
+      if (cut == full.size()) {
+        // Every cell restored, none re-executed.
+        EXPECT_EQ(result.value().resumed_runs, result.value().runs.size());
+        for (const SweepRun& run : result.value().runs) {
+          EXPECT_EQ(run.attempts, 0u);
+          EXPECT_FALSE(run.checkpointed_run_json.empty());
+        }
+      }
+    }
+  }
+
+  std::remove(path.c_str());
+  std::remove(BinaryCachePath(path).c_str());
+  std::remove(ckpt.c_str());
+}
+
+TEST_F(SweepTest, ResumeRefusesACheckpointFromADifferentSpec) {
+  const std::string ckpt = UniqueTempPath("sweep_foreign_ckpt") + ".journal";
+  SweepSpec spec;
+  spec.scenarios = {"smooth_sensitivity"};
+  spec.epsilons = {0.5};
+  spec.base.smoke = true;
+  spec.checkpoint_path = ckpt;
+  auto first = RunSweep(spec);
+  ASSERT_TRUE(first.ok());
+
+  // Same checkpoint, different ε-grid: a different matrix. Merging the
+  // old cells would attribute results to the wrong (ε, seed).
+  SweepSpec other = spec;
+  other.epsilons = {0.5, 1.0};
+  other.resume = true;
+  const auto refused = RunSweep(other);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(refused.status().message().find("different sweep spec"),
+            std::string::npos);
+  std::remove(ckpt.c_str());
+}
+
+// ------------------------------------------------------ transient retry
+
+TEST_F(SweepTest, TransientUnavailableRetriesAndMatchesCleanRun) {
+  const std::string path = UniqueTempPath("sweep_retry");
+  {
+    Rng rng(99);
+    PreferentialAttachmentOptions options;
+    options.num_nodes = 150;
+    options.edges_per_node = 2;
+    ASSERT_TRUE(
+        WriteEdgeList(PreferentialAttachmentGraph(options, rng), path).ok());
+  }
+  std::remove(BinaryCachePath(path).c_str());
+
+  SweepSpec spec;
+  spec.scenarios = {"fig2_as20"};
+  spec.datasets = {path};
+  spec.epsilons = {0.5};
+  spec.base.smoke = true;
+  spec.base.kronfit_iterations = 2;
+  spec.max_attempts = 3;
+
+  // Clean reference first (also proves retries are a no-op without
+  // faults: one attempt).
+  auto reference = RunSweep(spec);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(reference.value().runs.size(), 1u);
+  ASSERT_TRUE(reference.value().runs[0].status.ok());
+  EXPECT_EQ(reference.value().runs[0].attempts, 1u);
+  const std::string expect = RunJson(reference.value().runs[0].output);
+
+  // Flaky storage: the first dataset read fails UNAVAILABLE, the retry
+  // succeeds — and produces the exact clean-run document.
+  FaultInjectionEnv env;
+  ScopedEnvOverride scope(&env);
+  env.FailReads(/*after=*/0, Status::Unavailable("flaky storage"));
+  auto result = RunSweep(spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().runs.size(), 1u);
+  EXPECT_TRUE(result.value().runs[0].status.ok())
+      << result.value().runs[0].status.ToString();
+  EXPECT_EQ(result.value().runs[0].attempts, 2u);
+  EXPECT_EQ(RunJson(result.value().runs[0].output), expect);
+
+  // A permanent failure must NOT retry: burning the retry budget (and
+  // its backoff sleeps) on a deterministic error helps nobody.
+  SweepSpec permanent = spec;
+  permanent.datasets = {path + ".does_not_exist"};
+  auto failed = RunSweep(permanent);
+  ASSERT_TRUE(failed.ok());
+  EXPECT_FALSE(failed.value().runs[0].status.ok());
+  EXPECT_EQ(failed.value().runs[0].attempts, 1u);
+
+  std::remove(path.c_str());
+  std::remove(BinaryCachePath(path).c_str());
+}
+
+TEST_F(SweepTest, RetryExhaustedCellIsNotCheckpointedAndResumeRerunsIt) {
+  const std::string path = UniqueTempPath("sweep_unavail");
+  {
+    Rng rng(99);
+    PreferentialAttachmentOptions options;
+    options.num_nodes = 150;
+    options.edges_per_node = 2;
+    ASSERT_TRUE(
+        WriteEdgeList(PreferentialAttachmentGraph(options, rng), path).ok());
+  }
+  std::remove(BinaryCachePath(path).c_str());
+  const std::string ckpt = UniqueTempPath("sweep_unavail_ckpt") + ".journal";
+
+  SweepSpec spec;
+  spec.scenarios = {"fig2_as20"};
+  spec.datasets = {path};
+  spec.epsilons = {0.5};
+  spec.base.smoke = true;
+  spec.base.kronfit_iterations = 2;
+  spec.checkpoint_path = ckpt;
+
+  FaultInjectionEnv env;
+  ScopedEnvOverride scope(&env);
+  // Storage stays down past the (single) attempt: the cell ends
+  // UNAVAILABLE and must NOT be checkpointed — it never produced a
+  // result worth merging.
+  env.FailReads(/*after=*/0, Status::Unavailable("storage down"));
+  auto down = RunSweep(spec);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down.value().failed_runs, 1u);
+  EXPECT_EQ(down.value().runs[0].status.code(), StatusCode::kUnavailable);
+  env.ClearFaults();
+
+  // --resume IS the retry: the cell executes now that storage is back,
+  // nothing is served from the checkpoint, and the document matches an
+  // uninterrupted checkpointed run's bytes.
+  SweepSpec resumed = spec;
+  resumed.resume = true;
+  auto recovered = RunSweep(resumed);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().resumed_runs, 0u);
+  EXPECT_EQ(recovered.value().failed_runs, 0u);
+  EXPECT_TRUE(recovered.value().runs[0].status.ok());
+
+  const std::string ckpt2 = ckpt + "2";
+  SweepSpec clean = spec;
+  clean.checkpoint_path = ckpt2;
+  auto uninterrupted = RunSweep(clean);
+  ASSERT_TRUE(uninterrupted.ok());
+  EXPECT_EQ(SweepsJson(recovered.value(), 1),
+            SweepsJson(uninterrupted.value(), 1));
+
+  std::remove(path.c_str());
+  std::remove(BinaryCachePath(path).c_str());
+  std::remove(ckpt.c_str());
+  std::remove(ckpt2.c_str());
 }
 
 }  // namespace
