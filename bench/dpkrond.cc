@@ -1,0 +1,156 @@
+// dpkrond — the long-running private-release daemon (ROADMAP item 1).
+//
+//   dpkrond --port=7471 --workers=8 --queue-depth=64 \
+//           --accountant=acct.journal --budgets=1.0,0.5
+//
+// Serves line-delimited JSON release requests over TCP (protocol in
+// src/server/wire.h), enforcing per-analyst (ε, δ) budgets through the
+// durable PrivacyAccountant. SIGTERM/SIGINT drain gracefully: stop
+// accepting, finish every in-flight request, leave the journal synced,
+// exit 0. kill -9 is the other supported exit: restart recovers by
+// replaying the journal — an acknowledged spend is never lost, and a
+// retried request_id is never double-charged.
+
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/parallel.h"
+#include "src/server/server.h"
+
+namespace dpkron {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int /*signum*/) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: dpkrond --accountant=PATH [options]\n"
+      "\n"
+      "  --port=N              TCP port (default 7471; 0 = ephemeral,\n"
+      "                        printed on startup)\n"
+      "  --workers=N           request worker threads (default 4)\n"
+      "  --queue-depth=N       admission queue capacity (default 64);\n"
+      "                        requests beyond it are shed with\n"
+      "                        RESOURCE_EXHAUSTED + retry_after_ms\n"
+      "  --accountant=PATH     durable budget journal (required)\n"
+      "  --budgets=EPS[,DELTA] per-analyst budget (default 1.0,0.5);\n"
+      "                        pinned into the journal on first open\n"
+      "  --compact-threshold=N compact the journal on open when the\n"
+      "                        replayed history exceeds N records\n"
+      "  --kronfit-iterations=N  override KronFit iterations per request\n"
+      "  --smoke               run scenarios with shrunk axes (CI)\n"
+      "  --dataset-cache       keep .dpkb sidecars for file datasets\n"
+      "                        (default on; --no-dataset-cache disables)\n"
+      "  --threads=N           shared compute-pool threads\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  int port = 7471;
+  ServerConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (ParseFlag(argv[i], "--help", &value)) {
+      PrintUsage(stdout);
+      return 0;
+    } else if (ParseFlag(argv[i], "--port", &value) && value) {
+      port = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--workers", &value) && value) {
+      config.workers = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--queue-depth", &value) && value) {
+      config.queue_depth = static_cast<size_t>(std::atoll(value));
+    } else if (ParseFlag(argv[i], "--accountant", &value) && value) {
+      config.accountant_path = value;
+    } else if (ParseFlag(argv[i], "--budgets", &value) && value) {
+      char* rest = nullptr;
+      config.epsilon_budget = std::strtod(value, &rest);
+      if (rest != nullptr && *rest == ',') {
+        config.delta_budget = std::strtod(rest + 1, nullptr);
+      }
+    } else if (ParseFlag(argv[i], "--compact-threshold", &value) && value) {
+      config.compact_threshold = static_cast<uint64_t>(std::atoll(value));
+    } else if (ParseFlag(argv[i], "--kronfit-iterations", &value) && value) {
+      config.kronfit_iterations = static_cast<uint32_t>(std::atoi(value));
+    } else if (ParseFlag(argv[i], "--smoke", &value)) {
+      config.smoke = true;
+    } else if (ParseFlag(argv[i], "--dataset-cache", &value)) {
+      config.dataset_cache = true;
+    } else if (ParseFlag(argv[i], "--no-dataset-cache", &value)) {
+      config.dataset_cache = false;
+    } else if (ParseFlag(argv[i], "--threads", &value) && value) {
+      SetParallelThreadCount(std::atoi(value));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n\n", argv[i]);
+      PrintUsage(stderr);
+      return 2;
+    }
+  }
+  if (config.accountant_path.empty()) {
+    std::fprintf(stderr, "--accountant=PATH is required\n\n");
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  auto server = DpkronServer::Create(config);
+  if (!server.ok()) {
+    std::fprintf(stderr, "dpkrond: open failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  const Status listening = server.value()->Listen(port);
+  if (!listening.ok()) {
+    std::fprintf(stderr, "dpkrond: %s\n", listening.ToString().c_str());
+    return 1;
+  }
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStopSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
+
+  server.value()->Start();
+  std::printf("dpkrond: serving on port %d (%d workers, queue %zu, "
+              "budget eps=%g delta=%g, accountant %s)\n",
+              server.value()->port(), config.workers, config.queue_depth,
+              config.epsilon_budget, config.delta_budget,
+              config.accountant_path.c_str());
+  std::fflush(stdout);
+
+  server.value()->AcceptLoop(&g_stop);
+
+  std::printf("dpkrond: draining (%zu queued, %d in flight)\n",
+              server.value()->queue_size(), server.value()->in_flight());
+  std::fflush(stdout);
+  server.value()->Drain();
+  std::printf("dpkrond: drained cleanly\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dpkron
+
+int main(int argc, char** argv) { return dpkron::Main(argc, argv); }

@@ -11,7 +11,6 @@
 #include <utility>
 
 namespace dpkron {
-namespace {
 
 Status ErrnoStatus(const std::string& context, int err) {
   const std::string message = context + ": " + std::strerror(err);
@@ -21,10 +20,24 @@ Status ErrnoStatus(const std::string& context, int err) {
     case ENOSPC:
     case EDQUOT:
       return Status::ResourceExhausted(message);
+    case ETIMEDOUT:
+      return Status::DeadlineExceeded(message);
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ECONNRESET:
+    case ECONNREFUSED:
+    case EPIPE:
+      return Status::Unavailable(message);
+    case EEXIST:
+      return Status::FailedPrecondition(message);
     default:
       return Status::Internal(message);
   }
 }
+
+namespace {
 
 // ---------------------------------------------------------- POSIX env
 
@@ -78,6 +91,11 @@ class PosixEnv : public Env {
   Result<std::unique_ptr<WritableFile>> NewAppendableFile(
       const std::string& path) override {
     return OpenForWrite(path, O_WRONLY | O_CREAT | O_APPEND);
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewExclusiveFile(
+      const std::string& path) override {
+    return OpenForWrite(path, O_WRONLY | O_CREAT | O_EXCL);
   }
 
   Result<std::string> ReadFileToString(const std::string& path) override {
@@ -345,6 +363,17 @@ uint64_t FaultInjectionEnv::read_calls() const {
 Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path) {
   auto base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  written_size_[path] = 0;
+  synced_size_[path] = 0;
+  return std::unique_ptr<WritableFile>(new FaultInjectionWritableFile(
+      this, path, std::move(base).value(), 0));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewExclusiveFile(
+    const std::string& path) {
+  auto base = base_->NewExclusiveFile(path);
   if (!base.ok()) return base.status();
   std::lock_guard<std::mutex> lock(mu_);
   written_size_[path] = 0;

@@ -66,6 +66,12 @@ class Env {
   // Opens `path` for appending, creating it if absent.
   virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
       const std::string& path) = 0;
+  // Creates `path` if and only if it does not already exist (O_EXCL):
+  // the atomic test-and-set that backs cross-process lock files. An
+  // existing file yields kFailedPrecondition; other failures map as in
+  // ErrnoStatus.
+  virtual Result<std::unique_ptr<WritableFile>> NewExclusiveFile(
+      const std::string& path) = 0;
 
   virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
   virtual Result<uint64_t> FileSize(const std::string& path) = 0;
@@ -82,6 +88,14 @@ class Env {
 
 // The active environment (Env::Default() unless a test overrode it).
 Env* GetEnv();
+
+// errno → Status, shared by every POSIX-facing layer (filesystem above,
+// sockets in src/server/). ENOENT → kNotFound; ENOSPC / EDQUOT →
+// kResourceExhausted; ETIMEDOUT → kDeadlineExceeded; EAGAIN /
+// EWOULDBLOCK / ECONNRESET / ECONNREFUSED / EPIPE → kUnavailable
+// (transient, retryable); EEXIST → kFailedPrecondition (the O_EXCL
+// "somebody else holds the lock" case); everything else → kInternal.
+Status ErrnoStatus(const std::string& context, int err);
 
 // Swaps the process-global Env for a scope (tests only). Nesting is
 // fine; each scope restores what it saw.
@@ -148,6 +162,8 @@ class FaultInjectionEnv : public Env {
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
   Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewExclusiveFile(
       const std::string& path) override;
   Result<std::string> ReadFileToString(const std::string& path) override;
   Result<uint64_t> FileSize(const std::string& path) override;

@@ -43,6 +43,16 @@ Result<JournalRecovery> ReadJournal(const std::string& path, Env* env) {
   return recovery;
 }
 
+void AppendFramedRecord(std::string* out, std::string_view payload) {
+  DPKRON_CHECK_MSG(payload.size() <= kMaxRecordBytes,
+                   "journal record too large");
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint64_t checksum = Fnv1a64Words(payload.data(), payload.size());
+  out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+  out->append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out->append(payload);
+}
+
 Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
     const std::string& path, uint64_t valid_bytes, Env* env) {
   // Clear any torn tail FIRST: appending after garbage would strand the

@@ -52,6 +52,13 @@ struct JournalRecovery {
 Result<JournalRecovery> ReadJournal(const std::string& path,
                                     Env* env = GetEnv());
 
+// Appends one framed record — [u32 len][u64 checksum][payload], the
+// exact bytes JournalWriter::Append would write — to `*out`. Lets a
+// caller build a complete journal image in memory (the accountant's
+// compaction snapshot) and install it atomically with WriteFileDurable,
+// with the result readable by ReadJournal like any journal.
+void AppendFramedRecord(std::string* out, std::string_view payload);
+
 // Appends durable records to a journal file.
 class JournalWriter {
  public:

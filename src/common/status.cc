@@ -22,6 +22,10 @@ const char* StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

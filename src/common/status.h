@@ -29,10 +29,29 @@ enum class StatusCode {
   // engine's bounded retry loop is allowed to retry.
   kResourceExhausted,
   kUnavailable,
+  // Server-layer additions (PR 7, dpkrond): a request that missed its
+  // deadline (admission-to-completion budget, never retried by the
+  // server) and a request withdrawn by its caller. Neither is
+  // retryable-as-is: a deadline miss needs a NEW deadline and a
+  // cancelled request needs a new decision to run.
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 // Human-readable name for a StatusCode ("OK", "INVALID_ARGUMENT", ...).
 const char* StatusCodeName(StatusCode code);
+
+// The single retryability predicate shared by every bounded retry loop
+// (the sweep engine's transient-cell retries, dpkrond clients). ONLY
+// kUnavailable is retryable-as-is: the failure is transient and the
+// same call may succeed later. kResourceExhausted in particular is NOT
+// retryable — whether it names a full disk, a shed request or an
+// exhausted privacy budget, blind re-submission cannot help and (for
+// budgets) must not be encouraged. kDeadlineExceeded needs a fresh
+// deadline, kCancelled a fresh decision; neither is a retry.
+constexpr bool IsRetryableStatusCode(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
 
 // A success-or-error value. Cheap to copy on the OK path.
 class Status {
@@ -63,6 +82,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

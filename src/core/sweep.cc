@@ -309,8 +309,11 @@ Result<SweepResult> RunSweep(const SweepSpec& spec) {
           RunScenario(*plans[i].scenario, plans[i].overrides, run.output);
       run.epsilon = run.output.params().epsilon;
       run.attempts = attempt;
-      if (run.status.ok() ||
-          run.status.code() != StatusCode::kUnavailable ||
+      // Retry ONLY transient failures (kUnavailable). In particular
+      // kResourceExhausted — full disk, exhausted privacy budget — is
+      // terminal for this cell: re-running cannot create space or
+      // budget, it just burns attempts.
+      if (run.status.ok() || !IsRetryableStatusCode(run.status.code()) ||
           attempt >= spec.max_attempts) {
         break;
       }
@@ -325,7 +328,7 @@ Result<SweepResult> RunSweep(const SweepSpec& spec) {
       // A cell still UNAVAILABLE after its retry budget is NOT
       // checkpointed: the failure is by definition transient, and a
       // --resume is exactly the retry that should re-attempt it.
-      if (run.status.code() == StatusCode::kUnavailable) return;
+      if (IsRetryableStatusCode(run.status.code())) return;
       const std::string run_json = StableRunJson(run.output);
       std::lock_guard<std::mutex> lock(checkpoint_mu);
       const Status journaled =

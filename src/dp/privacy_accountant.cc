@@ -1,5 +1,6 @@
 #include "src/dp/privacy_accountant.h"
 
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -7,8 +8,22 @@ namespace dpkron {
 namespace {
 
 // Record 0 of every accountant journal: identifies the format and pins
-// the per-analyst totals the ledger was opened with.
-constexpr char kHeaderMagic[8] = {'D', 'P', 'K', 'A', 'C', 'C', 'T', '1'};
+// the per-analyst totals the ledger was opened with. Version 2 added
+// tagged records (request-id dedup + compaction snapshots); version-1
+// journals are refused with a distinct message rather than mis-parsed.
+constexpr char kHeaderMagic[8] = {'D', 'P', 'K', 'A', 'C', 'C', 'T', '2'};
+constexpr char kHeaderMagicV1[8] = {'D', 'P', 'K', 'A', 'C', 'C', 'T', '1'};
+
+// Tags on every post-header record.
+enum RecordTag : uint32_t {
+  // One acknowledged charge: analyst, label, request_id, epsilon, delta.
+  kTagSpend = 1,
+  // Compaction snapshot of one analyst's whole history: analyst,
+  // epsilon_spent, delta_spent, collapsed spend count.
+  kTagSnapshot = 2,
+  // One request_id from the dedup set, re-emitted during compaction.
+  kTagRequestId = 3,
+};
 
 std::string HeaderRecord(double epsilon_total, double delta_total) {
   return RecordBuilder()
@@ -21,33 +36,27 @@ std::string HeaderRecord(double epsilon_total, double delta_total) {
 struct SpendRecord {
   std::string analyst;
   std::string label;
+  std::string request_id;
   double epsilon = 0.0;
   double delta = 0.0;
 };
 
 std::string EncodeSpend(const SpendRecord& spend) {
   return RecordBuilder()
+      .U32(kTagSpend)
       .Str(spend.analyst)
       .Str(spend.label)
+      .Str(spend.request_id)
       .Double(spend.epsilon)
       .Double(spend.delta)
       .str();
-}
-
-bool DecodeSpend(std::string_view record, SpendRecord* spend) {
-  RecordParser parser(record);
-  spend->analyst = parser.Str();
-  spend->label = parser.Str();
-  spend->epsilon = parser.Double();
-  spend->delta = parser.Double();
-  return parser.done();
 }
 
 }  // namespace
 
 Result<std::unique_ptr<PrivacyAccountant>> PrivacyAccountant::Open(
     const std::string& path, double epsilon_total, double delta_total,
-    Env* env) {
+    Env* env, uint64_t compact_threshold) {
   if (!(epsilon_total > 0.0) || delta_total < 0.0 || delta_total >= 1.0) {
     return Status::InvalidArgument("accountant totals out of range");
   }
@@ -68,6 +77,10 @@ Result<std::unique_ptr<PrivacyAccountant>> PrivacyAccountant::Open(
     const std::string magic = header.Str();
     const double recorded_epsilon = header.Double();
     const double recorded_delta = header.Double();
+    if (magic == std::string_view(kHeaderMagicV1, sizeof(kHeaderMagicV1))) {
+      return Status::InvalidArgument(
+          path + ": version-1 accountant journal is not supported");
+    }
     if (!header.done() ||
         magic != std::string_view(kHeaderMagic, sizeof(kHeaderMagic))) {
       return Status::InvalidArgument(path +
@@ -79,36 +92,103 @@ Result<std::unique_ptr<PrivacyAccountant>> PrivacyAccountant::Open(
     }
   }
 
-  auto writer = JournalWriter::Open(path, recovery.valid_bytes, env);
-  if (!writer.ok()) return writer.status();
-
-  std::unique_ptr<PrivacyAccountant> accountant(new PrivacyAccountant(
-      epsilon_total, delta_total, std::move(writer).value()));
+  // Replay into a journal-less accountant first: compaction (below)
+  // needs the fully recovered state before a writer pins the file.
+  std::unique_ptr<PrivacyAccountant> accountant(
+      new PrivacyAccountant(epsilon_total, delta_total, nullptr));
+  for (size_t i = 1; i < recovery.records.size(); ++i) {
+    // Every replayed charge passed CheckSpend before being journaled,
+    // so a replay that does not parse or does not fit can only mean a
+    // foreign file that happened to checksum — refuse it.
+    const Status malformed = Status::InvalidArgument(
+        path + ": malformed accountant record " + std::to_string(i));
+    RecordParser parser(recovery.records[i]);
+    const uint32_t tag = parser.U32();
+    Status applied;
+    switch (tag) {
+      case kTagSpend: {
+        SpendRecord spend;
+        spend.analyst = parser.Str();
+        spend.label = parser.Str();
+        spend.request_id = parser.Str();
+        spend.epsilon = parser.Double();
+        spend.delta = parser.Double();
+        if (!parser.done()) return malformed;
+        applied = accountant->BudgetLocked(spend.analyst)
+                      .Spend(spend.epsilon, spend.delta, spend.label);
+        if (applied.ok()) {
+          ++accountant->total_spends_;
+          ++accountant->spend_counts_[spend.analyst];
+          if (!spend.request_id.empty()) {
+            accountant->request_ids_.insert(spend.request_id);
+          }
+        }
+        break;
+      }
+      case kTagSnapshot: {
+        const std::string analyst = parser.Str();
+        const double epsilon_spent = parser.Double();
+        const double delta_spent = parser.Double();
+        const uint64_t spends = parser.U64();
+        if (!parser.done()) return malformed;
+        applied = accountant->BudgetLocked(analyst).Spend(
+            epsilon_spent, delta_spent,
+            "compacted(" + std::to_string(spends) + " spends)");
+        if (applied.ok()) {
+          accountant->total_spends_ += spends;
+          accountant->spend_counts_[analyst] += spends;
+        }
+        break;
+      }
+      case kTagRequestId: {
+        const std::string request_id = parser.Str();
+        if (!parser.done() || request_id.empty()) return malformed;
+        accountant->request_ids_.insert(request_id);
+        break;
+      }
+      default:
+        return malformed;
+    }
+    if (!applied.ok()) {
+      return Status::InvalidArgument(path + ": journal replay refused: " +
+                                     applied.ToString());
+    }
+  }
 
   if (recovery.records.empty()) {
+    // Fresh journal: write the header through the writer (durable).
+    auto writer = JournalWriter::Open(path, 0, env);
+    if (!writer.ok()) return writer.status();
+    accountant->journal_ = std::move(writer).value();
     const Status status =
         accountant->journal_->Append(HeaderRecord(epsilon_total, delta_total));
     if (!status.ok()) return status;
-  } else {
-    // Replay: apply every recovered spend. These all passed CheckSpend
-    // before being journaled, so a replay that does not fit can only
-    // mean a foreign file that happened to parse — refuse it.
-    for (size_t i = 1; i < recovery.records.size(); ++i) {
-      SpendRecord spend;
-      if (!DecodeSpend(recovery.records[i], &spend)) {
-        return Status::InvalidArgument(path + ": malformed spend record " +
-                                       std::to_string(i));
-      }
-      const Status status =
-          accountant->BudgetLocked(spend.analyst)
-              .Spend(spend.epsilon, spend.delta, spend.label);
-      if (!status.ok()) {
-        return Status::InvalidArgument(path + ": journal replay refused: " +
-                                       status.ToString());
-      }
-      ++accountant->total_spends_;
+    return accountant;
+  }
+
+  // Compaction: collapse an over-long history to one snapshot record
+  // per analyst plus the request-id set, installed ATOMICALLY over the
+  // old journal (write-temp → fsync → rename → dir-fsync). A crash at
+  // any point leaves either the old journal or the complete snapshot —
+  // never less than every acknowledged spend. A write failure merely
+  // keeps the uncompacted journal: correctness never depends on
+  // compaction succeeding.
+  if (recovery.records.size() - 1 > compact_threshold) {
+    const std::string image = accountant->CompactedImageLocked();
+    const Status installed = WriteFileDurable(path, image, env);
+    if (installed.ok()) {
+      recovery.valid_bytes = image.size();
+    } else {
+      std::fprintf(stderr,
+                   "# warning: accountant journal compaction failed (%s); "
+                   "continuing with the uncompacted journal\n",
+                   installed.ToString().c_str());
     }
   }
+
+  auto writer = JournalWriter::Open(path, recovery.valid_bytes, env);
+  if (!writer.ok()) return writer.status();
+  accountant->journal_ = std::move(writer).value();
   return accountant;
 }
 
@@ -122,9 +202,48 @@ PrivacyBudget& PrivacyAccountant::BudgetLocked(const std::string& analyst) {
   return it->second;
 }
 
+std::string PrivacyAccountant::CompactedImageLocked() const {
+  std::string image;
+  AppendFramedRecord(&image, HeaderRecord(epsilon_total_, delta_total_));
+  for (const auto& [analyst, budget] : budgets_) {
+    const auto count = spend_counts_.find(analyst);
+    AppendFramedRecord(
+        &image,
+        RecordBuilder()
+            .U32(kTagSnapshot)
+            .Str(analyst)
+            .Double(budget.epsilon_spent())
+            .Double(budget.delta_spent())
+            .U64(count == spend_counts_.end() ? 0 : count->second)
+            .str());
+  }
+  for (const std::string& request_id : request_ids_) {
+    AppendFramedRecord(
+        &image, RecordBuilder().U32(kTagRequestId).Str(request_id).str());
+  }
+  return image;
+}
+
 Status PrivacyAccountant::Spend(const std::string& analyst, double epsilon,
                                 double delta, const std::string& label) {
+  return SpendOnce(analyst, epsilon, delta, label, /*request_id=*/"");
+}
+
+Status PrivacyAccountant::SpendOnce(const std::string& analyst,
+                                    double epsilon, double delta,
+                                    const std::string& label,
+                                    const std::string& request_id,
+                                    bool* deduped) {
+  if (deduped != nullptr) *deduped = false;
   std::lock_guard<std::mutex> lock(mu_);
+  // Idempotency first: a retried request_id is acknowledged without a
+  // second charge — even if the analyst's budget has since exhausted
+  // (the FIRST attempt paid; refusing the retry would strand a client
+  // that never saw its ack).
+  if (!request_id.empty() && request_ids_.count(request_id) > 0) {
+    if (deduped != nullptr) *deduped = true;
+    return Status::Ok();
+  }
   PrivacyBudget& budget = BudgetLocked(analyst);
   // Validate first: a refused charge must leave no trace in the journal
   // (recovery would otherwise re-apply a spend that never happened).
@@ -132,13 +251,33 @@ Status PrivacyAccountant::Spend(const std::string& analyst, double epsilon,
   if (!check.ok()) return check;
   // Durability before acknowledgment: the record hits stable storage
   // (or the spend is refused) before the in-memory state moves.
-  const Status journaled =
-      journal_->Append(EncodeSpend({analyst, label, epsilon, delta}));
+  const Status journaled = journal_->Append(
+      EncodeSpend({analyst, label, request_id, epsilon, delta}));
   if (!journaled.ok()) return journaled;
   const Status applied = budget.Spend(epsilon, delta, label);
   DPKRON_CHECK_MSG(applied.ok(), "checked spend must apply");
+  if (!request_id.empty()) request_ids_.insert(request_id);
   ++total_spends_;
+  ++spend_counts_[analyst];
   return Status::Ok();
+}
+
+bool PrivacyAccountant::SeenRequest(const std::string& request_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !request_id.empty() && request_ids_.count(request_id) > 0;
+}
+
+Status PrivacyAccountant::CheckSpend(const std::string& analyst,
+                                     double epsilon, double delta) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = budgets_.find(analyst);
+  if (it == budgets_.end()) {
+    // First-touch analysts check against a pristine budget without
+    // mutating the map (this accessor is const and hot).
+    return PrivacyBudget(epsilon_total_, delta_total_)
+        .CheckSpend(epsilon, delta, "precheck");
+  }
+  return it->second.CheckSpend(epsilon, delta, "precheck");
 }
 
 double PrivacyAccountant::epsilon_spent(const std::string& analyst) const {

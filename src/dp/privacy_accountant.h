@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,14 +49,26 @@ namespace dpkron {
 
 class PrivacyAccountant {
  public:
+  // Replayed-record count above which Open() compacts the journal: the
+  // spend history collapses to one snapshot record per analyst (plus
+  // the request-id dedup set), installed atomically with
+  // WriteFileDurable. Keeps a long-lived daemon's journal — and its
+  // restart time — bounded by the number of analysts, not the number of
+  // requests ever served.
+  static constexpr uint64_t kDefaultCompactThreshold = 4096;
+
   // Opens (creating if absent) the journal at `path` and recovers the
   // spend history. Every analyst gets an (epsilon_total, delta_total)
   // budget; reopening an existing journal validates that its recorded
   // totals match (changing totals under a live ledger would silently
-  // re-derive "remaining" — refused as InvalidArgument).
+  // re-derive "remaining" — refused as InvalidArgument). When the
+  // replayed history exceeds `compact_threshold` records it is
+  // compacted in place; a compaction-write failure degrades to a
+  // warning (the uncompacted journal keeps working, nothing is lost).
   static Result<std::unique_ptr<PrivacyAccountant>> Open(
       const std::string& path, double epsilon_total, double delta_total,
-      Env* env = GetEnv());
+      Env* env = GetEnv(),
+      uint64_t compact_threshold = kDefaultCompactThreshold);
 
   // Atomically charges (epsilon, delta) to `analyst`'s budget. OK means
   // the spend is DURABLE (it will be recovered after any crash).
@@ -63,6 +76,28 @@ class PrivacyAccountant {
   // statuses = the spend was refused and not applied.
   Status Spend(const std::string& analyst, double epsilon, double delta,
                const std::string& label);
+
+  // Spend() with at-most-once semantics keyed on `request_id` — the
+  // idempotent-retry primitive for dpkrond. If `request_id` was already
+  // charged (in this process or any recovered journal, including across
+  // compactions), the call is an acknowledged no-op: returns OK, sets
+  // *deduped = true, charges nothing and journals nothing. A client
+  // whose first attempt timed out after the spend became durable can
+  // therefore retry blindly without being double-charged. An empty
+  // request_id is never deduplicated.
+  Status SpendOnce(const std::string& analyst, double epsilon, double delta,
+                   const std::string& label, const std::string& request_id,
+                   bool* deduped = nullptr);
+
+  // True iff `request_id` has an acknowledged (durable) charge.
+  bool SeenRequest(const std::string& request_id) const;
+
+  // The validation half of Spend(): OK iff a Spend with these arguments
+  // would be admitted right now. dpkrond fast-fails a request BEFORE
+  // computing the release; the authoritative check still happens inside
+  // Spend/SpendOnce (another analyst thread may have spent in between).
+  Status CheckSpend(const std::string& analyst, double epsilon,
+                    double delta) const;
 
   // Snapshot accessors (mutex-guarded; values are consistent points).
   double epsilon_spent(const std::string& analyst) const;
@@ -91,11 +126,21 @@ class PrivacyAccountant {
   // The budget for `analyst`, created on first touch. Callers hold mu_.
   PrivacyBudget& BudgetLocked(const std::string& analyst);
 
+  // A complete journal image (header + one snapshot per analyst + the
+  // request-id set) equivalent to the current state. Callers hold mu_
+  // (or have exclusive access during Open).
+  std::string CompactedImageLocked() const;
+
   const double epsilon_total_;
   const double delta_total_;
   mutable std::mutex mu_;
   std::unique_ptr<JournalWriter> journal_;
   std::map<std::string, PrivacyBudget> budgets_;
+  // Applied-spend count per analyst (compacted histories keep their
+  // counts), so compaction snapshots preserve total_spends() exactly.
+  std::map<std::string, uint64_t> spend_counts_;
+  // request_ids with an acknowledged charge; survives reopen/compaction.
+  std::set<std::string> request_ids_;
   uint64_t total_spends_ = 0;
 };
 

@@ -3,10 +3,12 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -411,6 +413,46 @@ Result<Graph> ReadBinaryGraph(const std::string& path,
 
 namespace {
 
+// RAII holder for the advisory "<cache>.lock" rebuild lock. Removing
+// the lock file IS the release; best-effort, like everything in the
+// lock protocol.
+class SidecarLockGuard {
+ public:
+  explicit SidecarLockGuard(std::string path) : path_(std::move(path)) {}
+  ~SidecarLockGuard() {
+    if (held_) (void)GetEnv()->RemoveFile(path_);
+  }
+  SidecarLockGuard(const SidecarLockGuard&) = delete;
+  SidecarLockGuard& operator=(const SidecarLockGuard&) = delete;
+
+  // One O_EXCL attempt. kFailedPrecondition = someone else holds it;
+  // any other failure (permissions, injected fault) leaves the guard
+  // unheld and the caller proceeds without coordination.
+  Status TryAcquire() {
+    auto file = GetEnv()->NewExclusiveFile(path_);
+    if (!file.ok()) return file.status();
+    (void)file.value()->Close();
+    held_ = true;
+    return Status::Ok();
+  }
+
+  // Breaks an orphaned lock (holder crashed between create and unlink)
+  // and reacquires. The remove-then-create window can race another
+  // breaker, in which case this process just rebuilds unlocked — a
+  // duplicated parse, never a wrong result (the sidecar write itself is
+  // crash-safe via write-temp → sync → rename).
+  void BreakStale() {
+    (void)GetEnv()->RemoveFile(path_);
+    (void)TryAcquire();
+  }
+
+  bool held() const { return held_; }
+
+ private:
+  std::string path_;
+  bool held_ = false;
+};
+
 // The sidecar route once the source bytes are in hand: binary-load if
 // the recorded stamp matches the current content, else parse the bytes
 // and (best-effort) rewrite the sidecar. `sidecar_hit` reports which
@@ -431,8 +473,35 @@ Result<Graph> LoadViaSidecar(const std::string& path,
     *sidecar_hit = true;
     return cached;
   }
+
+  // Cache miss ⇒ rebuild, behind the cross-process lock so N processes
+  // cold-starting on one dataset do one parse. A loser waits, re-reading
+  // the sidecar each poll: the winner's atomic rename turns the miss
+  // into a hit mid-wait. A lock that outlives lock_stale_ms is presumed
+  // orphaned by a crashed holder and broken. The in-PROCESS analogue of
+  // this dedup is the StatCache memo in ReadEdgeListCached.
+  SidecarLockGuard lock(cache + ".lock");
+  const Status acquired = lock.TryAcquire();
+  if (!acquired.ok() && acquired.code() == StatusCode::kFailedPrecondition) {
+    int64_t waited_ms = 0;
+    const int64_t poll_ms = options.lock_poll_ms < 1 ? 1 : options.lock_poll_ms;
+    while (waited_ms < options.lock_stale_ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      waited_ms += poll_ms;
+      auto rebuilt = ReadBinaryGraph(cache, &recorded);
+      if (rebuilt.ok() && recorded.size == current.size &&
+          recorded.checksum == current.checksum) {
+        *sidecar_hit = true;
+        return rebuilt;
+      }
+      if (lock.TryAcquire().ok()) break;  // holder released without a write
+    }
+    if (!lock.held()) lock.BreakStale();
+  }
+
   // A missing, stale, old-version or corrupt sidecar is rebuilt from the
-  // bytes already in hand, never fatal.
+  // bytes already in hand, never fatal — including every failure mode of
+  // the lock protocol itself.
   auto parsed = ParseEdgeListImpl(bytes, path, options);
   if (!parsed.ok()) return parsed;
   // The cache WRITE is strictly best-effort: a full disk (ENOSPC) or

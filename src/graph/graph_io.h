@@ -63,6 +63,17 @@ struct EdgeListParseOptions {
   // next newline). The chunk decomposition — and therefore the merged
   // edge order — depends only on this and the input, not on threads.
   size_t chunk_bytes = 1 << 20;
+
+  // Cross-PROCESS sidecar-rebuild coordination (ReadEdgeListCached):
+  // a cache miss takes "<path>.dpkb.lock" (O_EXCL) before parsing, so
+  // N daemons cold-starting on one dataset do one parse, not N. A
+  // loser polls every lock_poll_ms, re-checking the sidecar each wake
+  // (the winner's rename makes it servable); a lock older than
+  // lock_stale_ms is presumed orphaned (holder crashed between create
+  // and unlink) and is broken. Locking is advisory and best-effort —
+  // no failure of the lock protocol ever fails a load.
+  int64_t lock_poll_ms = 20;
+  int64_t lock_stale_ms = 10000;
 };
 
 // Reads an undirected graph from a SNAP-style edge list file

@@ -1,0 +1,96 @@
+// Bounded admission queue — dpkrond's load-shedding front door.
+//
+// The server's memory under overload is bounded by construction: a
+// request either fits in this fixed-capacity queue or is rejected AT
+// ADMISSION with kResourceExhausted and a retry-after hint — it is
+// never buffered "just in case". TryPush never blocks (the accept path
+// must stay responsive precisely when the system is saturated); Pop
+// blocks workers until work or shutdown.
+//
+// Close() starts the graceful-drain handshake: pushes refuse from that
+// point (kUnavailable — the caller should retry against another
+// replica, the condition is transient by design), but every item
+// admitted before Close() is still handed to a worker. Pop returns
+// false only when the queue is both closed and empty, which is the
+// workers' exit signal — so "SIGTERM finishes all in-flight requests"
+// falls out of the queue contract rather than being a special case.
+
+#ifndef DPKRON_SERVER_ADMISSION_QUEUE_H_
+#define DPKRON_SERVER_ADMISSION_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace dpkron {
+
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  // Non-blocking admission. kResourceExhausted = queue full (shed; the
+  // caller attaches the retry-after hint), kUnavailable = draining.
+  Status TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return Status::Unavailable("server is draining");
+      }
+      if (items_.size() >= capacity_) {
+        return Status::ResourceExhausted("admission queue full");
+      }
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return Status::Ok();
+  }
+
+  // Blocks until an item is available (true) or the queue is closed and
+  // drained (false — the worker-exit signal).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  // Stops admission; queued items still drain through Pop.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_SERVER_ADMISSION_QUEUE_H_

@@ -1,0 +1,24 @@
+#include "src/server/clock.h"
+
+#include <chrono>
+
+namespace dpkron {
+namespace {
+
+class SystemClock : public Clock {
+ public:
+  int64_t NowMillis() override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+Clock* Clock::System() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+}  // namespace dpkron

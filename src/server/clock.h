@@ -1,0 +1,63 @@
+// The time seam for dpkrond — the clock analogue of common/env.h.
+//
+// Every deadline decision the server makes (admission stamps, the
+// dequeue check, the pre-spend check, retry-after hints) reads time
+// through this interface instead of calling std::chrono directly, so
+// tests can drive the deadline machinery deterministically: a FakeClock
+// makes "the request sat in the queue past its deadline" a statement a
+// unit test can arrange exactly, instead of a sleep it can only hope
+// for. The real implementation is a monotonic clock — deadlines must
+// not jump when NTP steps the wall clock.
+
+#ifndef DPKRON_SERVER_CLOCK_H_
+#define DPKRON_SERVER_CLOCK_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace dpkron {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // The process-wide monotonic clock. Never null.
+  static Clock* System();
+
+  // Milliseconds since an arbitrary fixed origin. Monotone
+  // non-decreasing within a process.
+  virtual int64_t NowMillis() = 0;
+};
+
+// Deterministic test clock. Time moves only when the test says so:
+// explicitly via Advance(), or implicitly by `auto_advance_ms` per
+// NowMillis() read — the knob that lets a test walk a request past its
+// deadline at a chosen pipeline checkpoint without controlling thread
+// interleavings. Thread-safe (server workers and the test advance it
+// concurrently).
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t now_ms = 0, int64_t auto_advance_ms = 0)
+      : now_ms_(now_ms), auto_advance_ms_(auto_advance_ms) {}
+
+  int64_t NowMillis() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t now = now_ms_;
+    now_ms_ += auto_advance_ms_;
+    return now;
+  }
+
+  void Advance(int64_t delta_ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ms_ += delta_ms;
+  }
+
+ private:
+  std::mutex mu_;
+  int64_t now_ms_;
+  const int64_t auto_advance_ms_;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_SERVER_CLOCK_H_

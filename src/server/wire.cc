@@ -1,0 +1,236 @@
+#include "src/server/wire.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/table_writer.h"
+
+namespace dpkron {
+namespace {
+
+// ------------------------------------------------- flat JSON scanning
+//
+// A hand-rolled scanner for exactly the protocol's shape: one object,
+// string keys, scalar values. No recursion, no containers-in-values —
+// the request line is a fixed form, not a document language.
+
+struct Scanner {
+  std::string_view in;
+  size_t pos = 0;
+  std::string error;  // first structural offence, empty = none
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos < in.size() &&
+           (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos >= in.size() || in[pos] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos < in.size() && in[pos] == c;
+  }
+
+  // Consume without recording an error on mismatch — for optional
+  // separators where absence just ends the list.
+  bool TryConsume(char c) {
+    SkipSpace();
+    if (pos >= in.size() || in[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool String(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos < in.size()) {
+      const char c = in[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= in.size()) break;
+        const char esc = in[pos++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          default:
+            // \uXXXX (and anything else) is refused rather than
+            // half-decoded: no protocol field needs non-ASCII escapes,
+            // and a wrong decode would silently corrupt a request_id.
+            return Fail("unsupported string escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Literal(std::string_view word) {
+    if (in.size() - pos < word.size() ||
+        in.substr(pos, word.size()) != word) {
+      return Fail("unrecognized literal");
+    }
+    pos += word.size();
+    return true;
+  }
+
+  bool Number(double* out) {
+    SkipSpace();
+    const size_t start = pos;
+    if (pos < in.size() && (in[pos] == '-' || in[pos] == '+')) ++pos;
+    bool digits = false;
+    while (pos < in.size() &&
+           ((in[pos] >= '0' && in[pos] <= '9') || in[pos] == '.' ||
+            in[pos] == 'e' || in[pos] == 'E' || in[pos] == '-' ||
+            in[pos] == '+')) {
+      digits = digits || (in[pos] >= '0' && in[pos] <= '9');
+      ++pos;
+    }
+    if (!digits) return Fail("expected number");
+    const std::string text(in.substr(start, pos - start));
+    char* end = nullptr;
+    *out = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || !std::isfinite(*out)) {
+      return Fail("malformed number");
+    }
+    return true;
+  }
+};
+
+bool NonNegativeIntegral(double value, uint64_t* out) {
+  if (value < 0 || value != std::floor(value) || value > 1.8e19) return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+}  // namespace
+
+Result<ReleaseRequest> ParseRequestLine(std::string_view line) {
+  Scanner scan{line, 0, {}};
+  ReleaseRequest request;
+  std::string type = "release";
+  bool have_epsilon = false;
+
+  if (!scan.Consume('{')) {
+    return Status::InvalidArgument("request is not a JSON object: " +
+                                   scan.error);
+  }
+  if (!scan.Peek('}')) {
+    do {
+      std::string key;
+      if (!scan.String(&key) || !scan.Consume(':')) break;
+      scan.SkipSpace();
+      // Scalar members only. Unknown keys are parsed and dropped.
+      if (scan.Peek('"')) {
+        std::string value;
+        if (!scan.String(&value)) break;
+        if (key == "type") type = value;
+        else if (key == "analyst") request.analyst = value;
+        else if (key == "scenario") request.scenario = value;
+        else if (key == "dataset") request.dataset = value;
+        else if (key == "request_id") request.request_id = value;
+      } else if (scan.Peek('t')) {
+        if (!scan.Literal("true")) break;
+      } else if (scan.Peek('f')) {
+        if (!scan.Literal("false")) break;
+      } else if (scan.Peek('n')) {
+        if (!scan.Literal("null")) break;
+      } else if (scan.Peek('{') || scan.Peek('[')) {
+        scan.Fail("nested containers are not part of the protocol");
+        break;
+      } else {
+        double value = 0.0;
+        if (!scan.Number(&value)) break;
+        if (key == "epsilon") {
+          request.epsilon = value;
+          have_epsilon = true;
+        } else if (key == "seed") {
+          uint64_t seed = 0;
+          if (!NonNegativeIntegral(value, &seed)) {
+            scan.Fail("seed must be a non-negative integer");
+            break;
+          }
+          request.seed = seed;
+        } else if (key == "deadline_ms") {
+          if (value != std::floor(value)) {
+            scan.Fail("deadline_ms must be an integer");
+            break;
+          }
+          request.deadline_ms = static_cast<int64_t>(value);
+        }
+      }
+    } while (scan.error.empty() && scan.TryConsume(','));
+  }
+  if (scan.error.empty()) scan.Consume('}');
+  if (scan.error.empty()) {
+    scan.SkipSpace();
+    if (scan.pos != scan.in.size()) scan.Fail("trailing garbage");
+  }
+  if (!scan.error.empty()) {
+    return Status::InvalidArgument("malformed request: " + scan.error);
+  }
+
+  if (type == "healthz") {
+    request.type = RequestType::kHealthz;
+    return request;
+  }
+  if (type != "release") {
+    return Status::InvalidArgument("unknown request type '" + type + "'");
+  }
+  request.type = RequestType::kRelease;
+  if (request.analyst.empty()) {
+    return Status::InvalidArgument("release request needs an analyst");
+  }
+  if (request.scenario.empty()) {
+    return Status::InvalidArgument("release request needs a scenario");
+  }
+  if (!have_epsilon || !(request.epsilon > 0.0)) {
+    return Status::InvalidArgument("release request needs epsilon > 0");
+  }
+  return request;
+}
+
+std::string ErrorResponseJson(const std::string& request_id,
+                              const Status& status,
+                              int64_t retry_after_ms) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("request_id");
+  json.String(request_id);
+  json.Key("ok");
+  json.Bool(false);
+  json.Key("code");
+  json.String(StatusCodeName(status.code()));
+  json.Key("status");
+  json.String(status.ToString());
+  if (retry_after_ms >= 0) {
+    json.Key("retry_after_ms");
+    json.Int(retry_after_ms);
+  }
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace dpkron

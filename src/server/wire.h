@@ -1,0 +1,66 @@
+// The dpkrond wire protocol: line-delimited JSON over TCP.
+//
+// Request (one line, one flat JSON object):
+//
+//   {"type": "release",            // default; or "healthz"
+//    "analyst": "alice",           // required for release
+//    "scenario": "fig2_as20",      // required for release
+//    "dataset": "data/x.edges",    // optional GraphSource ref
+//    "epsilon": 0.2,               // required for release, > 0
+//    "seed": 7,                    // optional, scenario default if absent
+//    "deadline_ms": 500,           // optional; 0/absent = no deadline
+//    "request_id": "alice-0007"}   // optional idempotency key
+//
+// Response (one line): {"request_id", "ok", "status", "code", ...} —
+// on success the scenarios.v1 run object under "run" plus the analyst's
+// post-charge budget under "budget"; on failure a structured error
+// ("code" is the StatusCode name, e.g. RESOURCE_EXHAUSTED) with
+// "retry_after_ms" on shed-load rejections. healthz responses carry the
+// server gauges instead (see server.h).
+//
+// The parser accepts exactly what the protocol needs — one flat object
+// of string / number / bool / null members — and rejects everything
+// else with InvalidArgument naming the offence. Unknown keys are
+// ignored (a newer client must not wedge an older server); nested
+// containers are refused (nothing in the protocol nests, and a bounded
+// parser cannot be driven into deep recursion by a hostile client).
+
+#ifndef DPKRON_SERVER_WIRE_H_
+#define DPKRON_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace dpkron {
+
+enum class RequestType { kRelease, kHealthz };
+
+struct ReleaseRequest {
+  RequestType type = RequestType::kRelease;
+  std::string analyst;
+  std::string scenario;
+  std::string dataset;              // "" = the scenario's own datasets
+  double epsilon = 0.0;
+  std::optional<uint64_t> seed;     // absent = scenario default seed
+  int64_t deadline_ms = 0;          // <= 0 = no deadline
+  std::string request_id;           // "" = no idempotency / dedup
+};
+
+// Parses one request line. Validation here is structural (shape, types,
+// required fields); semantic checks (unknown scenario, exhausted
+// budget) belong to the server, which can name them with better codes.
+Result<ReleaseRequest> ParseRequestLine(std::string_view line);
+
+// One-line structured error response. `retry_after_ms` >= 0 adds the
+// shed-load back-off hint.
+std::string ErrorResponseJson(const std::string& request_id,
+                              const Status& status,
+                              int64_t retry_after_ms = -1);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_SERVER_WIRE_H_

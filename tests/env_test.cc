@@ -7,7 +7,10 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -111,6 +114,57 @@ TEST(EnvTest, ScopedOverrideInstallsAndRestores) {
       EXPECT_EQ(GetEnv(), &nested);
     }
     EXPECT_EQ(GetEnv(), &fake);
+  }
+  EXPECT_EQ(GetEnv(), before);
+}
+
+// The override discipline dpkrond's fault tests rely on, under TSan:
+// overrides are installed/removed by ONE thread with LIFO nesting,
+// bracketing the lifetime of worker threads that read GetEnv() (and do
+// real I/O through a FaultInjectionEnv) concurrently. The acquire/
+// release ordering on the global Env pointer must make the override
+// visible to every thread spawned inside the scope.
+TEST(EnvTest, ScopedOverrideNestedScopesBracketConcurrentReaders) {
+  Env* const before = GetEnv();
+  FaultInjectionEnv outer_env;
+  constexpr int kThreads = 4;
+  constexpr int kReadsPerThread = 50;
+
+  auto hammer = [](Env* expected, const std::string& tag) {
+    std::vector<std::thread> threads;
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        const std::string path = ::testing::TempDir() + "/env_override_mt_" +
+                                 std::to_string(::getpid()) + "_" + tag + "_" +
+                                 std::to_string(t);
+        for (int i = 0; i < kReadsPerThread; ++i) {
+          Env* seen = GetEnv();
+          if (seen != expected) mismatches.fetch_add(1);
+          // Real I/O through the seam: exercises the override under the
+          // FaultInjectionEnv's own mutex, the TSan-visible surface.
+          ASSERT_TRUE(WriteFileDurable(path, std::to_string(i), seen).ok());
+          auto read = seen->ReadFileToString(path);
+          ASSERT_TRUE(read.ok());
+          EXPECT_EQ(read.value(), std::to_string(i));
+        }
+        (void)GetEnv()->RemoveFile(path);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(mismatches.load(), 0);
+  };
+
+  {
+    ScopedEnvOverride outer(&outer_env);
+    hammer(&outer_env, "outer");
+    {
+      FaultInjectionEnv inner_env(&outer_env);
+      ScopedEnvOverride inner(&inner_env);
+      hammer(&inner_env, "inner");
+    }  // threads joined BEFORE the inner override pops — the contract
+    EXPECT_EQ(GetEnv(), &outer_env);
+    hammer(&outer_env, "outer_again");
   }
   EXPECT_EQ(GetEnv(), before);
 }

@@ -1,6 +1,7 @@
 #include "src/graph/graph_io.h"
 
 #include <chrono>
+#include <thread>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -9,6 +10,7 @@
 
 #include <gtest/gtest.h>
 #include "src/common/env.h"
+#include "src/common/fnv.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/graph/degree.h"
@@ -742,6 +744,91 @@ TEST(GraphIoTest, WriteEdgeListIsAtomicUnderCrash) {
   EXPECT_EQ(reloaded.value().NumNodes(), 4u);
   EXPECT_EQ(reloaded.value().NumEdges(), 3u);
   std::remove(path.c_str());
+}
+
+// ------------------------------------------- sidecar rebuild locking
+
+TEST(SidecarLockTest, RebuildLockIsTakenAndRemovedAroundParse) {
+  const std::string path = TempPath("lock_normal.edges");
+  WriteFile(path, "# lock_normal\n0 1\n1 2\n");
+  const std::string cache = BinaryCachePath(path);
+  const std::string lock = cache + ".lock";
+  std::remove(cache.c_str());
+  std::remove(lock.c_str());
+
+  bool hit = true;
+  const auto loaded = ReadEdgeListCached(path, &hit);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(hit);
+  EXPECT_TRUE(std::filesystem::exists(cache));
+  // The advisory lock must not outlive the rebuild it guarded.
+  EXPECT_FALSE(std::filesystem::exists(lock));
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
+}
+
+TEST(SidecarLockTest, WaiterServesSidecarInstalledByLockHolder) {
+  const std::string path = TempPath("lock_wait.edges");
+  const std::string text = "# lock_wait\n0 1\n1 2\n2 3\n";
+  WriteFile(path, text);
+  const std::string cache = BinaryCachePath(path);
+  const std::string lock = cache + ".lock";
+  std::remove(cache.c_str());
+
+  // Another process "holds" the rebuild lock...
+  WriteFile(lock, "");
+  // ...and, while this loader polls, installs the sidecar (atomic
+  // rename) and releases. Install-before-release is the protocol.
+  std::thread winner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    const auto parsed = ParseEdgeList(text);
+    ASSERT_TRUE(parsed.ok());
+    const DpkbSourceStamp stamp{text.size(),
+                                Fnv1a64Words(text.data(), text.size())};
+    ASSERT_TRUE(WriteBinaryGraph(parsed.value(), cache, stamp).ok());
+    std::remove(lock.c_str());
+  });
+
+  EdgeListParseOptions options;
+  options.lock_poll_ms = 5;
+  options.lock_stale_ms = 10000;  // far beyond the winner's 60ms
+  bool hit = false;
+  const auto loaded = ReadEdgeListCached(path, &hit, options);
+  winner.join();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // The waiter was served by the winner's sidecar — one parse total,
+  // which is the point of the lock.
+  EXPECT_TRUE(hit);
+  EXPECT_FALSE(std::filesystem::exists(lock));
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
+}
+
+TEST(SidecarLockTest, OrphanedLockIsBrokenAfterStaleTimeout) {
+  const std::string path = TempPath("lock_stale.edges");
+  WriteFile(path, "# lock_stale\n0 1\n1 2\n");
+  const std::string cache = BinaryCachePath(path);
+  const std::string lock = cache + ".lock";
+  std::remove(cache.c_str());
+
+  // A crashed holder left its lock behind; nobody will ever release it.
+  WriteFile(lock, "");
+
+  EdgeListParseOptions options;
+  options.lock_poll_ms = 2;
+  options.lock_stale_ms = 30;
+  bool hit = true;
+  const auto loaded = ReadEdgeListCached(path, &hit, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(hit);  // the takeover parsed the text itself
+  EXPECT_EQ(loaded.value().NumEdges(), 2u);
+  EXPECT_TRUE(std::filesystem::exists(cache));   // and rebuilt the cache
+  EXPECT_FALSE(std::filesystem::exists(lock));   // and cleaned up
+
+  std::remove(path.c_str());
+  std::remove(cache.c_str());
 }
 
 }  // namespace

@@ -263,5 +263,151 @@ TEST(PrivacyAccountantTest, ConcurrentSpendsSerializeAtomically) {
   RemoveIfPresent(path);
 }
 
+TEST(PrivacyAccountantTest, SpendOnceDedupesByRequestIdAcrossReopen) {
+  const std::string path = UniqueTempPath("acct_spend_once");
+  RemoveIfPresent(path);
+  {
+    auto acct = PrivacyAccountant::Open(path, 2.0, 0.0);
+    ASSERT_TRUE(acct.ok());
+    bool deduped = true;
+    ASSERT_TRUE(
+        acct.value()->SpendOnce("a", 0.5, 0.0, "rel", "req-1", &deduped).ok());
+    EXPECT_FALSE(deduped);
+    // The blind retry acks without charging.
+    ASSERT_TRUE(
+        acct.value()->SpendOnce("a", 0.5, 0.0, "rel", "req-1", &deduped).ok());
+    EXPECT_TRUE(deduped);
+    EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("a"), 0.5);
+    EXPECT_EQ(acct.value()->total_spends(), 1u);
+    // An EMPTY request_id is never deduplicated (unkeyed spends).
+    ASSERT_TRUE(acct.value()->SpendOnce("a", 0.5, 0.0, "rel", "").ok());
+    ASSERT_TRUE(acct.value()->SpendOnce("a", 0.5, 0.0, "rel", "").ok());
+    EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("a"), 1.5);
+  }
+  // Dedup state is durable: the retry after a restart still acks free.
+  auto acct = PrivacyAccountant::Open(path, 2.0, 0.0);
+  ASSERT_TRUE(acct.ok());
+  EXPECT_TRUE(acct.value()->SeenRequest("req-1"));
+  bool deduped = false;
+  ASSERT_TRUE(
+      acct.value()->SpendOnce("a", 0.5, 0.0, "rel", "req-1", &deduped).ok());
+  EXPECT_TRUE(deduped);
+  EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("a"), 1.5);
+  RemoveIfPresent(path);
+}
+
+TEST(PrivacyAccountantCompactionTest, CompactsOnOpenPreservingEverything) {
+  const std::string path = UniqueTempPath("acct_compact");
+  RemoveIfPresent(path);
+  constexpr int kSpends = 12;
+  {
+    auto acct = PrivacyAccountant::Open(path, 10.0, 0.0);
+    ASSERT_TRUE(acct.ok());
+    for (int i = 0; i < kSpends; ++i) {
+      ASSERT_TRUE(acct.value()
+                      ->SpendOnce(i % 2 == 0 ? "alice" : "bob", 0.25, 0.0,
+                                  "rel", "c_req" + std::to_string(i))
+                      .ok());
+    }
+  }
+  const auto full_size = GetEnv()->FileSize(path);
+  ASSERT_TRUE(full_size.ok());
+
+  // Reopen below the history length: Open compacts to one snapshot per
+  // analyst + the request-id set. Nothing observable changes.
+  {
+    auto acct =
+        PrivacyAccountant::Open(path, 10.0, 0.0, GetEnv(),
+                                /*compact_threshold=*/4);
+    ASSERT_TRUE(acct.ok()) << acct.status().ToString();
+    EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("alice"), 1.5);
+    EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("bob"), 1.5);
+    EXPECT_EQ(acct.value()->total_spends(), uint64_t{kSpends});
+    for (int i = 0; i < kSpends; ++i) {
+      EXPECT_TRUE(acct.value()->SeenRequest("c_req" + std::to_string(i)));
+    }
+    // The compacted journal is a working journal: new spends append.
+    ASSERT_TRUE(acct.value()->SpendOnce("alice", 0.25, 0.0, "rel", "c_new").ok());
+  }
+  const auto compact_size = GetEnv()->FileSize(path);
+  ASSERT_TRUE(compact_size.ok());
+  EXPECT_LT(compact_size.value(), full_size.value());
+
+  // And it round-trips: a further reopen replays snapshot + tail.
+  auto acct = PrivacyAccountant::Open(path, 10.0, 0.0);
+  ASSERT_TRUE(acct.ok());
+  EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("alice"), 1.75);
+  EXPECT_EQ(acct.value()->total_spends(), uint64_t{kSpends + 1});
+  EXPECT_TRUE(acct.value()->SeenRequest("c_req3"));
+  EXPECT_TRUE(acct.value()->SeenRequest("c_new"));
+  bool deduped = false;
+  ASSERT_TRUE(
+      acct.value()->SpendOnce("bob", 0.25, 0.0, "rel", "c_req1", &deduped).ok());
+  EXPECT_TRUE(deduped);  // dedup survives compaction, not just totals
+  RemoveIfPresent(path);
+}
+
+// The regression test for crash-mid-compaction: WriteFileDurable's
+// failure modes (temp-write fault, rename fault, crash dropping
+// unsynced bytes) must each leave a journal that still recovers every
+// acknowledged spend — compaction is an optimization, never a hazard.
+TEST(PrivacyAccountantCompactionTest, FailedOrTornCompactionLosesNothing) {
+  FaultInjectionEnv fault_env;
+  const std::string path = UniqueTempPath("acct_compact_crash");
+  RemoveIfPresent(path);
+  {
+    auto acct = PrivacyAccountant::Open(path, 10.0, 0.0, &fault_env);
+    ASSERT_TRUE(acct.ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(acct.value()
+                      ->SpendOnce("alice", 0.5, 0.0, "rel",
+                                  "x_req" + std::to_string(i))
+                      .ok());
+    }
+  }
+
+  // Failure mode 1: the compaction image's sync fails — the durable
+  // write aborts, the rename never happens, the old journal survives.
+  fault_env.FailSyncs(0, Status::Unavailable("injected: compaction sync"));
+  {
+    auto acct = PrivacyAccountant::Open(path, 10.0, 0.0, &fault_env,
+                                        /*compact_threshold=*/2);
+    ASSERT_TRUE(acct.ok()) << acct.status().ToString();
+    EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("alice"), 4.0);
+    EXPECT_EQ(acct.value()->total_spends(), 8u);
+    EXPECT_TRUE(acct.value()->SeenRequest("x_req7"));
+  }
+  fault_env.ClearFaults();
+
+  // Failure mode 2: the rename itself fails after a synced temp write.
+  fault_env.FailRenames(0, Status::Unavailable("injected: compaction rename"));
+  {
+    auto acct = PrivacyAccountant::Open(path, 10.0, 0.0, &fault_env,
+                                        /*compact_threshold=*/2);
+    ASSERT_TRUE(acct.ok()) << acct.status().ToString();
+    EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("alice"), 4.0);
+    EXPECT_EQ(acct.value()->total_spends(), 8u);
+  }
+  fault_env.ClearFaults();
+
+  // Failure mode 3: the machine dies right after a SUCCESSFUL
+  // compaction — unsynced bytes vanish. WriteFileDurable synced before
+  // renaming, so the installed snapshot must survive whole.
+  {
+    auto acct = PrivacyAccountant::Open(path, 10.0, 0.0, &fault_env,
+                                        /*compact_threshold=*/2);
+    ASSERT_TRUE(acct.ok()) << acct.status().ToString();
+  }
+  fault_env.DropUnsyncedData();
+  auto acct = PrivacyAccountant::Open(path, 10.0, 0.0, &fault_env);
+  ASSERT_TRUE(acct.ok()) << acct.status().ToString();
+  EXPECT_DOUBLE_EQ(acct.value()->epsilon_spent("alice"), 4.0);
+  EXPECT_EQ(acct.value()->total_spends(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(acct.value()->SeenRequest("x_req" + std::to_string(i)));
+  }
+  RemoveIfPresent(path);
+}
+
 }  // namespace
 }  // namespace dpkron

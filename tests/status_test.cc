@@ -1,8 +1,11 @@
 #include "src/common/status.h"
 
+#include <cerrno>
 #include <string>
 
 #include <gtest/gtest.h>
+
+#include "src/common/env.h"
 
 namespace dpkron {
 namespace {
@@ -34,6 +37,47 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+}
+
+TEST(StatusTest, ServerCodesCarryCodeAndMessage) {
+  const Status deadline = Status::DeadlineExceeded("missed by 5ms");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DEADLINE_EXCEEDED: missed by 5ms");
+  const Status cancelled = Status::Cancelled("caller went away");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "CANCELLED: caller went away");
+}
+
+TEST(StatusTest, OnlyUnavailableIsRetryable) {
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kUnavailable));
+  // An exhausted resource (disk, privacy budget) or a missed deadline
+  // must NOT be blindly retried.
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kCancelled));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kInternal));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kInvalidArgument));
+}
+
+TEST(StatusTest, ErrnoMappings) {
+  EXPECT_EQ(ErrnoStatus("op", ENOENT).code(), StatusCode::kNotFound);
+  EXPECT_EQ(ErrnoStatus("op", ENOSPC).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ErrnoStatus("op", ETIMEDOUT).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ErrnoStatus("op", EAGAIN).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ErrnoStatus("op", EWOULDBLOCK).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ErrnoStatus("op", ECONNRESET).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ErrnoStatus("op", ECONNREFUSED).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ErrnoStatus("op", EPIPE).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ErrnoStatus("op", EEXIST).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ErrnoStatus("op", EIO).code(), StatusCode::kInternal);
+  // The context prefixes the strerror text.
+  EXPECT_NE(ErrnoStatus("open /tmp/x", ENOENT).message().find("open /tmp/x"),
+            std::string::npos);
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -495,6 +495,44 @@ TEST_F(SweepTest, TransientUnavailableRetriesAndMatchesCleanRun) {
   std::remove(BinaryCachePath(path).c_str());
 }
 
+TEST_F(SweepTest, ResourceExhaustedIsTerminalNotRetried) {
+  const std::string path = UniqueTempPath("sweep_exhausted");
+  {
+    Rng rng(99);
+    PreferentialAttachmentOptions options;
+    options.num_nodes = 150;
+    options.edges_per_node = 2;
+    ASSERT_TRUE(
+        WriteEdgeList(PreferentialAttachmentGraph(options, rng), path).ok());
+  }
+  std::remove(BinaryCachePath(path).c_str());
+
+  SweepSpec spec;
+  spec.scenarios = {"fig2_as20"};
+  spec.datasets = {path};
+  spec.epsilons = {0.5};
+  spec.base.smoke = true;
+  spec.base.kronfit_iterations = 2;
+  spec.max_attempts = 3;
+
+  // RESOURCE_EXHAUSTED (full disk, spent budget) is deterministic for
+  // the cell: unlike kUnavailable it must fail on the FIRST attempt —
+  // no retries, no backoff sleeps.
+  FaultInjectionEnv env;
+  ScopedEnvOverride scope(&env);
+  env.FailReads(/*after=*/0, Status::ResourceExhausted("quota exceeded"));
+  auto result = RunSweep(spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().runs.size(), 1u);
+  EXPECT_EQ(result.value().runs[0].status.code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(result.value().runs[0].attempts, 1u);
+  env.ClearFaults();
+
+  std::remove(path.c_str());
+  std::remove(BinaryCachePath(path).c_str());
+}
+
 TEST_F(SweepTest, RetryExhaustedCellIsNotCheckpointedAndResumeRerunsIt) {
   const std::string path = UniqueTempPath("sweep_unavail");
   {

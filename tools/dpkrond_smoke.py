@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Crash-safety smoke driver for dpkrond (used by CI).
+
+Talks the line-delimited JSON protocol (src/server/wire.h) to a daemon
+on localhost and runs one of two phases:
+
+  load    N analyst threads issue release requests until every analyst
+          is refused with RESOURCE_EXHAUSTED (budget spent) or the
+          connection dies -- the CI job kill -9s the daemon under us,
+          and that is the point. Every acknowledged spend is appended
+          to --state and flushed+fsynced BEFORE the next request goes
+          out, so the state file is a strict lower bound on what the
+          daemon acknowledged. Exit 0 on clean exhaustion AND on a
+          dropped connection; anything protocol-violating exits 1.
+
+  verify  After the daemon restarted on the same accountant journal:
+          assert per-analyst epsilon_spent >= the sum of acked spends
+          (acked spend is never lost), replay one acked request line
+          verbatim and require ok+deduped with epsilon_spent unchanged
+          (idempotent retry), and for every analyst that was refused
+          for budget during load, require a fresh spend to still be
+          refused (budgets never reset across a crash).
+
+State file: one JSON object per line,
+  {"event": "ack", "analyst": ..., "request_id": ..., "epsilon": ...,
+   "line": <the exact request line>}
+  {"event": "exhausted", "analyst": ...}
+"""
+
+import argparse
+import json
+import os
+import socket
+import sys
+import threading
+import time
+
+
+def connect(port, timeout=60.0):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+    return sock, sock.makefile("rwb")
+
+
+def roundtrip(stream, obj):
+    """Send one request object, return the parsed response object."""
+    stream.write((json.dumps(obj) + "\n").encode())
+    stream.flush()
+    line = stream.readline()
+    if not line:
+        raise ConnectionError("daemon closed the connection")
+    return json.loads(line)
+
+
+def healthz(port):
+    sock, stream = connect(port)
+    try:
+        return roundtrip(stream, {"type": "healthz"})
+    finally:
+        sock.close()
+
+
+class StateWriter:
+    """Append-only, fsynced per record: survives our caller's kill -9."""
+
+    def __init__(self, path):
+        self.fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        self.lock = threading.Lock()
+
+    def record(self, obj):
+        data = (json.dumps(obj) + "\n").encode()
+        with self.lock:
+            os.write(self.fd, data)
+            os.fsync(self.fd)
+
+
+def load_phase(args):
+    state = StateWriter(args.state)
+    failures = []
+
+    def analyst_main(analyst):
+        try:
+            sock, stream = connect(args.port)
+        except OSError as err:
+            print(f"{analyst}: could not connect: {err}")
+            return
+        try:
+            for i in range(args.max_requests):
+                request_id = f"{analyst}-{args.run}-{i:04d}"
+                request = {
+                    "analyst": analyst,
+                    "scenario": args.scenario,
+                    "dataset": args.dataset,
+                    "epsilon": args.epsilon,
+                    "seed": 7,
+                    "request_id": request_id,
+                }
+                line = json.dumps(request)
+                stream.write((line + "\n").encode())
+                stream.flush()
+                raw = stream.readline()
+                if not raw:
+                    print(f"{analyst}: connection dropped mid-load (expected "
+                          "under kill -9)")
+                    return
+                response = json.loads(raw)
+                if response.get("ok"):
+                    state.record({"event": "ack", "analyst": analyst,
+                                  "request_id": request_id,
+                                  "epsilon": args.epsilon, "line": line})
+                    continue
+                code = response.get("code")
+                if code == "RESOURCE_EXHAUSTED":
+                    if "retry_after_ms" in response:  # shed, not broke
+                        time.sleep(response["retry_after_ms"] / 1000.0)
+                        continue
+                    state.record({"event": "exhausted", "analyst": analyst})
+                    print(f"{analyst}: budget exhausted after acked spends")
+                    return
+                if code == "UNAVAILABLE":  # draining under SIGTERM
+                    print(f"{analyst}: server draining, stopping")
+                    return
+                failures.append(f"{analyst}: unexpected refusal: {response}")
+                return
+            failures.append(f"{analyst}: never exhausted after "
+                            f"{args.max_requests} requests")
+        except (OSError, ConnectionError) as err:
+            print(f"{analyst}: connection error mid-load (expected under "
+                  f"kill -9): {err}")
+        finally:
+            sock.close()
+
+    analysts = [f"analyst{i}" for i in range(args.analysts)]
+    threads = [threading.Thread(target=analyst_main, args=(a,))
+               for a in analysts]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+def read_state(path):
+    acked, exhausted = [], set()
+    with open(path) as f:
+        for line in f:
+            record = json.loads(line)
+            if record["event"] == "ack":
+                acked.append(record)
+            elif record["event"] == "exhausted":
+                exhausted.add(record["analyst"])
+    return acked, exhausted
+
+
+def verify_phase(args):
+    acked, exhausted = read_state(args.state)
+    if not acked:
+        print("FAIL: state file has no acked spends -- nothing to verify")
+        return 1
+
+    spent_by_analyst = {}
+    for record in acked:
+        spent_by_analyst.setdefault(record["analyst"], 0.0)
+        spent_by_analyst[record["analyst"]] += record["epsilon"]
+
+    health = healthz(args.port)
+    recovered = health["analysts"]
+    ok = True
+    for analyst, acked_eps in sorted(spent_by_analyst.items()):
+        got = recovered.get(analyst, {}).get("epsilon_spent", 0.0)
+        if got < acked_eps - 1e-9:
+            print(f"FAIL: {analyst}: recovered epsilon_spent {got} < "
+                  f"acked {acked_eps} -- acked spend was lost")
+            ok = False
+        else:
+            print(f"{analyst}: recovered {got:.4f} >= acked {acked_eps:.4f}")
+        total = health["budget"]["epsilon_total"]
+        if got > total + 1e-9:
+            print(f"FAIL: {analyst}: spent {got} exceeds budget {total}")
+            ok = False
+
+    # Idempotent retry: replay the first acked request line verbatim.
+    replay = acked[0]
+    sock, stream = connect(args.port)
+    try:
+        response = roundtrip(stream, json.loads(replay["line"]))
+        if not (response.get("ok") and response.get("deduped")):
+            print(f"FAIL: replay of {replay['request_id']} not acked as "
+                  f"deduped: {response}")
+            ok = False
+        after = roundtrip(stream, {"type": "healthz"})
+        before_eps = recovered[replay["analyst"]]["epsilon_spent"]
+        after_eps = after["analysts"][replay["analyst"]]["epsilon_spent"]
+        if abs(after_eps - before_eps) > 1e-9:
+            print(f"FAIL: replay changed epsilon_spent "
+                  f"{before_eps} -> {after_eps}")
+            ok = False
+        else:
+            print(f"replay of {replay['request_id']}: deduped, spend "
+                  f"unchanged at {after_eps:.4f}")
+
+        # Exhaustion must survive the crash: a fresh id is still refused.
+        for analyst in sorted(exhausted):
+            fresh = {"analyst": analyst, "scenario": args.scenario,
+                     "dataset": args.dataset, "epsilon": args.epsilon,
+                     "seed": 7, "request_id": f"{analyst}-post-crash"}
+            response = roundtrip(stream, fresh)
+            if response.get("ok") or response.get("code") != \
+                    "RESOURCE_EXHAUSTED":
+                print(f"FAIL: {analyst} was exhausted pre-crash but a new "
+                      f"spend was not refused: {response}")
+                ok = False
+            else:
+                print(f"{analyst}: still exhausted after restart")
+    finally:
+        sock.close()
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--phase", choices=["load", "verify"], required=True)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--state", required=True,
+                        help="append-only ack ledger shared by both phases")
+    parser.add_argument("--analysts", type=int, default=3)
+    parser.add_argument("--epsilon", type=float, default=0.25)
+    parser.add_argument("--scenario", default="fig2_as20")
+    parser.add_argument("--dataset", default="data/ca_test.edges")
+    parser.add_argument("--max-requests", type=int, default=64)
+    parser.add_argument("--run", default="r0",
+                        help="request_id namespace so two load rounds "
+                             "against one ledger never collide")
+    args = parser.parse_args()
+    if args.phase == "load":
+        sys.exit(load_phase(args))
+    sys.exit(verify_phase(args))
+
+
+if __name__ == "__main__":
+    main()
