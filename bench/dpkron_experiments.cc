@@ -27,6 +27,7 @@
 
 #include "src/common/env.h"
 #include "src/common/parallel.h"
+#include "src/common/simd.h"
 #include "src/common/stat_cache.h"
 #include "src/core/scenario.h"
 #include "src/core/sweep.h"
@@ -58,6 +59,10 @@ void PrintUsage(std::FILE* out) {
                "  --sweep-epsilons=a,b  override the epsilon sweep axis\n"
                "                        (in --sweep mode: the ε grid)\n"
                "  --smoke               shrink every axis for a fast pass\n"
+               "  --force-scalar        disable SIMD dispatch (also:\n"
+               "                        DPKRON_FORCE_SCALAR=1); outputs are\n"
+               "                        bit-identical either way — this is\n"
+               "                        for perf A/B and fallback testing\n"
                "  --out=PATH            write BENCH_scenarios.json here\n"
                "                        (BENCH_sweeps.json in --sweep mode)\n"
                "\n"
@@ -202,6 +207,8 @@ int Main(int argc, char** argv) {
       sweep_seeds = static_cast<uint32_t>(seeds);
     } else if (std::strcmp(arg, "--smoke") == 0) {
       overrides.smoke = true;
+    } else if (std::strcmp(arg, "--force-scalar") == 0) {
+      SetSimdLevelCap(SimdLevel::kScalar);
     } else if (std::strcmp(arg, "--dataset-cache") == 0) {
       overrides.dataset_cache = true;
     } else if (std::strncmp(arg, "--dataset=", 10) == 0) {

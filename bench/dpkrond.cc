@@ -20,6 +20,7 @@
 #include <string>
 
 #include "src/common/parallel.h"
+#include "src/common/simd.h"
 #include "src/server/server.h"
 
 namespace dpkron {
@@ -51,7 +52,10 @@ void PrintUsage(std::FILE* out) {
       "  --smoke               run scenarios with shrunk axes (CI)\n"
       "  --dataset-cache       keep .dpkb sidecars for file datasets\n"
       "                        (default on; --no-dataset-cache disables)\n"
-      "  --threads=N           shared compute-pool threads\n");
+      "  --threads=N           shared compute-pool threads\n"
+      "  --force-scalar        disable SIMD dispatch (also:\n"
+      "                        DPKRON_FORCE_SCALAR=1); responses are\n"
+      "                        bit-identical either way\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -99,6 +103,8 @@ int Main(int argc, char** argv) {
       config.dataset_cache = true;
     } else if (ParseFlag(argv[i], "--no-dataset-cache", &value)) {
       config.dataset_cache = false;
+    } else if (ParseFlag(argv[i], "--force-scalar", &value)) {
+      SetSimdLevelCap(SimdLevel::kScalar);
     } else if (ParseFlag(argv[i], "--threads", &value) && value) {
       SetParallelThreadCount(std::atoi(value));
     } else {

@@ -12,6 +12,7 @@
 #include "src/common/fnv.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/common/simd.h"
 #include "src/core/release.h"
 #include "src/graph/graph_io.h"
 #include "src/dp/degree_sequence.h"
@@ -413,6 +414,44 @@ void BM_EdgeListCacheReload(benchmark::State& state) {
 }
 BENCHMARK(BM_EdgeListCacheReload)->Unit(benchmark::kMillisecond);
 
+// The largest single-machine realization the paper's scaling story
+// needs: k=24 (~16.8M nodes) via the edge-skip sampler, then the full
+// triangle count over it. One iteration, measured in real seconds —
+// this is a minutes-scale data point, not a statistical sample, and
+// BENCH_micro.json records it as the capacity ceiling of the pipeline.
+void BM_EdgeSkipRealizeK24(benchmark::State& state) {
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    Rng rng(24);
+    SkgSampleOptions options;
+    options.method = SkgSampleMethod::kEdgeSkip;
+    const Graph g = SampleSkg({0.95, 0.40, 0.25}, 24, rng, options);
+    edges = g.NumEdges();
+    benchmark::DoNotOptimize(CountTriangles(g));
+    state.counters["nodes"] = static_cast<double>(g.NumNodes());
+    state.counters["edges"] = static_cast<double>(edges);
+  }
+}
+BENCHMARK(BM_EdgeSkipRealizeK24)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main (instead of BENCHMARK_MAIN) so every BENCH_micro.json
+// carries the SIMD dispatch decision and the CPU it was made on —
+// without these, cross-machine perf-trajectory comparisons can silently
+// mix vectorized and scalar runs.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("simd_dispatch",
+                              SimdLevelName(ActiveSimdLevel()));
+  benchmark::AddCustomContext("simd_detected",
+                              SimdLevelName(DetectedSimdLevel()));
+  benchmark::AddCustomContext("cpu_brand", CpuBrandString());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

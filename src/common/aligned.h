@@ -1,0 +1,55 @@
+// Minimal aligned allocator for std::vector-backed kernel arenas.
+//
+// The AVX2 kernels use aligned 32-byte loads on their lookup tables and
+// benefit from cache-line-aligned CSR arrays (a 64-byte line never
+// splits a vector load at the start of an array). std::vector<double>'s
+// default allocator only guarantees alignof(std::max_align_t) (16 on
+// glibc x86-64), so arenas that feed aligned loads use this allocator.
+
+#ifndef DPKRON_COMMON_ALIGNED_H_
+#define DPKRON_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+
+namespace dpkron {
+
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+  static constexpr std::size_t alignment = Alignment;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_COMMON_ALIGNED_H_

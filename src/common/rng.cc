@@ -130,6 +130,21 @@ uint64_t Rng::NextBinomial(uint64_t n, double p) {
   return successes;
 }
 
+void Rng::FillLaplace(double scale, double* out, size_t n) {
+  DPKRON_CHECK_GT(scale, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    // Inline NextLaplace body (check hoisted): same draws, same math,
+    // same bits as n sequential calls.
+    const double u = NextDouble() - 0.5;
+    const double sign = (u < 0.0) ? -1.0 : 1.0;
+    out[i] = -scale * sign * std::log1p(-2.0 * std::fabs(u));
+  }
+}
+
+void Rng::FillBinomial(uint64_t trials, double p, uint64_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = NextBinomial(trials, p);
+}
+
 Rng::State Rng::SaveState() const {
   State state;
   for (int i = 0; i < 4; ++i) state.s[i] = state_[i];

@@ -11,6 +11,7 @@
 #ifndef DPKRON_COMMON_RNG_H_
 #define DPKRON_COMMON_RNG_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -62,6 +63,16 @@ class Rng {
   // This is the workhorse of the edge-skipping SKG sampler, which splits
   // edge counts multinomially across Kronecker quadrants.
   uint64_t NextBinomial(uint64_t n, double p);
+
+  // Block-draw APIs for vectorized consumers (the DP noise mechanisms):
+  // out[i] receives exactly the value the i-th sequential Next* call
+  // would have produced, and the stream advances identically — the
+  // contract that lets a batched caller stay byte-compatible with a
+  // draw-at-a-time one (tests/simd_test.cc enforces it). The per-draw
+  // math (libm log1p etc.) stays scalar; the vector win is downstream,
+  // in the element-wise noise application.
+  void FillLaplace(double scale, double* out, size_t n);
+  void FillBinomial(uint64_t trials, double p, uint64_t* out, size_t n);
 
   // A new Rng whose stream is independent of this one (and of further
   // outputs of this one), derived from the current state.

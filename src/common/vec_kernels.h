@@ -1,0 +1,43 @@
+// Element-wise AVX2 kernels shared by spmv / ANF / the DP mechanisms.
+//
+// Every function here is an exact drop-in for the scalar loop it
+// replaces: each output element is produced by the same operations in
+// the same order as the scalar code (one rounding per element for the
+// floating-point kernels, pure bitwise ops for the integer ones), so
+// results are bit-identical at every dispatch level. Callers must only
+// reach these behind an Avx2Active() check — when the AVX2 TUs were
+// compiled without AVX2 support these are unreachable aborting stubs.
+
+#ifndef DPKRON_COMMON_VEC_KERNELS_H_
+#define DPKRON_COMMON_VEC_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dpkron {
+
+// dst[i] = a[i] + b[i] (dst may alias a or b).
+void AddVectorsAvx2(const double* a, const double* b, double* dst,
+                    size_t n);
+
+// y[i] += alpha * x[i]. Compiled with -ffp-contract=off, so the
+// multiply and add round separately — exactly like the baseline TUs.
+void AxpyAvx2(double alpha, const double* x, double* y, size_t n);
+
+// x[i] *= alpha.
+void ScaleAvx2(double alpha, double* x, size_t n);
+
+// dst[i] |= src[i]; returns true iff any dst word changed.
+bool OrMergeAvx2(uint64_t* dst, const uint64_t* src, size_t n);
+
+// ANF expand round for one node: dst[t] |= masks[v·trials + t] for
+// every v in neighbors[0, degree). Returns true iff any dst word
+// changed. One call per node keeps the whole neighbor walk inside the
+// AVX2 translation unit instead of crossing the ISA boundary per
+// neighbor.
+bool OrMergeRowAvx2(uint64_t* dst, const uint64_t* masks, size_t trials,
+                    const uint32_t* neighbors, size_t degree);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_COMMON_VEC_KERNELS_H_

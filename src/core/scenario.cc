@@ -5,6 +5,7 @@
 #include <cstdarg>
 
 #include "src/common/macros.h"
+#include "src/common/simd.h"
 #include "src/common/stat_cache.h"
 #include "src/datasets/graph_source.h"
 
@@ -324,6 +325,19 @@ std::string ScenariosJson(const std::vector<const ScenarioOutput*>& runs,
   json.String("dpkron.scenarios.v1");
   json.Key("threads");
   json.Int(threads);
+  // Provenance for perf comparisons: which kernel path produced this
+  // document and on what CPU. The runs[] payload is bit-identical across
+  // dispatch levels (the SIMD determinism contract), so these keys are
+  // context, not inputs to any frozen-output comparison.
+  json.Key("simd");
+  json.BeginObject();
+  json.Key("dispatch");
+  json.String(SimdLevelName(ActiveSimdLevel()));
+  json.Key("detected");
+  json.String(SimdLevelName(DetectedSimdLevel()));
+  json.Key("cpu");
+  json.String(CpuBrandString());
+  json.EndObject();
   json.Key("cache");
   AppendStatCacheJson(json, StatCache::Instance().enabled());
   json.Key("runs");

@@ -10,6 +10,7 @@
 #include "src/common/journal.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/common/simd.h"
 #include "src/common/stat_cache.h"
 
 namespace dpkron {
@@ -402,6 +403,20 @@ std::string SweepsJson(const SweepResult& result, int threads) {
   json.String("dpkron.sweeps.v1");
   json.Key("threads");
   json.Int(threads);
+  // Same provenance block as ScenariosJson: context only, never part of
+  // the frozen runs[] payload. Note the stable (checkpointed) document
+  // keeps it too — dispatch level is a property of the machine, not of
+  // one process execution, so resume on the same machine still
+  // round-trips byte-identically.
+  json.Key("simd");
+  json.BeginObject();
+  json.Key("dispatch");
+  json.String(SimdLevelName(ActiveSimdLevel()));
+  json.Key("detected");
+  json.String(SimdLevelName(DetectedSimdLevel()));
+  json.Key("cpu");
+  json.String(CpuBrandString());
+  json.EndObject();
   json.Key("stable");
   json.Bool(result.stable_document);
   // Stable form: wall time and cache counters are properties of one

@@ -6,6 +6,8 @@
 
 #include "src/common/macros.h"
 #include "src/common/parallel.h"
+#include "src/common/simd.h"
+#include "src/common/vec_kernels.h"
 
 namespace dpkron {
 namespace {
@@ -80,16 +82,26 @@ std::vector<uint64_t> ApproxHopPlot(const Graph& graph, Rng& rng,
     // and writes only next[u·trials ...] — disjoint across nodes, so the
     // merged sketches are exact at any thread count.
     std::atomic<bool> changed{false};
+    // Bitwise OR-merge is order-free, so the AVX2 kernel is exact. The
+    // AVX2 path hands the whole neighbor walk to one kernel call per
+    // node (crossing the ISA boundary per neighbor costs more than the
+    // merge itself at ANF's sketch widths).
+    const bool use_avx2 = Avx2Active();
     ParallelFor(n, kAnfGrain, [&](size_t u) {
       uint64_t* dst = &next[u * trials];
+      const auto neighbors = graph.Neighbors(static_cast<Graph::NodeId>(u));
       bool local_changed = false;
-      for (Graph::NodeId v :
-           graph.Neighbors(static_cast<Graph::NodeId>(u))) {
-        const uint64_t* src = &masks[static_cast<size_t>(v) * trials];
-        for (uint32_t t = 0; t < trials; ++t) {
-          const uint64_t merged = dst[t] | src[t];
-          local_changed |= (merged != dst[t]);
-          dst[t] = merged;
+      if (use_avx2) {
+        local_changed = OrMergeRowAvx2(dst, masks.data(), trials,
+                                       neighbors.data(), neighbors.size());
+      } else {
+        for (Graph::NodeId v : neighbors) {
+          const uint64_t* src = &masks[static_cast<size_t>(v) * trials];
+          for (uint32_t t = 0; t < trials; ++t) {
+            const uint64_t merged = dst[t] | src[t];
+            local_changed |= (merged != dst[t]);
+            dst[t] = merged;
+          }
         }
       }
       if (local_changed) changed.store(true, std::memory_order_relaxed);

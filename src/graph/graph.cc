@@ -7,8 +7,7 @@
 
 namespace dpkron {
 
-Graph Graph::FromCsr(std::vector<uint32_t> offsets,
-                     std::vector<NodeId> adjacency) {
+Graph Graph::FromCsr(OffsetVector offsets, AdjacencyVector adjacency) {
   DPKRON_CHECK(!offsets.empty());
   DPKRON_CHECK_EQ(offsets.front(), 0u);
   DPKRON_CHECK_EQ(offsets.back(), adjacency.size());

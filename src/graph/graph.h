@@ -19,11 +19,22 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/aligned.h"
+
 namespace dpkron {
 
 class Graph {
  public:
   using NodeId = uint32_t;
+
+  // CSR arenas are 64-byte (cache-line) aligned so the SIMD kernels'
+  // vector loads start aligned and a row never pays an extra split line
+  // at the array head. The alias keeps FromCsr call sites source-
+  // compatible (braced initializer lists construct either vector type).
+  template <typename T>
+  using CsrVector = std::vector<T, AlignedAllocator<T, 64>>;
+  using OffsetVector = CsrVector<uint32_t>;
+  using AdjacencyVector = CsrVector<NodeId>;
 
   // An empty graph (0 nodes).
   Graph() : offsets_(1, 0) {}
@@ -33,8 +44,7 @@ class Graph {
   // list sorted. Aborts (DPKRON_CHECK) if the invariants don't hold —
   // construction from untrusted data should go through GraphBuilder,
   // which establishes them.
-  static Graph FromCsr(std::vector<uint32_t> offsets,
-                       std::vector<NodeId> adjacency);
+  static Graph FromCsr(OffsetVector offsets, AdjacencyVector adjacency);
 
   // Hand-written only because of the atomic fingerprint memo below
   // (std::atomic is neither copyable nor movable); semantics are the
@@ -112,11 +122,11 @@ class Graph {
   uint64_t ContentFingerprint() const;
 
  private:
-  Graph(std::vector<uint32_t> offsets, std::vector<NodeId> adjacency)
+  Graph(OffsetVector offsets, AdjacencyVector adjacency)
       : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {}
 
-  std::vector<uint32_t> offsets_;
-  std::vector<NodeId> adjacency_;
+  OffsetVector offsets_;
+  AdjacencyVector adjacency_;
   // Lazily memoized ContentFingerprint. 0 = not yet computed (a real
   // digest of 0 has probability 2^-64 and would merely be recomputed
   // per call — correct, just uncached). Atomic: concurrent first calls

@@ -48,11 +48,13 @@ Graph GraphBuilder::FromPackedEdges(uint32_t num_nodes,
     ++degree[u];
     ++degree[v];
   }
-  std::vector<uint32_t> offsets(num_nodes + 1, 0);
+  // 64-byte-aligned CSR arenas (Graph::CsrVector): the contract the
+  // SIMD kernels' aligned loads rely on.
+  Graph::OffsetVector offsets(num_nodes + 1, 0);
   for (uint32_t u = 0; u < num_nodes; ++u) {
     offsets[u + 1] = offsets[u] + degree[u];
   }
-  std::vector<Graph::NodeId> adjacency(offsets.back());
+  Graph::AdjacencyVector adjacency(offsets.back());
   std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
   // Keys are sorted by (u, v), so filling forward keeps each adjacency
   // list sorted: u's list receives v's in increasing order, and v's list

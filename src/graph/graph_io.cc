@@ -372,8 +372,8 @@ Result<Graph> ReadBinaryGraph(const std::string& path,
         std::to_string(file_size) + ")");
   }
 
-  std::vector<uint32_t> offsets(header.num_nodes + 1);
-  std::vector<Graph::NodeId> adjacency(header.adjacency_len);
+  Graph::OffsetVector offsets(header.num_nodes + 1);
+  Graph::AdjacencyVector adjacency(header.adjacency_len);
   std::memcpy(offsets.data(), data.data() + sizeof(header),
               sizeof(uint32_t) * offsets.size());
   if (!adjacency.empty()) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/parallel.h"
+#include "src/common/simd.h"
+#include "src/graph/intersect_kernels.h"
 
 namespace dpkron {
 namespace {
@@ -64,9 +66,57 @@ void ForEachTriangleInRange(
   }
 }
 
+// Flattened forward lists for the AVX2 path: one contiguous arena
+// instead of a vector-of-vectors, so intersections read straight spans
+// and the build does no per-node allocation. Same (degree, id) rank
+// orientation and the same triangles as BuildForwardLists — triangle
+// counts are integers, so the two paths agree exactly.
+struct ForwardCsr {
+  std::vector<uint32_t> offsets;          // n+1
+  std::vector<Graph::NodeId> targets;     // concatenated forward lists
+};
+
+ForwardCsr BuildForwardCsr(const Graph& graph) {
+  const RankOrder rank{graph};
+  const uint32_t n = graph.NumNodes();
+  ForwardCsr fwd;
+  fwd.offsets.assign(size_t{n} + 1, 0);
+  ParallelFor(n, 4096, [&](size_t u_index) {
+    const auto u = static_cast<Graph::NodeId>(u_index);
+    uint32_t count = 0;
+    for (Graph::NodeId v : graph.Neighbors(u)) {
+      if (rank.Less(u, v)) ++count;
+    }
+    fwd.offsets[u_index + 1] = count;
+  });
+  for (uint32_t u = 0; u < n; ++u) fwd.offsets[u + 1] += fwd.offsets[u];
+  fwd.targets.resize(fwd.offsets.back());
+  ParallelFor(n, 4096, [&](size_t u_index) {
+    const auto u = static_cast<Graph::NodeId>(u_index);
+    uint32_t out = fwd.offsets[u_index];
+    for (Graph::NodeId v : graph.Neighbors(u)) {
+      if (rank.Less(u, v)) fwd.targets[out++] = v;
+    }
+  });
+  return fwd;
+}
+
 }  // namespace
 
 uint64_t CountTriangles(const Graph& graph) {
+  if (Avx2Active()) {
+    const ForwardCsr fwd = BuildForwardCsr(graph);
+    const size_t n = graph.NumNodes();
+    std::vector<uint64_t> partials(ParallelChunkCount(n, kNodeGrain), 0);
+    ParallelForChunks(n, kNodeGrain, [&](const ParallelChunk& chunk) {
+      partials[chunk.index] =
+          CountTrianglesChunkAvx2(fwd.offsets.data(), fwd.targets.data(),
+                                  chunk.begin, chunk.end);
+    });
+    uint64_t triangles = 0;
+    for (uint64_t partial : partials) triangles += partial;
+    return triangles;
+  }
   const auto forward = BuildForwardLists(graph);
   const size_t n = forward.size();
   // Per-chunk integer partials, combined in chunk order: exact and
@@ -85,6 +135,38 @@ uint64_t CountTriangles(const Graph& graph) {
 }
 
 std::vector<uint64_t> PerNodeTriangles(const Graph& graph) {
+  if (Avx2Active()) {
+    const ForwardCsr fwd = BuildForwardCsr(graph);
+    const size_t n = graph.NumNodes();
+    std::vector<std::vector<uint64_t>> locals(
+        static_cast<size_t>(ParallelThreadCount()));
+    // Per-chunk scratch for intersection outputs, sized to the longest
+    // forward list (allocated lazily per worker, like `locals`).
+    std::vector<std::vector<Graph::NodeId>> scratch(locals.size());
+    uint32_t max_forward = 0;
+    for (size_t u = 0; u < n; ++u) {
+      max_forward =
+          std::max(max_forward, fwd.offsets[u + 1] - fwd.offsets[u]);
+    }
+    ParallelForChunks(n, kNodeGrain, [&](const ParallelChunk& chunk) {
+      auto& local = locals[chunk.worker];
+      if (local.empty()) local.assign(n, 0);
+      auto& buffer = scratch[chunk.worker];
+      if (buffer.size() < max_forward) buffer.resize(max_forward);
+      PerNodeTrianglesChunkAvx2(fwd.offsets.data(), fwd.targets.data(),
+                                chunk.begin, chunk.end, local.data(),
+                                buffer.data());
+    });
+    std::vector<uint64_t> per_node(n, 0);
+    ParallelFor(n, 4096, [&](size_t u) {
+      uint64_t total = 0;
+      for (const auto& local : locals) {
+        if (!local.empty()) total += local[u];
+      }
+      per_node[u] = total;
+    });
+    return per_node;
+  }
   const auto forward = BuildForwardLists(graph);
   const size_t n = forward.size();
   // A triangle increments all three of its corners, which live in
@@ -119,6 +201,10 @@ uint32_t CommonNeighbors(const Graph& graph, Graph::NodeId u,
                          Graph::NodeId v) {
   const auto nu = graph.Neighbors(u);
   const auto nv = graph.Neighbors(v);
+  if (Avx2Active()) {
+    return static_cast<uint32_t>(
+        IntersectCountAvx2(nu.data(), nu.size(), nv.data(), nv.size()));
+  }
   uint32_t common = 0;
   size_t i = 0, j = 0;
   while (i < nu.size() && j < nv.size()) {

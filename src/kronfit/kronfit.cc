@@ -25,6 +25,10 @@ namespace {
 // Serial: one chain is one Markov trajectory.
 void RunSwaps(const Graph& graph, const KronFitLikelihood& model,
               PermutationState* sigma, Rng& rng, uint64_t count) {
+  // The AVX2 path runs the whole loop inside the AVX2 translation unit
+  // (likelihood_kernels.h) — same trajectory as the scalar loop below,
+  // swap for swap.
+  if (model.MetropolisSwaps(graph, sigma, rng, count)) return;
   const uint32_t n = graph.NumNodes();
   for (uint64_t step = 0; step < count; ++step) {
     const uint32_t u = static_cast<uint32_t>(rng.NextBounded(n));

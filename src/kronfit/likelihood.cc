@@ -1,10 +1,13 @@
 #include "src/kronfit/likelihood.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "src/common/macros.h"
 #include "src/common/parallel.h"
+#include "src/common/simd.h"
+#include "src/kronfit/likelihood_kernels.h"
 
 namespace dpkron {
 namespace {
@@ -23,6 +26,7 @@ KronFitLikelihood::KronFitLikelihood(const Initiator2& theta, uint32_t k)
                  .Clamped()),
       k_(k),
       mask_((k >= 32) ? 0xFFFFFFFFu : ((1u << k) - 1)),
+      shift_(static_cast<uint32_t>(std::bit_width(k))),
       prob_(theta_, k) {
   DPKRON_CHECK_GE(k, 1u);
   // Tabulate the edge term and gradient factors over the digit-count
@@ -53,6 +57,24 @@ KronFitLikelihood::KronFitLikelihood(const Initiator2& theta, uint32_t k)
       grad_a_[idx] = n00 / a * factor;
       grad_b_[idx] = nb / b * factor;
       grad_c_[idx] = n11 / c * factor;
+    }
+  }
+  // AVX2-path layouts: same values (copies, not recomputation — the
+  // layouts can never drift from the dense tables), power-of-two row
+  // stride 2^shift_ (> k ≥ nb, so "(n11 << shift) | nb" is collision-
+  // free), gradient components fused into 32-byte cells.
+  const size_t stride = size_t{1} << shift_;
+  edge_term_padded_.assign(stride * (k + 1), 0.0);
+  grad4_padded_.assign(stride * (k + 1) * 4, 0.0);
+  for (uint32_t n11 = 0; n11 <= k; ++n11) {
+    for (uint32_t nb = 0; nb + n11 <= k; ++nb) {
+      const size_t src = size_t{n11} * (k + 1) + nb;
+      const size_t dst = (size_t{n11} << shift_) | nb;
+      edge_term_padded_[dst] = edge_term_[src];
+      grad4_padded_[dst * 4 + 0] = grad_a_[src];
+      grad4_padded_[dst * 4 + 1] = grad_b_[src];
+      grad4_padded_[dst * 4 + 2] = grad_c_[src];
+      grad4_padded_[dst * 4 + 3] = edge_term_[src];
     }
   }
 }
@@ -106,6 +128,18 @@ Gradient3 KronFitLikelihood::NoEdgeGradient() const {
 
 double KronFitLikelihood::LogLikelihood(const Graph& graph,
                                         const PermutationState& sigma) const {
+  if (Avx2Active()) {
+    const uint32_t* offsets = graph.Offsets().data();
+    const uint32_t* adjacency = graph.Adjacency().data();
+    const uint32_t* positions = sigma.sigma().data();
+    const double edge_sum = ParallelSum(
+        graph.NumNodes(), kNodeGrain, [&](size_t begin, size_t end) {
+          return EdgeTermSumChunkAvx2(offsets, adjacency, begin, end,
+                                      positions, mask_, shift_,
+                                      edge_term_padded_.data());
+        });
+    return edge_sum - NoEdgeTerm();
+  }
   const double edge_sum = ParallelSum(
       graph.NumNodes(), kNodeGrain, [&](size_t begin, size_t end) {
         double sum = 0.0;
@@ -125,6 +159,13 @@ double KronFitLikelihood::SwapDelta(const Graph& graph,
                                     uint32_t v) const {
   if (u == v) return 0.0;
   const uint32_t pu = sigma.Position(u), pv = sigma.Position(v);
+  if (Avx2Active()) {
+    const auto nu = graph.Neighbors(u);
+    const auto nv = graph.Neighbors(v);
+    return SwapDeltaAvx2(nu.data(), nu.size(), v, nv.data(), nv.size(), u,
+                         pu, pv, sigma.sigma().data(), mask_, shift_,
+                         edge_term_padded_.data());
+  }
   double delta = 0.0;
   // Edges incident to u (skip the shared edge {u,v}: handled once below).
   for (Graph::NodeId w : graph.Neighbors(u)) {
@@ -142,8 +183,30 @@ double KronFitLikelihood::SwapDelta(const Graph& graph,
   return delta;
 }
 
+bool KronFitLikelihood::MetropolisSwaps(const Graph& graph,
+                                        PermutationState* sigma, Rng& rng,
+                                        uint64_t count) const {
+  if (!Avx2Active()) return false;
+  MetropolisSwapsAvx2(graph.Offsets().data(), graph.Adjacency().data(),
+                      graph.NumNodes(), sigma, rng, count, mask_, shift_,
+                      edge_term_padded_.data());
+  return true;
+}
+
 Gradient3 KronFitLikelihood::EdgeGradient(const Graph& graph,
                                           const PermutationState& sigma) const {
+  if (Avx2Active()) {
+    const uint32_t* offsets = graph.Offsets().data();
+    const uint32_t* adjacency = graph.Adjacency().data();
+    const uint32_t* positions = sigma.sigma().data();
+    return ParallelSumArray<3>(
+        graph.NumNodes(), kNodeGrain, [&](size_t begin, size_t end) {
+          alignas(32) double out[4];
+          EdgeGradientChunkAvx2(offsets, adjacency, begin, end, positions,
+                                mask_, shift_, grad4_padded_.data(), out);
+          return Gradient3{out[0], out[1], out[2]};
+        });
+  }
   return ParallelSumArray<3>(
       graph.NumNodes(), kNodeGrain, [&](size_t begin, size_t end) {
         Gradient3 grad{0.0, 0.0, 0.0};

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/aligned.h"
 #include "src/graph/graph.h"
 #include "src/kronfit/permutation.h"
 #include "src/skg/initiator.h"
@@ -87,6 +88,14 @@ class KronFitLikelihood {
   double SwapDelta(const Graph& graph, const PermutationState& sigma,
                    uint32_t u, uint32_t v) const;
 
+  // Runs `count` Metropolis swap steps on `sigma` inside the AVX2
+  // translation unit when the AVX2 path is active (one ISA boundary per
+  // call instead of per swap — see likelihood_kernels.h); returns false
+  // without consuming any draws when inactive, so the caller runs its
+  // scalar loop. The trajectory is bit-identical to that scalar loop.
+  bool MetropolisSwaps(const Graph& graph, PermutationState* sigma,
+                       Rng& rng, uint64_t count) const;
+
   // ∇_(a,b,c) Σ_E EdgeTerm at alignment σ. Combined with NoEdgeGradient()
   // this is the full likelihood gradient. Chunk-ordered 3-component
   // parallel reduction over CSR node ranges.
@@ -110,10 +119,20 @@ class KronFitLikelihood {
   Initiator2 theta_;
   uint32_t k_;
   uint32_t mask_;  // low-k bits; hoisted out of the digit-count hot path
+  uint32_t shift_;  // padded-table row shift: stride 2^shift_ ≥ k+1
   EdgeProbability2 prob_;
   // (k+1)² tables over (n11, nb); see TableIndex.
   std::vector<double> edge_term_;
   std::vector<double> grad_a_, grad_b_, grad_c_;
+  // AVX2-path tables (likelihood_kernels.h): the same values re-laid-out
+  // with a power-of-two row stride so the cell index is a shift+or, and
+  // — for the gradient — combined into 32-byte cells
+  // [g_a, g_b, g_c, edge_term] one aligned vector load wide. Values are
+  // copied from the dense tables, so both layouts are bit-identical.
+  template <typename T>
+  using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+  AlignedVector<double> edge_term_padded_;
+  AlignedVector<double> grad4_padded_;
 };
 
 }  // namespace dpkron

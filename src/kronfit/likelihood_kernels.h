@@ -1,0 +1,84 @@
+// AVX2 kernels for the KronFit digit-pair table likelihood (defined in
+// likelihood_avx2.cc, compiled with -mavx2; reach only behind
+// Avx2Active()).
+//
+// All three kernels take the *padded* tables KronFitLikelihood builds
+// alongside its dense ones: stride 2^shift ≥ k+1 over nb, so the cell
+// index for a position pair (p, q) is
+//   (popcount(p&q&mask) << shift) | popcount((p^q)&mask)
+// — a vector shift+or instead of a multiply. The vectorization covers
+// the index computation (nibble-LUT popcounts over 8 pairs at a time);
+// the table values themselves are accumulated with exactly the scalar
+// path's add order, which is what makes the results bit-identical
+// (doubles are not reassociated — the digit counting is integer work).
+
+#ifndef DPKRON_KRONFIT_LIKELIHOOD_KERNELS_H_
+#define DPKRON_KRONFIT_LIKELIHOOD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dpkron {
+
+class PermutationState;
+class Rng;
+
+// Runs `count` Metropolis swap steps of one chain entirely inside the
+// AVX2 translation unit: proposal draws, SwapDelta, accept test, and
+// SwapNodes per step, with the vector constants hoisted once per call.
+// Keeping the whole loop on one side of the ISA boundary matters more
+// than the vector width — crossing between AVX2 kernel code and
+// legacy-SSE caller code per swap leaves dirty ymm uppers that give
+// every SSE instruction in the caller a false dependency.
+//
+// The trajectory is bit-identical to the scalar RunSwaps loop: the
+// delta is computed with the scalar walk's exact term order (one
+// accumulator — vectorized deltas were measured slower here, see the
+// in-loop comment), the same draws are consumed in the same order
+// (NextDouble only when delta < 0), and the accept test decides
+// "uniform < std::exp(delta)" without calling libm exp in almost every
+// case: a VEX polynomial brackets exp(delta) to relative 4e-11 and only
+// a uniform inside the bracket (probability ~8e-11) consults std::exp
+// itself. For delta < −40, exp is below NextDouble's granularity 2⁻⁵³,
+// so acceptance requires uniform to be exactly 0 (std::exp is then
+// consulted once to match the scalar comparison even where exp
+// underflows to zero).
+void MetropolisSwapsAvx2(const uint32_t* offsets, const uint32_t* adjacency,
+                         uint32_t n, PermutationState* sigma, Rng& rng,
+                         uint64_t count, uint32_t mask, uint32_t shift,
+                         const double* edge_term_padded);
+
+// SwapDelta for the proposed exchange of nodes u and v (positions pu,
+// pv): walks u's neighbor list (skipping v) adding
+// et[idx(pv,pw)] − et[idx(pu,pw)], then v's list (skipping u) adding
+// et[idx(pu,pw)] − et[idx(pv,pw)], into one running accumulator —
+// the same single FP chain as the scalar loop.
+double SwapDeltaAvx2(const uint32_t* u_neighbors, size_t u_degree,
+                     uint32_t v, const uint32_t* v_neighbors,
+                     size_t v_degree, uint32_t u, uint32_t pu, uint32_t pv,
+                     const uint32_t* positions, uint32_t mask,
+                     uint32_t shift, const double* edge_term_padded);
+
+// Σ EdgeTerm over the CSR rows [begin, end), counting each edge once
+// (only neighbors v > u), accumulated in row-major edge order — the
+// scalar LogLikelihood chunk body.
+double EdgeTermSumChunkAvx2(const uint32_t* offsets,
+                            const uint32_t* adjacency, size_t begin,
+                            size_t end, const uint32_t* positions,
+                            uint32_t mask, uint32_t shift,
+                            const double* edge_term_padded);
+
+// Per-chunk gradient accumulation over rows [begin, end): out[0..2] are
+// the (a, b, c) partials, accumulated per-component in the scalar edge
+// order via one 4-lane vector accumulator over the combined grad4 table
+// (cells [g_a, g_b, g_c, edge_term], 32-byte aligned; lane 3 is
+// discarded). out must be 32-byte aligned.
+void EdgeGradientChunkAvx2(const uint32_t* offsets,
+                           const uint32_t* adjacency, size_t begin,
+                           size_t end, const uint32_t* positions,
+                           uint32_t mask, uint32_t shift,
+                           const double* grad4_padded, double out[4]);
+
+}  // namespace dpkron
+
+#endif  // DPKRON_KRONFIT_LIKELIHOOD_KERNELS_H_

@@ -4,6 +4,8 @@
 
 #include "src/common/macros.h"
 #include "src/common/parallel.h"
+#include "src/common/simd.h"
+#include "src/common/vec_kernels.h"
 
 namespace dpkron {
 namespace {
@@ -49,13 +51,39 @@ double Dot(const std::vector<double>& x, const std::vector<double>& y) {
                      });
 }
 
+// Axpy and Scale are element-wise (one independent rounding per
+// element), so their AVX2 paths are bit-identical by construction. Dot
+// and AdjacencyMatVec stay scalar on purpose: their sequential
+// chunk/row reduction order is the frozen determinism contract behind
+// the Lanczos-derived scenario outputs, and vectorizing a summation
+// means reassociating it.
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
   DPKRON_CHECK_EQ(x.size(), y->size());
+  if (Avx2Active()) {
+    double* y_data = y->data();
+    const double* x_data = x.data();
+    ParallelForChunks(x.size(), kVectorGrain,
+                      [&](const ParallelChunk& chunk) {
+                        AxpyAvx2(alpha, x_data + chunk.begin,
+                                 y_data + chunk.begin,
+                                 chunk.end - chunk.begin);
+                      });
+    return;
+  }
   ParallelFor(x.size(), kVectorGrain,
               [&](size_t i) { (*y)[i] += alpha * x[i]; });
 }
 
 void Scale(double alpha, std::vector<double>* x) {
+  if (Avx2Active()) {
+    double* x_data = x->data();
+    ParallelForChunks(x->size(), kVectorGrain,
+                      [&](const ParallelChunk& chunk) {
+                        ScaleAvx2(alpha, x_data + chunk.begin,
+                                  chunk.end - chunk.begin);
+                      });
+    return;
+  }
   ParallelFor(x->size(), kVectorGrain,
               [&](size_t i) { (*x)[i] *= alpha; });
 }

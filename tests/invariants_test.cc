@@ -98,7 +98,10 @@ TEST_P(GraphInvariantsTest, CoreNumbersBelowDegreeAndDegeneracyBound) {
 
 TEST_P(GraphInvariantsTest, EdgeListRoundTripPreservesGraph) {
   const Graph g = MakeRandomGraph();
-  const std::string path = ::testing::TempDir() + "/invariant_roundtrip.txt";
+  // Per-instance file name: `ctest -j` runs each parameterized instance
+  // as its own process, and a shared path races write against read.
+  const std::string path = ::testing::TempDir() + "/invariant_roundtrip_" +
+                           std::to_string(GetParam()) + ".txt";
   ASSERT_TRUE(WriteEdgeList(g, path).ok());
   const auto back = ReadEdgeList(path);
   ASSERT_TRUE(back.ok());
