@@ -83,7 +83,24 @@ void PrintUsage(std::FILE* out) {
                "                        uninterrupted run\n"
                "  --retries=N           extra attempts per cell for\n"
                "                        transient (UNAVAILABLE) failures\n"
-               "                        (default 0)\n");
+               "                        (default 0)\n"
+               "  --disk-cache=DIR      attach the persistent StatCache\n"
+               "                        tier rooted at DIR (created if\n"
+               "                        needed); repeated runs and sweep\n"
+               "                        shards warm-start from it\n"
+               "  --cache-mem-budget=MB cap the in-memory StatCache\n"
+               "                        footprint; oldest entries evict\n"
+               "                        (and reload from --disk-cache)\n"
+               "\n"
+               "multi-process sharding (requires --sweep --checkpoint):\n"
+               "  --sweep-shards=N      this run is one worker of an\n"
+               "                        N-worker fleet over the same spec\n"
+               "  --sweep-shard-id=I    which worker (0..N-1); the shard\n"
+               "                        journals to <checkpoint>.shard-I\n"
+               "  --sweep-merge         instead of running, merge the N\n"
+               "                        shard journals into the document\n"
+               "                        (byte-identical to an unsharded\n"
+               "                        run of the same spec)\n");
 }
 
 void PrintList() {
@@ -151,13 +168,20 @@ std::vector<std::string> SplitCommaList(const char* value) {
 
 void PrintCacheStats() {
   const StatCache::Counters total = StatCache::Instance().TotalCounters();
-  std::printf("# stat cache: %llu hits, %llu misses\n",
+  std::printf("# stat cache: %llu hits, %llu misses, %llu disk hits,"
+              " %llu disk misses\n",
               static_cast<unsigned long long>(total.hits),
-              static_cast<unsigned long long>(total.misses));
+              static_cast<unsigned long long>(total.misses),
+              static_cast<unsigned long long>(total.disk_hits),
+              static_cast<unsigned long long>(total.disk_misses));
   for (const auto& [domain, counters] : StatCache::Instance().DomainCounters()) {
-    std::printf("#   %-18s %llu hits, %llu misses\n", domain.c_str(),
+    std::printf("#   %-18s %llu hits, %llu misses, %llu disk hits,"
+                " %llu disk misses\n",
+                domain.c_str(),
                 static_cast<unsigned long long>(counters.hits),
-                static_cast<unsigned long long>(counters.misses));
+                static_cast<unsigned long long>(counters.misses),
+                static_cast<unsigned long long>(counters.disk_hits),
+                static_cast<unsigned long long>(counters.disk_misses));
   }
 }
 
@@ -169,9 +193,14 @@ int Main(int argc, char** argv) {
   bool sweep_mode = false;
   bool cache_stats = false;
   bool resume = false;
+  bool sweep_merge = false;
   uint32_t sweep_seeds = 1;
   uint32_t retries = 0;
+  uint32_t sweep_shards = 1;
+  int sweep_shard_id = -1;  // -1 = flag not given
+  uint64_t cache_mem_budget_mb = 0;
   std::string checkpoint_path;
+  std::string disk_cache_path;
   std::vector<std::string> names;
   std::string out_path;
   int threads = 0;
@@ -191,6 +220,30 @@ int Main(int argc, char** argv) {
       resume = true;
     } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
       checkpoint_path = arg + 13;
+    } else if (std::strncmp(arg, "--disk-cache=", 13) == 0) {
+      disk_cache_path = arg + 13;
+    } else if (std::strncmp(arg, "--cache-mem-budget=", 19) == 0) {
+      const long long mb = std::atoll(arg + 19);
+      if (mb < 1) {
+        std::fprintf(stderr, "--cache-mem-budget must be >= 1 (MB)\n");
+        return 2;
+      }
+      cache_mem_budget_mb = static_cast<uint64_t>(mb);
+    } else if (std::strcmp(arg, "--sweep-merge") == 0) {
+      sweep_merge = true;
+    } else if (std::strncmp(arg, "--sweep-shards=", 15) == 0) {
+      const int shards = std::atoi(arg + 15);
+      if (shards < 1) {
+        std::fprintf(stderr, "--sweep-shards must be >= 1\n");
+        return 2;
+      }
+      sweep_shards = static_cast<uint32_t>(shards);
+    } else if (std::strncmp(arg, "--sweep-shard-id=", 17) == 0) {
+      sweep_shard_id = std::atoi(arg + 17);
+      if (sweep_shard_id < 0) {
+        std::fprintf(stderr, "--sweep-shard-id must be >= 0\n");
+        return 2;
+      }
     } else if (std::strncmp(arg, "--retries=", 10) == 0) {
       const int value = std::atoi(arg + 10);
       if (value < 0) {
@@ -279,6 +332,41 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "--resume requires --checkpoint=PATH\n");
     return 2;
   }
+  if ((sweep_shards > 1 || sweep_shard_id >= 0 || sweep_merge) &&
+      !sweep_mode) {
+    std::fprintf(stderr,
+                 "--sweep-shards / --sweep-shard-id / --sweep-merge require"
+                 " --sweep\n");
+    return 2;
+  }
+  if ((sweep_shards > 1 || sweep_merge) && checkpoint_path.empty()) {
+    // Shard journals and the merge input set both derive from the
+    // checkpoint base path — there is nothing to name them without it.
+    std::fprintf(stderr,
+                 "--sweep-shards / --sweep-merge require --checkpoint=PATH"
+                 " (the shard-journal base)\n");
+    return 2;
+  }
+  if (sweep_merge && sweep_shard_id >= 0) {
+    std::fprintf(stderr, "--sweep-merge is not a worker; drop"
+                         " --sweep-shard-id\n");
+    return 2;
+  }
+  if (sweep_merge && resume) {
+    std::fprintf(stderr, "--sweep-merge does not execute cells; use --resume"
+                         " on the workers instead\n");
+    return 2;
+  }
+  if (!sweep_merge && sweep_shards > 1 && sweep_shard_id < 0) {
+    std::fprintf(stderr, "--sweep-shards needs --sweep-shard-id=I (worker)"
+                         " or --sweep-merge\n");
+    return 2;
+  }
+  if (sweep_shard_id >= 0 &&
+      static_cast<uint32_t>(sweep_shard_id) >= sweep_shards) {
+    std::fprintf(stderr, "--sweep-shard-id must be < --sweep-shards\n");
+    return 2;
+  }
   // In sweep mode --dataset is the dataset axis (comma-separated refs);
   // in single-run mode it is one ref. Either way, fail fast on a bad
   // reference instead of deep inside a scenario.
@@ -311,6 +399,16 @@ int Main(int argc, char** argv) {
   // free, and cached values are bit-identical to recomputation, so
   // single-run output is unchanged.
   StatCache::Instance().set_enabled(true);
+  if (!disk_cache_path.empty()) {
+    const Status attached = StatCache::Instance().AttachDiskTier(disk_cache_path);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "--disk-cache: %s\n", attached.ToString().c_str());
+      return 2;
+    }
+  }
+  if (cache_mem_budget_mb > 0) {
+    StatCache::Instance().set_byte_budget(cache_mem_budget_mb * (1ull << 20));
+  }
 
   if (sweep_mode) {
     SweepSpec sweep;
@@ -328,6 +426,42 @@ int Main(int argc, char** argv) {
     sweep.checkpoint_path = checkpoint_path;
     sweep.resume = resume;
     sweep.max_attempts = retries + 1;
+    if (sweep_merge) {
+      // Merge mode: no cells execute here; combine the workers' shard
+      // journals into the full-matrix document.
+      std::vector<std::string> shard_paths;
+      for (uint32_t i = 0; i < sweep_shards; ++i) {
+        shard_paths.push_back(ShardCheckpointPath(checkpoint_path, i));
+      }
+      auto merged = MergeSweepShards(sweep, shard_paths);
+      if (!merged.ok()) {
+        std::fprintf(stderr, "sweep merge failed: %s\n",
+                     merged.status().ToString().c_str());
+        return 2;
+      }
+      std::printf("# sweep merge: %zu runs (%zu failed) from %u shards\n",
+                  merged.value().runs.size(), merged.value().failed_runs,
+                  sweep_shards);
+      if (!out_path.empty()) {
+        const std::string json =
+            SweepsJson(merged.value(), ParallelThreadCount());
+        const Status wrote = WriteFileDurable(out_path, json + "\n");
+        if (!wrote.ok()) {
+          std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                       wrote.ToString().c_str());
+          return 1;
+        }
+        std::printf("# wrote %s (%zu runs)\n", out_path.c_str(),
+                    merged.value().runs.size());
+      }
+      return 0;
+    }
+    if (sweep_shards > 1) {
+      sweep.shards = sweep_shards;
+      sweep.shard_id = static_cast<uint32_t>(sweep_shard_id);
+      sweep.checkpoint_path =
+          ShardCheckpointPath(checkpoint_path, sweep.shard_id);
+    }
     auto result = RunSweep(sweep);
     if (!result.ok()) {
       std::fprintf(stderr, "sweep failed: %s\n",

@@ -48,6 +48,13 @@ void PrintUsage(std::FILE* out) {
       "                        pinned into the journal on first open\n"
       "  --compact-threshold=N compact the journal on open when the\n"
       "                        replayed history exceeds N records\n"
+      "  --disk-cache=DIR      persistent StatCache tier (created if\n"
+      "                        needed): a restarted daemon warm-starts\n"
+      "                        release computations from disk; healthz\n"
+      "                        reports disk_hits / disk_misses\n"
+      "  --cache-mem-budget=MB cap the in-memory StatCache footprint;\n"
+      "                        oldest entries evict (and reload from\n"
+      "                        --disk-cache when attached)\n"
       "  --kronfit-iterations=N  override KronFit iterations per request\n"
       "  --smoke               run scenarios with shrunk axes (CI)\n"
       "  --dataset-cache       keep .dpkb sidecars for file datasets\n"
@@ -95,6 +102,15 @@ int Main(int argc, char** argv) {
       }
     } else if (ParseFlag(argv[i], "--compact-threshold", &value) && value) {
       config.compact_threshold = static_cast<uint64_t>(std::atoll(value));
+    } else if (ParseFlag(argv[i], "--disk-cache", &value) && value) {
+      config.disk_cache_path = value;
+    } else if (ParseFlag(argv[i], "--cache-mem-budget", &value) && value) {
+      const long long mb = std::atoll(value);
+      if (mb < 1) {
+        std::fprintf(stderr, "--cache-mem-budget must be >= 1 (MB)\n");
+        return 2;
+      }
+      config.cache_mem_budget = static_cast<uint64_t>(mb) * (1ull << 20);
     } else if (ParseFlag(argv[i], "--kronfit-iterations", &value) && value) {
       config.kronfit_iterations = static_cast<uint32_t>(std::atoi(value));
     } else if (ParseFlag(argv[i], "--smoke", &value)) {

@@ -1,0 +1,197 @@
+#include "src/common/disk_cache.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "src/common/env.h"
+#include "src/common/fnv.h"
+
+namespace dpkron {
+namespace {
+
+// "DPKCACH1" as a little-endian u64 — the entry-payload magic.
+constexpr uint64_t kDiskCacheMagic = 0x3148434143'4b5044ull;
+// Bump whenever any domain's value encoding changes: old entries then
+// fail validation and degrade to misses instead of decoding garbage.
+constexpr uint32_t kDiskCacheFormatVersion = 1;
+
+// Creates `path` and any missing ancestors, one level at a time.
+// Idempotent; returns the first hard failure.
+Status CreateDirRecursive(const std::string& path, Env* env) {
+  Status status;
+  for (size_t slash = path.find('/', 1); slash != std::string::npos;
+       slash = path.find('/', slash + 1)) {
+    if (slash == 0) continue;
+    status = env->CreateDir(path.substr(0, slash));
+    if (!status.ok()) return status;
+  }
+  return env->CreateDir(path);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DiskCache>> DiskCache::Open(const std::string& root,
+                                                   const Options& options) {
+  if (root.empty()) {
+    return Status::InvalidArgument("disk cache root must be non-empty");
+  }
+  std::string normalized = root;
+  while (normalized.size() > 1 && normalized.back() == '/') {
+    normalized.pop_back();
+  }
+  const Status created = CreateDirRecursive(normalized, GetEnv());
+  if (!created.ok()) return created;
+  return std::unique_ptr<DiskCache>(
+      new DiskCache(std::move(normalized), options));
+}
+
+std::string DiskCache::EntryPath(const char* domain, uint64_t key) const {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(key));
+  return root_ + "/" + domain + "-" + hex + ".dpkc";
+}
+
+Result<std::string> DiskCache::Load(const char* domain, uint64_t key) const {
+  const std::string path = EntryPath(domain, key);
+  Env* env = GetEnv();
+  // The entry is exactly one framed record; reuse the journal reader so
+  // torn tails and checksum failures are detected by the same code the
+  // checkpoint/ledger recovery paths already trust. A missing file is
+  // the common miss; any other read error (EIO, injected fault) is
+  // indistinguishable from "no usable entry" for a cache.
+  auto read = ReadJournal(path);
+  if (!read.ok() && read.status().code() == StatusCode::kNotFound) {
+    return Status::NotFound(path + ": no disk cache entry");
+  }
+  const bool framed = read.ok() && read.value().records.size() == 1 &&
+                      !read.value().truncated_tail;
+  std::string value_bytes;
+  bool valid = false;
+  if (framed) {
+    RecordParser rec(read.value().records.front());
+    const uint64_t magic = rec.U64();
+    const uint32_t version = rec.U32();
+    const std::string recorded_domain = rec.Str();
+    const uint64_t recorded_key = rec.U64();
+    value_bytes = rec.Str();
+    valid = rec.done() && magic == kDiskCacheMagic &&
+            version == kDiskCacheFormatVersion && recorded_domain == domain &&
+            recorded_key == key;
+  }
+  if (!valid) {
+    // Torn, corrupt, foreign-format or mis-filed: a clean miss. Unlink
+    // the corpse (best-effort) so the recompute's Store reinstalls a
+    // good entry even if rename-over-existing is ever restricted.
+    (void)env->RemoveFile(path);
+    return Status::NotFound(path + ": invalid disk cache entry");
+  }
+  return value_bytes;
+}
+
+Status DiskCache::Store(const char* domain, uint64_t key,
+                        std::string_view value_bytes) const {
+  const std::string payload = RecordBuilder()
+                                  .U64(kDiskCacheMagic)
+                                  .U32(kDiskCacheFormatVersion)
+                                  .Str(domain)
+                                  .U64(key)
+                                  .Str(value_bytes)
+                                  .str();
+  std::string image;
+  AppendFramedRecord(&image, payload);
+  return WriteFileDurable(EntryPath(domain, key), image);
+}
+
+// ------------------------------------------------------ DiskEntryClaim
+
+DiskEntryClaim::DiskEntryClaim(const DiskCache* cache, const char* domain,
+                               uint64_t key)
+    : cache_(cache), domain_(domain), key_(key) {
+  if (cache_ != nullptr) {
+    lock_path_ = cache_->EntryPath(domain, key) + ".lock";
+  }
+}
+
+DiskEntryClaim::~DiskEntryClaim() { ReleaseLock(); }
+
+void DiskEntryClaim::ReleaseLock() {
+  if (!lock_held_) return;
+  lock_held_ = false;
+  (void)GetEnv()->RemoveFile(lock_path_);
+}
+
+namespace {
+
+// One O_EXCL attempt on `path`. kFailedPrecondition = held elsewhere;
+// any other failure means locks don't work here (permissions, injected
+// fault) and the caller proceeds uncoordinated.
+Status TryAcquireLock(const std::string& path) {
+  auto file = GetEnv()->NewExclusiveFile(path);
+  if (!file.ok()) return file.status();
+  (void)file.value()->Close();
+  return Status::Ok();
+}
+
+}  // namespace
+
+bool DiskEntryClaim::TryLoad(std::string* value_bytes) {
+  if (cache_ == nullptr) return false;
+  auto loaded = cache_->Load(domain_, key_);
+  if (loaded.ok()) {
+    *value_bytes = std::move(loaded).value();
+    return true;
+  }
+  // Cold key: elect a computer. Winner returns false holding the lock;
+  // a loser polls for the winner's entry, adopting it mid-wait. A lock
+  // that outlives lock_stale_ms is presumed orphaned by a crashed
+  // holder: break it and compute. Every failure of the protocol itself
+  // degrades to an uncoordinated compute — duplicated work with
+  // byte-identical results (the cache contract), never a wrong value.
+  const Status acquired = TryAcquireLock(lock_path_);
+  if (acquired.ok()) {
+    lock_held_ = true;
+    return false;
+  }
+  if (acquired.code() != StatusCode::kFailedPrecondition) return false;
+  const DiskCache::Options& options = cache_->options();
+  const int64_t poll_ms = options.lock_poll_ms < 1 ? 1 : options.lock_poll_ms;
+  int64_t waited_ms = 0;
+  while (waited_ms < options.lock_stale_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    waited_ms += poll_ms;
+    auto retry = cache_->Load(domain_, key_);
+    if (retry.ok()) {
+      *value_bytes = std::move(retry).value();
+      return true;
+    }
+    if (TryAcquireLock(lock_path_).ok()) {  // released without an entry
+      lock_held_ = true;
+      return false;
+    }
+  }
+  // Stale: remove + reacquire. Losing the remove/create race to another
+  // breaker just means both compute, uncoordinated.
+  (void)GetEnv()->RemoveFile(lock_path_);
+  lock_held_ = TryAcquireLock(lock_path_).ok();
+  return false;
+}
+
+void DiskEntryClaim::Store(std::string_view value_bytes) {
+  if (cache_ == nullptr) return;
+  const Status stored = cache_->Store(domain_, key_, value_bytes);
+  if (!stored.ok()) {
+    // Best-effort tier: the in-memory value is already correct, the
+    // next process recomputes. Same posture as the sidecar-cache write.
+    std::fprintf(stderr,
+                 "# warning: disk cache write failed (%s); entry %s will be "
+                 "recomputed next process\n",
+                 stored.ToString().c_str(),
+                 cache_->EntryPath(domain_, key_).c_str());
+  }
+  ReleaseLock();
+}
+
+}  // namespace dpkron

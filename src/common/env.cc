@@ -155,6 +155,13 @@ class PosixEnv : public Env {
     return Status::Ok();
   }
 
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir " + path, errno);
+    }
+    return Status::Ok();
+  }
+
   Status SyncDir(const std::string& path_in_dir) override {
     const size_t slash = path_in_dir.find_last_of('/');
     const std::string dir =
@@ -461,6 +468,10 @@ Status FaultInjectionEnv::TruncateFile(const std::string& path,
     }
   }
   return status;
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
 }
 
 Status FaultInjectionEnv::SyncDir(const std::string& path_in_dir) {

@@ -81,6 +81,10 @@ class Env {
                             const std::string& to) = 0;
   virtual Status RemoveFile(const std::string& path) = 0;
   virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  // Creates one directory level. An already-existing directory is OK
+  // (idempotent) — callers that need create-exclusive semantics use
+  // NewExclusiveFile lock files, never directories.
+  virtual Status CreateDir(const std::string& path) = 0;
   // fsyncs the directory containing `path_in_dir` — the step that makes
   // a just-renamed file survive a crash of the directory's metadata.
   virtual Status SyncDir(const std::string& path_in_dir) = 0;
@@ -171,6 +175,7 @@ class FaultInjectionEnv : public Env {
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
   Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& path) override;  // passes through
   Status SyncDir(const std::string& path_in_dir) override;
 
  private:

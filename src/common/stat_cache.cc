@@ -1,5 +1,7 @@
 #include "src/common/stat_cache.h"
 
+#include <algorithm>
+
 namespace dpkron {
 
 StatCache& StatCache::Instance() {
@@ -9,18 +11,115 @@ StatCache& StatCache::Instance() {
   return instance;
 }
 
+Status StatCache::AttachDiskTier(const std::string& root,
+                                 const DiskCache::Options& options) {
+  auto cache = DiskCache::Open(root, options);
+  if (!cache.ok()) return cache.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_ = std::move(cache).value();
+  return Status::Ok();
+}
+
+void StatCache::DetachDiskTier() {
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_.reset();
+}
+
+bool StatCache::disk_attached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_ != nullptr;
+}
+
+std::string StatCache::disk_root() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_ != nullptr ? disk_->root() : std::string();
+}
+
+std::shared_ptr<const DiskCache> StatCache::disk_tier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_;
+}
+
+void StatCache::set_byte_budget(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_budget_ = bytes;
+  EvictToBudgetLocked();
+}
+
+uint64_t StatCache::byte_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return byte_budget_;
+}
+
+uint64_t StatCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
 StatCache::Lookup StatCache::LookupOrRegister(
     const char* domain, uint64_t key,
     std::shared_future<std::shared_ptr<const void>> candidate) {
   std::lock_guard<std::mutex> lock(mu_);
   Domain& d = domains_[domain];
-  auto [it, inserted] = d.entries.try_emplace(key, std::move(candidate));
+  auto [it, inserted] = d.entries.try_emplace(key);
   if (inserted) {
+    it->second.future = std::move(candidate);
     ++d.counters.misses;
   } else {
     ++d.counters.hits;
   }
-  return Lookup{it->second, inserted};
+  it->second.tick = ++tick_;
+  return Lookup{it->second.future, inserted};
+}
+
+void StatCache::FinalizeEntry(const char* domain, uint64_t key, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto domain_it = domains_.find(domain);
+  if (domain_it == domains_.end()) return;  // Clear() raced the compute
+  auto it = domain_it->second.entries.find(key);
+  if (it == domain_it->second.entries.end() || it->second.bytes != 0) return;
+  it->second.bytes = std::max<size_t>(bytes, 1);
+  resident_bytes_ += it->second.bytes;
+  EvictToBudgetLocked();
+}
+
+void StatCache::EvictToBudgetLocked() {
+  if (byte_budget_ == 0 || resident_bytes_ <= byte_budget_) return;
+  // Coarse LRU: collect every fulfilled entry (in-flight ones — bytes
+  // 0 — are owned by a computing thread and must stay registered),
+  // oldest access first, and drop until within budget. Waiters holding
+  // shared_future copies keep their values alive; eviction only makes
+  // FUTURE lookups recompute (or reload from the disk tier).
+  struct Victim {
+    uint64_t tick;
+    Domain* domain;
+    uint64_t key;
+    size_t bytes;
+  };
+  std::vector<Victim> victims;
+  for (auto& [name, domain] : domains_) {
+    for (auto& [key, entry] : domain.entries) {
+      if (entry.bytes == 0) continue;
+      victims.push_back(Victim{entry.tick, &domain, key, entry.bytes});
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) { return a.tick < b.tick; });
+  for (const Victim& victim : victims) {
+    if (resident_bytes_ <= byte_budget_) break;
+    victim.domain->entries.erase(victim.key);
+    resident_bytes_ -= victim.bytes;
+  }
+}
+
+void StatCache::RecordDiskOutcome(const char* domain, bool hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters& counters = domains_[domain].counters;
+  if (hit) {
+    ++counters.disk_hits;
+  } else {
+    ++counters.disk_misses;
+  }
 }
 
 void StatCache::Clear() {
@@ -29,6 +128,7 @@ void StatCache::Clear() {
   // complete normally; only future lookups recompute.
   std::lock_guard<std::mutex> lock(mu_);
   domains_.clear();
+  resident_bytes_ = 0;
 }
 
 StatCache::Counters StatCache::TotalCounters() const {
@@ -37,6 +137,8 @@ StatCache::Counters StatCache::TotalCounters() const {
   for (const auto& [name, domain] : domains_) {
     total.hits += domain.counters.hits;
     total.misses += domain.counters.misses;
+    total.disk_hits += domain.counters.disk_hits;
+    total.disk_misses += domain.counters.disk_misses;
   }
   return total;
 }

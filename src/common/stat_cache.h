@@ -21,20 +21,35 @@
 // advances exactly as if the work had re-run and every downstream draw
 // is unchanged.
 //
+// Tiers. The in-memory memo is tier 0. A driver may additionally attach
+// a persistent DISK tier (AttachDiskTier → common/disk_cache.h): domains
+// that opt in with GetOrComputeDurable supply a value codec, and the
+// owner of an in-memory miss then reads through to the shared on-disk
+// store before computing, and writes behind after. Disk entries carry
+// the same (domain, key) content address, so the bit-identical-on-hit
+// contract — including Rng stream restoration — holds across process
+// boundaries: a warm dpkrond restart, a repeated CLI run and the shards
+// of a multi-process sweep all serve the exact bytes a cold compute
+// would produce.
+//
 // Concurrency. The cache is shared by all threads (the sweep engine runs
 // the run matrix over the thread pool). A miss registers an in-flight
 // entry before computing, so concurrent requests for the same key wait
 // on the first computation instead of duplicating it; waiting is
 // deadlock-free because the compute-dependency graph is a shallow DAG
 // (composite entries depend only on leaf entries, which wait on nothing).
+// Cross-PROCESS misses on one disk store are single-flighted with the
+// sidecar cache's advisory O_EXCL lock protocol (see DiskEntryClaim).
 //
 // The cache is DISABLED by default: library callers and the test suite
-// see plain recomputation unless a driver (dpkron_experiments, RunSweep)
-// opts in with set_enabled(true). Entries are never evicted — memory
-// grows with the number of DISTINCT keys, which includes one-off
-// entries (e.g. the statistics of a per-run private sample that no
-// later run can reuse). The memo is scoped to a driver process; call
-// Clear() between batches to release it.
+// see plain recomputation unless a driver (dpkron_experiments, RunSweep,
+// dpkrond) opts in with set_enabled(true). Memory is bounded by an
+// optional byte budget (set_byte_budget): when the resident footprint
+// exceeds it, fulfilled entries are evicted oldest-access-first — coarse
+// LRU, safe because an evicted key either recomputes or (with a disk
+// tier) reloads bit-identically. The default budget of 0 keeps the
+// pre-budget behavior (no eviction; Clear() between batches releases
+// everything).
 
 #ifndef DPKRON_COMMON_STAT_CACHE_H_
 #define DPKRON_COMMON_STAT_CACHE_H_
@@ -45,13 +60,17 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/disk_cache.h"
 #include "src/common/fnv.h"
+#include "src/common/journal.h"
 #include "src/common/macros.h"
+#include "src/common/status.h"
 
 namespace dpkron {
 
@@ -83,11 +102,28 @@ class CacheKey {
   uint64_t hash_ = kFnv1aOffsetBasis;
 };
 
+// Coarse resident footprint of a cached value, for the byte-budget cap:
+// exact for flat PODs and POD vectors. Cached types that own containers
+// provide a non-template overload next to their definition (found by
+// ADL at the GetOrCompute call — see GraphStatistics in core/release.h).
+template <typename T>
+inline size_t ApproxCacheBytes(const T&) {
+  return sizeof(T);
+}
+template <typename T>
+inline size_t ApproxCacheBytes(const std::vector<T>& values) {
+  return sizeof(values) + values.capacity() * sizeof(T);
+}
+
 class StatCache {
  public:
   struct Counters {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
+    uint64_t hits = 0;    // in-memory memo hits
+    uint64_t misses = 0;  // in-memory memo misses (owner computed or read disk)
+    // Of the in-memory misses in a durable domain with a disk tier
+    // attached: how many were served warm from disk vs computed cold.
+    uint64_t disk_hits = 0;
+    uint64_t disk_misses = 0;
   };
 
   // The one process-wide instance.
@@ -97,6 +133,22 @@ class StatCache {
   void set_enabled(bool enabled) {
     enabled_.store(enabled, std::memory_order_relaxed);
   }
+
+  // Attaches the persistent tier rooted at `root` (created if needed).
+  // Replaces any previously attached tier; in-flight computations keep
+  // using the tier they started with.
+  Status AttachDiskTier(const std::string& root,
+                        const DiskCache::Options& options = DiskCache::Options());
+  void DetachDiskTier();
+  bool disk_attached() const;
+  std::string disk_root() const;  // "" when detached
+
+  // Caps the resident in-memory footprint (sum of ApproxCacheBytes over
+  // fulfilled entries). 0 = unbounded (the default). Shrinking below the
+  // current footprint evicts immediately.
+  void set_byte_budget(uint64_t bytes);
+  uint64_t byte_budget() const;
+  uint64_t resident_bytes() const;
 
   // The memoized value for (domain, key), computing it with `fn` on the
   // first request. `fn` must be a pure function of the key's inputs
@@ -117,14 +169,60 @@ class StatCache {
     if (!lookup.owner) {
       return std::static_pointer_cast<const T>(lookup.future.get());
     }
-    struct FulfillGuard {
-      bool fulfilled = false;
-      ~FulfillGuard() {
-        DPKRON_CHECK_MSG(fulfilled,
-                         "StatCache compute function must not throw");
-      }
-    } guard;
+    FulfillGuard guard;
     auto value = std::make_shared<const T>(fn());
+    FinalizeEntry(domain, key, ApproxCacheBytes(*value));
+    guard.fulfilled = true;
+    promise.set_value(value);
+    return value;
+  }
+
+  // GetOrCompute for a domain with a durable (disk-serializable) value:
+  // `encode(value, builder)` appends the value's fields to a
+  // RecordBuilder, `decode(parser)` reads them back as an
+  // std::optional<T> (nullopt = foreign/short record → treated as a
+  // disk miss). With a disk tier attached, the owner of an in-memory
+  // miss first tries the on-disk entry (a warm process-crossing hit —
+  // decoded bytes are the exact bytes a recompute would produce, the
+  // codec round-trip contract tests/disk_cache_test.cc enforces) and
+  // writes the computed value behind on a cold miss. Without a disk
+  // tier this is exactly GetOrCompute.
+  template <typename T, typename Fn, typename Encode, typename Decode>
+  std::shared_ptr<const T> GetOrComputeDurable(const char* domain,
+                                               uint64_t key, Fn&& fn,
+                                               Encode&& encode,
+                                               Decode&& decode) {
+    if (!enabled()) return std::make_shared<const T>(fn());
+    std::promise<std::shared_ptr<const void>> promise;
+    const Lookup lookup =
+        LookupOrRegister(domain, key, promise.get_future().share());
+    if (!lookup.owner) {
+      return std::static_pointer_cast<const T>(lookup.future.get());
+    }
+    FulfillGuard guard;
+    std::shared_ptr<const T> value;
+    const std::shared_ptr<const DiskCache> disk = disk_tier();
+    if (disk != nullptr) {
+      DiskEntryClaim claim(disk.get(), domain, key);
+      std::string bytes;
+      if (claim.TryLoad(&bytes)) {
+        RecordParser rec(bytes);
+        std::optional<T> decoded = decode(rec);
+        if (decoded.has_value() && rec.done()) {
+          value = std::make_shared<const T>(std::move(*decoded));
+        }
+      }
+      RecordDiskOutcome(domain, /*hit=*/value != nullptr);
+      if (value == nullptr) {
+        value = std::make_shared<const T>(fn());
+        RecordBuilder rec;
+        encode(*value, rec);
+        claim.Store(rec.str());
+      }
+    } else {
+      value = std::make_shared<const T>(fn());
+    }
+    FinalizeEntry(domain, key, ApproxCacheBytes(*value));
     guard.fulfilled = true;
     promise.set_value(value);
     return value;
@@ -144,11 +242,20 @@ class StatCache {
     std::shared_future<std::shared_ptr<const void>> future;
     bool owner = false;  // true: the caller must compute and fulfill
   };
+  struct Entry {
+    std::shared_future<std::shared_ptr<const void>> future;
+    size_t bytes = 0;    // 0 = still in flight; >= 1 once fulfilled
+    uint64_t tick = 0;   // last-access stamp, orders eviction
+  };
   struct Domain {
-    std::unordered_map<uint64_t,
-                       std::shared_future<std::shared_ptr<const void>>>
-        entries;
+    std::unordered_map<uint64_t, Entry> entries;
     Counters counters;
+  };
+  struct FulfillGuard {
+    bool fulfilled = false;
+    ~FulfillGuard() {
+      DPKRON_CHECK_MSG(fulfilled, "StatCache compute function must not throw");
+    }
   };
 
   StatCache() = default;
@@ -156,10 +263,23 @@ class StatCache {
   Lookup LookupOrRegister(
       const char* domain, uint64_t key,
       std::shared_future<std::shared_ptr<const void>> candidate);
+  // Marks (domain, key) fulfilled at `bytes` resident bytes and evicts
+  // if the budget is now exceeded. A no-op if the entry was dropped
+  // (Clear/eviction race) meanwhile.
+  void FinalizeEntry(const char* domain, uint64_t key, size_t bytes);
+  void RecordDiskOutcome(const char* domain, bool hit);
+  std::shared_ptr<const DiskCache> disk_tier() const;
+  // Evicts fulfilled entries oldest-tick-first until within budget.
+  // Call with mu_ held.
+  void EvictToBudgetLocked();
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   std::map<std::string, Domain> domains_;
+  std::shared_ptr<const DiskCache> disk_;
+  uint64_t byte_budget_ = 0;   // 0 = unbounded
+  uint64_t resident_bytes_ = 0;
+  uint64_t tick_ = 0;
 };
 
 }  // namespace dpkron

@@ -16,6 +16,39 @@
 #include "src/linalg/network_value.h"
 
 namespace dpkron {
+namespace {
+
+// Field-wise GraphStatistics codec for the disk StatCache tier (all
+// five panel series are flat POD vectors).
+void EncodeGraphStatistics(RecordBuilder& rec, const GraphStatistics& stats) {
+  EncodePodVector(rec, stats.degree_histogram);
+  EncodePodVector(rec, stats.hop_plot);
+  EncodePodVector(rec, stats.scree);
+  EncodePodVector(rec, stats.network_value);
+  EncodePodVector(rec, stats.clustering_by_degree);
+}
+
+bool DecodeGraphStatistics(RecordParser& rec, GraphStatistics* stats) {
+  return DecodePodVector(rec, &stats->degree_histogram) &&
+         DecodePodVector(rec, &stats->hop_plot) &&
+         DecodePodVector(rec, &stats->scree) &&
+         DecodePodVector(rec, &stats->network_value) &&
+         DecodePodVector(rec, &stats->clustering_by_degree);
+}
+
+// The panels paired with the Rng state the computation reached:
+// restoring it on a hit replays the stream advance (ANF trials, Lanczos
+// starts), so every downstream draw matches the uncached path.
+struct StatisticsCacheEntry {
+  GraphStatistics stats;
+  Rng::State end_state;
+};
+
+size_t ApproxCacheBytes(const StatisticsCacheEntry& entry) {
+  return ApproxCacheBytes(entry.stats) + sizeof(entry.end_state);
+}
+
+}  // namespace
 
 ReleasePipeline::ReleasePipeline(StatisticsOptions options,
                                  SkgSampleMethod method)
@@ -33,19 +66,26 @@ GraphStatistics ReleasePipeline::Compute(const Graph& graph,
                            .Mix(options_.exact_hop_plot_limit)
                            .Mix(options_.anf_trials)
                            .digest();
-  // Entries pair the panels with the Rng state the computation reached:
-  // restoring it on a hit replays the stream advance (ANF trials,
-  // Lanczos starts), so every downstream draw matches the uncached path.
-  struct Entry {
-    GraphStatistics stats;
-    Rng::State end_state;
-  };
-  const auto entry = cache.GetOrCompute<Entry>("statistics", key, [&] {
-    Entry e;
-    e.stats = ComputeImpl(graph, rng, /*cache_leaves=*/true);
-    e.end_state = rng.SaveState();
-    return e;
-  });
+  const auto entry = cache.GetOrComputeDurable<StatisticsCacheEntry>(
+      "statistics", key,
+      [&] {
+        StatisticsCacheEntry e;
+        e.stats = ComputeImpl(graph, rng, /*cache_leaves=*/true);
+        e.end_state = rng.SaveState();
+        return e;
+      },
+      [](const StatisticsCacheEntry& e, RecordBuilder& rec) {
+        EncodeGraphStatistics(rec, e.stats);
+        EncodeRngState(rec, e.end_state);
+      },
+      [](RecordParser& rec) -> std::optional<StatisticsCacheEntry> {
+        StatisticsCacheEntry e;
+        if (!DecodeGraphStatistics(rec, &e.stats) ||
+            !DecodeRngState(rec, &e.end_state)) {
+          return std::nullopt;
+        }
+        return e;
+      });
   rng.RestoreState(entry->end_state);
   return entry->stats;
 }
@@ -65,8 +105,19 @@ GraphStatistics ReleasePipeline::ComputeImpl(const Graph& graph, Rng& rng,
       use_cache ? CacheKey().Mix(graph.ContentFingerprint()).digest() : 0;
   auto leaf = [&](const char* domain, auto kernel) {
     using Value = decltype(kernel());
-    return use_cache ? cache.GetOrCompute<Value>(domain, graph_key, kernel)
-                     : std::make_shared<const Value>(kernel());
+    if (!use_cache) return std::make_shared<const Value>(kernel());
+    // Leaf vectors are flat PODs, so they ride the durable tier too: a
+    // cold process reloads them instead of re-walking the CSR.
+    return cache.GetOrComputeDurable<Value>(
+        domain, graph_key, kernel,
+        [](const Value& values, RecordBuilder& rec) {
+          EncodePodVector(rec, values);
+        },
+        [](RecordParser& rec) -> std::optional<Value> {
+          Value values;
+          if (!DecodePodVector(rec, &values)) return std::nullopt;
+          return values;
+        });
   };
   const auto degrees_ptr =
       leaf("degree_vector", [&graph] { return DegreeVector(graph); });
@@ -155,9 +206,17 @@ GraphStatistics ReleasePipeline::Expected(const Initiator2& theta, uint32_t k,
                            .Mix(static_cast<uint64_t>(method_))
                            .Mix(rng_fingerprint)
                            .digest();
-  return *cache.GetOrCompute<GraphStatistics>(
+  return *cache.GetOrComputeDurable<GraphStatistics>(
       "expected", key,
-      [&] { return ExpectedImpl(theta, k, realizations, streams); });
+      [&] { return ExpectedImpl(theta, k, realizations, streams); },
+      [](const GraphStatistics& stats, RecordBuilder& rec) {
+        EncodeGraphStatistics(rec, stats);
+      },
+      [](RecordParser& rec) -> std::optional<GraphStatistics> {
+        GraphStatistics stats;
+        if (!DecodeGraphStatistics(rec, &stats)) return std::nullopt;
+        return stats;
+      });
 }
 
 GraphStatistics ReleasePipeline::ExpectedImpl(const Initiator2& theta,

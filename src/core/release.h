@@ -39,6 +39,17 @@ struct GraphStatistics {
   bool operator==(const GraphStatistics&) const = default;
 };
 
+// StatCache byte-budget accounting (see ApproxCacheBytes in
+// common/stat_cache.h): the five panel series are the footprint.
+inline size_t ApproxCacheBytes(const GraphStatistics& stats) {
+  return sizeof(stats) +
+         stats.degree_histogram.capacity() * sizeof(std::pair<double, double>) +
+         stats.hop_plot.capacity() * sizeof(double) +
+         stats.scree.capacity() * sizeof(double) +
+         stats.network_value.capacity() * sizeof(double) +
+         stats.clustering_by_degree.capacity() * sizeof(std::pair<double, double>);
+}
+
 struct StatisticsOptions {
   uint32_t num_singular_values = 50;
   // Components of the network-value series kept (plots truncate anyway).

@@ -302,6 +302,12 @@ void AppendStatCacheJson(JsonWriter& json, bool enabled) {
   json.UInt(total.hits);
   json.Key("misses");
   json.UInt(total.misses);
+  // Warm/cold split of the misses that consulted the persistent tier
+  // (both stay 0 when no disk cache is attached).
+  json.Key("disk_hits");
+  json.UInt(total.disk_hits);
+  json.Key("disk_misses");
+  json.UInt(total.disk_misses);
   json.Key("domains");
   json.BeginObject();
   for (const auto& [domain, counters] : cache.DomainCounters()) {
@@ -311,6 +317,10 @@ void AppendStatCacheJson(JsonWriter& json, bool enabled) {
     json.UInt(counters.hits);
     json.Key("misses");
     json.UInt(counters.misses);
+    json.Key("disk_hits");
+    json.UInt(counters.disk_hits);
+    json.Key("disk_misses");
+    json.UInt(counters.disk_misses);
     json.EndObject();
   }
   json.EndObject();

@@ -165,34 +165,24 @@ std::string StableRunJson(ScenarioOutput& output) {
   return json.str();
 }
 
-}  // namespace
+struct RunPlan {
+  const ScenarioSpec* scenario;
+  ScenarioOverrides overrides;
+};
 
-std::vector<uint64_t> SweepSeeds(uint64_t base_seed, uint32_t count) {
-  std::vector<uint64_t> seeds;
-  seeds.reserve(count);
-  if (count == 0) return seeds;
-  // Index 0 is the base itself: a 1-seed sweep is the plain run. Later
-  // indices take the first output of independent Split streams, so the
-  // axis inherits the stream-decorrelation properties of Rng::Split.
-  seeds.push_back(base_seed);
-  Rng root(base_seed);
-  std::vector<Rng> streams = SplitRngStreams(root, count);
-  for (uint32_t j = 1; j < count; ++j) seeds.push_back(streams[j].NextU64());
-  return seeds;
-}
-
-Result<SweepResult> RunSweep(const SweepSpec& spec) {
+// Validates the axes and expands the matrix. Axis order is fixed —
+// scenario, dataset, ε, seed — and the runs vector IS the aggregation
+// order: chunk i of the parallel section writes runs[i] and nothing
+// else, so the document never depends on completion order. RunSweep and
+// MergeSweepShards expand identically, which is what makes a merged
+// document a function of the same matrix a single process executes.
+Status ExpandMatrix(const SweepSpec& spec, std::vector<RunPlan>* plans,
+                    std::vector<SweepRun>* runs) {
   if (spec.scenarios.empty()) {
     return Status::InvalidArgument("sweep needs at least one scenario");
   }
   if (spec.seeds == 0) {
     return Status::InvalidArgument("sweep needs at least one seed");
-  }
-  if (spec.max_attempts == 0) {
-    return Status::InvalidArgument("sweep needs max_attempts >= 1");
-  }
-  if (spec.resume && spec.checkpoint_path.empty()) {
-    return Status::InvalidArgument("resume requires a checkpoint path");
   }
   std::vector<const ScenarioSpec*> scenario_specs;
   for (const std::string& name : spec.scenarios) {
@@ -202,18 +192,6 @@ Result<SweepResult> RunSweep(const SweepSpec& spec) {
     }
     scenario_specs.push_back(scenario);
   }
-
-  // ------------------------------------------------- matrix expansion
-  // Axis order is fixed — scenario, dataset, ε, seed — and the runs
-  // vector IS the aggregation order: chunk i of the parallel section
-  // writes runs[i] and nothing else, so the document never depends on
-  // completion order.
-  SweepResult result;
-  struct RunPlan {
-    const ScenarioSpec* scenario;
-    ScenarioOverrides overrides;
-  };
-  std::vector<RunPlan> plans;
   for (const ScenarioSpec* scenario : scenario_specs) {
     const uint64_t base_seed =
         spec.base.seed ? *spec.base.seed : scenario->defaults.seed;
@@ -235,12 +213,59 @@ Result<SweepResult> RunSweep(const SweepSpec& spec) {
           run.dataset = plan.overrides.dataset ? *plan.overrides.dataset : "";
           run.seed = seeds[j];
           run.seed_index = j;
-          result.runs.push_back(std::move(run));
-          plans.push_back(std::move(plan));
+          runs->push_back(std::move(run));
+          plans->push_back(std::move(plan));
         }
       }
     }
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::vector<uint64_t> SweepSeeds(uint64_t base_seed, uint32_t count) {
+  std::vector<uint64_t> seeds;
+  seeds.reserve(count);
+  if (count == 0) return seeds;
+  // Index 0 is the base itself: a 1-seed sweep is the plain run. Later
+  // indices take the first output of independent Split streams, so the
+  // axis inherits the stream-decorrelation properties of Rng::Split.
+  seeds.push_back(base_seed);
+  Rng root(base_seed);
+  std::vector<Rng> streams = SplitRngStreams(root, count);
+  for (uint32_t j = 1; j < count; ++j) seeds.push_back(streams[j].NextU64());
+  return seeds;
+}
+
+Result<SweepResult> RunSweep(const SweepSpec& spec) {
+  if (spec.max_attempts == 0) {
+    return Status::InvalidArgument("sweep needs max_attempts >= 1");
+  }
+  if (spec.resume && spec.checkpoint_path.empty()) {
+    return Status::InvalidArgument("resume requires a checkpoint path");
+  }
+  if (spec.shards == 0) {
+    return Status::InvalidArgument("sweep needs shards >= 1");
+  }
+  if (spec.shard_id >= spec.shards) {
+    return Status::InvalidArgument(
+        "sweep shard id " + std::to_string(spec.shard_id) +
+        " out of range for " + std::to_string(spec.shards) + " shards");
+  }
+  if (spec.shards > 1 && spec.checkpoint_path.empty()) {
+    // The per-shard journal IS the shard's result (MergeSweepShards
+    // reads nothing else); a worker without one would compute into the
+    // void.
+    return Status::InvalidArgument(
+        "sharded sweep requires a checkpoint path (the shard's result "
+        "journal)");
+  }
+
+  SweepResult result;
+  std::vector<RunPlan> plans;
+  const Status expanded = ExpandMatrix(spec, &plans, &result.runs);
+  if (!expanded.ok()) return expanded;
 
   // ------------------------------------------------ checkpoint recovery
   // With a checkpoint: bind (or validate) the journal against this
@@ -300,6 +325,15 @@ Result<SweepResult> RunSweep(const SweepSpec& spec) {
   auto execute = [&](size_t i) {
     SweepRun& run = result.runs[i];
     if (!run.checkpointed_run_json.empty()) return;  // restored cell
+    if (spec.shards > 1 && i % spec.shards != spec.shard_id) {
+      // Another worker's cell. The partition is a pure function of the
+      // matrix index, so the fleet covers every cell exactly once with
+      // zero claim traffic; cross-shard amortization happens below, in
+      // the StatCache disk tier, not here.
+      run.shard_skipped = true;
+      run.attempts = 0;
+      return;
+    }
     // Text output suppressed: concurrent runs must not interleave on
     // stdout, and every row lands in the JSON document anyway. The
     // ScenarioOutput is built here (not during expansion) so its
@@ -382,6 +416,8 @@ Result<SweepResult> RunSweep(const SweepSpec& spec) {
       if (name == domain) {
         delta.hits -= before.hits;
         delta.misses -= before.misses;
+        delta.disk_hits -= before.disk_hits;
+        delta.disk_misses -= before.disk_misses;
         break;
       }
     }
@@ -389,7 +425,84 @@ Result<SweepResult> RunSweep(const SweepSpec& spec) {
     result.cache_domains.emplace_back(domain, delta);
     result.cache_total.hits += delta.hits;
     result.cache_total.misses += delta.misses;
+    result.cache_total.disk_hits += delta.disk_hits;
+    result.cache_total.disk_misses += delta.disk_misses;
   }
+  for (const SweepRun& run : result.runs) {
+    if (!run.shard_skipped && !run.status.ok()) ++result.failed_runs;
+  }
+  return result;
+}
+
+std::string ShardCheckpointPath(const std::string& base, uint32_t shard_id) {
+  return base + ".shard-" + std::to_string(shard_id);
+}
+
+Result<SweepResult> MergeSweepShards(
+    const SweepSpec& spec, const std::vector<std::string>& shard_paths) {
+  if (shard_paths.empty()) {
+    return Status::InvalidArgument("sweep merge needs at least one shard");
+  }
+  SweepResult result;
+  std::vector<RunPlan> plans;
+  const Status expanded = ExpandMatrix(spec, &plans, &result.runs);
+  if (!expanded.ok()) return expanded;
+  const uint64_t fingerprint = MatrixFingerprint(spec);
+  std::vector<bool> complete(result.runs.size(), false);
+  for (const std::string& path : shard_paths) {
+    // LoadCheckpoint enforces the fingerprint binding, so a journal from
+    // a different spec (or a corrupted header) refuses here — exactly
+    // the --resume rule, applied per shard.
+    auto loaded = LoadCheckpoint(path, fingerprint, result.runs.size());
+    if (!loaded.ok()) return loaded.status();
+    CheckpointState& state = loaded.value();
+    if (!state.has_header) {
+      return Status::InvalidArgument(
+          path + ": shard journal missing or empty (worker never ran?)");
+    }
+    for (size_t i = 0; i < state.cells.size(); ++i) {
+      CheckpointState::Cell& cell = state.cells[i];
+      if (!cell.complete) continue;
+      SweepRun& run = result.runs[i];
+      if (complete[i]) {
+        // A cell recorded by two shards (overlapping assignment, or a
+        // re-run worker) must agree byte-for-byte — that is the sweep
+        // determinism contract, and a mismatch means one worker ran
+        // under a different build/config. Refuse rather than pick.
+        if (run.checkpointed_run_json != cell.run_json ||
+            run.status.code() != cell.status.code()) {
+          return Status::Internal(
+              path + ": shards disagree on cell " + std::to_string(i) +
+              " (determinism violation; were workers running the same "
+              "build?)");
+        }
+        continue;
+      }
+      complete[i] = true;
+      run.status = cell.status;
+      run.epsilon = cell.epsilon;
+      run.attempts = 0;
+      run.checkpointed_run_json = std::move(cell.run_json);
+      ++result.resumed_runs;
+    }
+  }
+  size_t missing = 0;
+  size_t first_missing = 0;
+  for (size_t i = 0; i < complete.size(); ++i) {
+    if (complete[i]) continue;
+    if (missing == 0) first_missing = i;
+    ++missing;
+  }
+  if (missing > 0) {
+    return Status::FailedPrecondition(
+        std::to_string(missing) + " of " + std::to_string(complete.size()) +
+        " cells missing from the shard journals (first: cell " +
+        std::to_string(first_missing) +
+        "); re-run the incomplete shards (--resume) before merging");
+  }
+  // Every cell is checkpointed, so the document takes the stable form —
+  // the same bytes a single-process checkpointed run emits.
+  result.stable_document = true;
   for (const SweepRun& run : result.runs) {
     if (!run.status.ok()) ++result.failed_runs;
   }
@@ -438,6 +551,10 @@ std::string SweepsJson(const SweepResult& result, int threads) {
     json.UInt(result.cache_total.hits);
     json.Key("misses");
     json.UInt(result.cache_total.misses);
+    json.Key("disk_hits");
+    json.UInt(result.cache_total.disk_hits);
+    json.Key("disk_misses");
+    json.UInt(result.cache_total.disk_misses);
     json.Key("domains");
     json.BeginObject();
     for (const auto& [domain, counters] : result.cache_domains) {
@@ -447,6 +564,10 @@ std::string SweepsJson(const SweepResult& result, int threads) {
       json.UInt(counters.hits);
       json.Key("misses");
       json.UInt(counters.misses);
+      json.Key("disk_hits");
+      json.UInt(counters.disk_hits);
+      json.Key("disk_misses");
+      json.UInt(counters.disk_misses);
       json.EndObject();
     }
     json.EndObject();
@@ -466,6 +587,14 @@ std::string SweepsJson(const SweepResult& result, int threads) {
     json.UInt(run.seed);
     json.Key("seed_index");
     json.UInt(run.seed_index);
+    // Only ever present in a shard WORKER's own document (the merged /
+    // single-process document has no skipped cells): marks the cells
+    // this worker deliberately left to its peers. Emitted only when set
+    // so unsharded documents keep their exact historical bytes.
+    if (run.shard_skipped) {
+      json.Key("shard_skipped");
+      json.Bool(true);
+    }
     json.Key("ok");
     json.Bool(run.status.ok());
     json.Key("status");

@@ -81,6 +81,19 @@ struct SweepSpec {
   // storage) is retried up to this many times with deterministic
   // exponential backoff. Non-transient failures never retry. >= 1.
   uint32_t max_attempts = 1;
+
+  // ------------------------------------------------- multi-process shards
+  // With shards > 1 this process is worker `shard_id` of a fleet of
+  // `shards` started against the same spec: it executes only the cells
+  // with matrix index ≡ shard_id (mod shards) — a deterministic
+  // partition, no claim traffic — and journals them into its own
+  // checkpoint (required; use ShardCheckpointPath for the conventional
+  // name). Workers share amortization through the StatCache disk tier,
+  // not through process memory. MergeSweepShards then combines the
+  // per-shard journals into the full-matrix result whose document is
+  // byte-identical to a single-process run of the same spec.
+  uint32_t shards = 1;
+  uint32_t shard_id = 0;
 };
 
 // One cell of the executed matrix.
@@ -102,6 +115,10 @@ struct SweepRun {
   // per-run JSON fragment recorded at completion time, spliced verbatim
   // into the document (`output` is empty for such cells).
   std::string checkpointed_run_json;
+  // True iff this cell belongs to another shard of a sharded sweep: not
+  // executed, not journaled, not counted as failed. Always false in the
+  // merged / single-process result.
+  bool shard_skipped = false;
 };
 
 struct SweepResult {
@@ -133,6 +150,22 @@ std::vector<uint64_t> SweepSeeds(uint64_t base_seed, uint32_t count);
 // an empty/unknown scenario list or seeds == 0; per-run failures are
 // recorded in the result instead.
 Result<SweepResult> RunSweep(const SweepSpec& spec);
+
+// The conventional checkpoint-journal path for worker `shard_id` of a
+// sharded sweep rooted at `base`: "<base>.shard-<i>". Workers and the
+// merge step that derive paths the same way never need to exchange them.
+std::string ShardCheckpointPath(const std::string& base, uint32_t shard_id);
+
+// Combines the per-shard checkpoint journals of a sharded sweep into the
+// full-matrix result, in matrix order. Every journal must carry this
+// spec's matrix fingerprint (foreign journals refuse, exactly like
+// --resume) and every cell must be present in at least one journal;
+// cells recorded by several shards must agree byte-for-byte (the
+// determinism contract). The result is a fully-checkpointed stable
+// document: SweepsJson(merged) is byte-identical to a single-process
+// checkpointed run of the same spec.
+Result<SweepResult> MergeSweepShards(const SweepSpec& spec,
+                                     const std::vector<std::string>& shard_paths);
 
 // The BENCH_sweeps.json document: {schema: "dpkron.sweeps.v1", threads,
 // stable, cache: {...}, runs: [{scenario, dataset, epsilon, seed,

@@ -36,10 +36,20 @@ Result<std::vector<double>> PrivateDegreeSequence(
     const PrivateDegreeOptions& options) {
   // The sorted degree sequence is the deterministic half of the
   // mechanism; only the noise depends on (ε, rng). Serving it through
-  // the StatCache lets an ε/seed sweep extract it once per graph.
-  const auto sorted = StatCache::Instance().GetOrCompute<std::vector<uint32_t>>(
-      "sorted_degrees", CacheKey().Mix(graph.ContentFingerprint()).digest(),
-      [&graph] { return SortedDegreeVector(graph); });
+  // the StatCache (durably — a plain POD vector) lets an ε/seed sweep
+  // extract it once per graph and later processes reload it from disk.
+  const auto sorted =
+      StatCache::Instance().GetOrComputeDurable<std::vector<uint32_t>>(
+          "sorted_degrees", CacheKey().Mix(graph.ContentFingerprint()).digest(),
+          [&graph] { return SortedDegreeVector(graph); },
+          [](const std::vector<uint32_t>& degrees, RecordBuilder& rec) {
+            EncodePodVector(rec, degrees);
+          },
+          [](RecordParser& rec) -> std::optional<std::vector<uint32_t>> {
+            std::vector<uint32_t> degrees;
+            if (!DecodePodVector(rec, &degrees)) return std::nullopt;
+            return degrees;
+          });
   return PrivatizeSortedDegrees(*sorted, epsilon, graph.NumNodes(), rng,
                                 options);
 }

@@ -46,6 +46,14 @@ class TriangleSensitivityProfile {
   // profile is identical at any thread count).
   explicit TriangleSensitivityProfile(const Graph& graph);
 
+  // Reassembles a profile from its serialized parts — the decode path of
+  // the disk StatCache tier. `frontier` must be bytes a prior profile's
+  // frontier() exposed; nothing is recomputed or validated here.
+  TriangleSensitivityProfile(
+      uint32_t num_nodes, bool exact,
+      std::vector<std::pair<uint64_t, uint64_t>> frontier)
+      : num_nodes_(num_nodes), exact_(exact), frontier_(std::move(frontier)) {}
+
   uint32_t num_nodes() const { return num_nodes_; }
 
   // False if the far-pair search hit its budget and a conservative (still
@@ -71,6 +79,13 @@ class TriangleSensitivityProfile {
   bool exact_ = true;
   std::vector<std::pair<uint64_t, uint64_t>> frontier_;  // (a, b), a desc
 };
+
+// StatCache byte-budget accounting (see ApproxCacheBytes in
+// common/stat_cache.h): the frontier dominates the footprint.
+inline size_t ApproxCacheBytes(const TriangleSensitivityProfile& profile) {
+  return sizeof(profile) +
+         profile.frontier().capacity() * sizeof(std::pair<uint64_t, uint64_t>);
+}
 
 // The profile of `graph`, served through the process-wide StatCache
 // when it is enabled (keyed by the graph's content fingerprint — the

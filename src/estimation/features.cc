@@ -26,9 +26,24 @@ GraphFeatures ComputeFeatures(const Graph& graph) {
 }
 
 GraphFeatures ComputeFeaturesCached(const Graph& graph) {
-  return *StatCache::Instance().GetOrCompute<GraphFeatures>(
+  return *StatCache::Instance().GetOrComputeDurable<GraphFeatures>(
       "features", CacheKey().Mix(graph.ContentFingerprint()).digest(),
-      [&graph] { return ComputeFeatures(graph); });
+      [&graph] { return ComputeFeatures(graph); },
+      [](const GraphFeatures& f, RecordBuilder& rec) {
+        rec.Double(f.edges)
+            .Double(f.hairpins)
+            .Double(f.triangles)
+            .Double(f.tripins);
+      },
+      [](RecordParser& rec) -> std::optional<GraphFeatures> {
+        GraphFeatures f;
+        f.edges = rec.Double();
+        f.hairpins = rec.Double();
+        f.triangles = rec.Double();
+        f.tripins = rec.Double();
+        if (!rec.ok()) return std::nullopt;
+        return f;
+      });
 }
 
 GraphFeatures FeaturesFromDegrees(const std::vector<double>& degrees,

@@ -111,9 +111,28 @@ KronMomResult FitKronMomToFeatures(const GraphFeatures& observed, uint32_t k,
                            .Mix(options.grid_points)
                            .Mix(options.num_starts)
                            .digest();
-  return *StatCache::Instance().GetOrCompute<KronMomResult>(
+  return *StatCache::Instance().GetOrComputeDurable<KronMomResult>(
       "kronmom_fit", key,
-      [&] { return FitKronMomToFeaturesImpl(observed, k, options); });
+      [&] { return FitKronMomToFeaturesImpl(observed, k, options); },
+      [](const KronMomResult& result, RecordBuilder& rec) {
+        rec.Double(result.theta.a)
+            .Double(result.theta.b)
+            .Double(result.theta.c)
+            .Double(result.objective)
+            .U32(result.k)
+            .U32(result.converged ? 1 : 0);
+      },
+      [](RecordParser& rec) -> std::optional<KronMomResult> {
+        KronMomResult result;
+        result.theta.a = rec.Double();
+        result.theta.b = rec.Double();
+        result.theta.c = rec.Double();
+        result.objective = rec.Double();
+        result.k = rec.U32();
+        result.converged = rec.U32() != 0;
+        if (!rec.ok()) return std::nullopt;
+        return result;
+      });
 }
 
 KronMomResult FitKronMom(const Graph& graph, const KronMomOptions& options) {

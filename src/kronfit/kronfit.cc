@@ -186,12 +186,35 @@ KronFitResult FitKronFitCached(const Graph& graph, Rng& rng,
     KronFitResult result;
     Rng::State end_state;
   };
-  const auto entry = cache.GetOrCompute<Entry>("kronfit", key, [&] {
-    Entry e;
-    e.result = FitKronFit(graph, rng, options);
-    e.end_state = rng.SaveState();
-    return e;
-  });
+  // Durable entry = the fit plus the Rng state its stream reached, so a
+  // warm-start from disk replays the stream advance exactly like an
+  // in-memory hit.
+  const auto entry = cache.GetOrComputeDurable<Entry>(
+      "kronfit", key,
+      [&] {
+        Entry e;
+        e.result = FitKronFit(graph, rng, options);
+        e.end_state = rng.SaveState();
+        return e;
+      },
+      [](const Entry& e, RecordBuilder& rec) {
+        rec.Double(e.result.theta.a)
+            .Double(e.result.theta.b)
+            .Double(e.result.theta.c)
+            .Double(e.result.log_likelihood)
+            .U32(e.result.k);
+        EncodeRngState(rec, e.end_state);
+      },
+      [](RecordParser& rec) -> std::optional<Entry> {
+        Entry e;
+        e.result.theta.a = rec.Double();
+        e.result.theta.b = rec.Double();
+        e.result.theta.c = rec.Double();
+        e.result.log_likelihood = rec.Double();
+        e.result.k = rec.U32();
+        if (!DecodeRngState(rec, &e.end_state)) return std::nullopt;
+        return e;
+      });
   // Replay the stream advance on a hit (no-op for the computing caller):
   // downstream consumers of `rng` see the same draws either way.
   rng.RestoreState(entry->end_state);

@@ -64,6 +64,16 @@ Result<std::unique_ptr<DpkronServer>> DpkronServer::Create(
   // process-wide StatCache: repeated (scenario, dataset, ε, seed)
   // requests — retries above all — recompute nothing.
   StatCache::Instance().set_enabled(true);
+  if (!config.disk_cache_path.empty()) {
+    // Fail startup, not requests: a server told to persist its cache
+    // but unable to create the root is misconfigured.
+    const Status attached =
+        StatCache::Instance().AttachDiskTier(config.disk_cache_path);
+    if (!attached.ok()) return attached;
+  }
+  if (config.cache_mem_budget > 0) {
+    StatCache::Instance().set_byte_budget(config.cache_mem_budget);
+  }
   return server;
 }
 

@@ -67,6 +67,15 @@ struct ServerConfig {
   double epsilon_budget = 1.0;
   double delta_budget = 0.5;
   uint64_t compact_threshold = PrivacyAccountant::kDefaultCompactThreshold;
+  // When non-empty: attach the persistent StatCache tier rooted here at
+  // startup (created if needed), so a restarted server warm-starts the
+  // deterministic half of every release from disk instead of
+  // recomputing — healthz's cache block reports the warm/cold split as
+  // disk_hits / disk_misses.
+  std::string disk_cache_path;
+  // Cap on the in-memory StatCache footprint in bytes (0 = unbounded).
+  // Evicted entries reload from the disk tier when one is attached.
+  uint64_t cache_mem_budget = 0;
   // Scenario execution knobs applied to every request.
   bool smoke = false;
   uint32_t kronfit_iterations = 0;  // 0 = scenario default

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -33,6 +34,8 @@ class SweepTest : public ::testing::Test {
   }
   void TearDown() override {
     StatCache::Instance().set_enabled(false);
+    StatCache::Instance().DetachDiskTier();
+    StatCache::Instance().set_byte_budget(0);
     StatCache::Instance().Clear();
   }
 };
@@ -589,6 +592,242 @@ TEST_F(SweepTest, RetryExhaustedCellIsNotCheckpointedAndResumeRerunsIt) {
   std::remove(BinaryCachePath(path).c_str());
   std::remove(ckpt.c_str());
   std::remove(ckpt2.c_str());
+}
+
+// ------------------------------------------------- multi-process shards
+
+TEST_F(SweepTest, RejectsBadShardKnobs) {
+  SweepSpec spec;
+  spec.scenarios = {"smooth_sensitivity"};
+  spec.base.smoke = true;
+
+  SweepSpec zero_shards = spec;
+  zero_shards.shards = 0;
+  EXPECT_EQ(RunSweep(zero_shards).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SweepSpec bad_id = spec;
+  bad_id.shards = 2;
+  bad_id.shard_id = 2;
+  EXPECT_EQ(RunSweep(bad_id).status().code(), StatusCode::kInvalidArgument);
+
+  // A shard worker without a checkpoint journal would execute its cells
+  // and then have nowhere to put them — there is nothing to merge.
+  SweepSpec no_journal = spec;
+  no_journal.shards = 2;
+  EXPECT_EQ(RunSweep(no_journal).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(MergeSweepShards(spec, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The tentpole acceptance criterion: run the matrix as N worker
+// "processes" (isolated StatCaches sharing one on-disk tier), merge
+// their shard journals, and the merged document is byte-identical to a
+// single-process checkpointed run — at 1, 2 and 8 threads, cold and
+// warm disk cache. Also proves the partition (each cell executed by
+// exactly one worker) and that warm workers draw from the shared disk
+// tier.
+TEST_F(SweepTest, ShardedAndMergedDocumentIsByteIdenticalToSingleProcess) {
+  const std::string path = UniqueTempPath("sweep_shard");
+  {
+    Rng rng(99);
+    PreferentialAttachmentOptions options;
+    options.num_nodes = 150;
+    options.edges_per_node = 2;
+    ASSERT_TRUE(
+        WriteEdgeList(PreferentialAttachmentGraph(options, rng), path).ok());
+  }
+  std::remove(BinaryCachePath(path).c_str());
+  const std::string ckpt = UniqueTempPath("sweep_shard_ckpt") + ".journal";
+  const std::string cache_root = ::testing::TempDir() + "/sweep_shard_dc_" +
+                                 std::to_string(::getpid());
+  std::filesystem::remove_all(cache_root);
+
+  SweepSpec sweep;
+  sweep.scenarios = {"fig2_as20"};
+  sweep.datasets = {path};
+  sweep.epsilons = {0.3, 0.6};
+  sweep.seeds = 2;
+  sweep.base.smoke = true;
+  sweep.base.kronfit_iterations = 2;
+  sweep.base.dataset_cache = true;
+
+  constexpr int kDocThreads = 1;
+  // The single-process reference: an ordinary checkpointed run with NO
+  // disk tier.
+  SweepSpec single = sweep;
+  single.checkpoint_path = ckpt;
+  auto ref = RunSweep(single);
+  ASSERT_TRUE(ref.ok());
+  const size_t cells = ref.value().runs.size();
+  ASSERT_EQ(cells, 4u);
+  const std::string reference = SweepsJson(ref.value(), kDocThreads);
+
+  constexpr uint32_t kShards = 2;
+  ASSERT_TRUE(StatCache::Instance().AttachDiskTier(cache_root).ok());
+  bool warm_worker_hit_disk = false;
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE(threads);
+    ScopedThreads scope(threads);
+    std::vector<size_t> executions(cells, 0);
+    std::vector<std::string> shard_paths;
+    for (uint32_t i = 0; i < kShards; ++i) {
+      SCOPED_TRACE(i);
+      StatCache::Instance().Clear();  // each worker is its own process
+      SweepSpec worker = sweep;
+      worker.shards = kShards;
+      worker.shard_id = i;
+      worker.checkpoint_path = ShardCheckpointPath(ckpt, i);
+      auto result = RunSweep(worker);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result.value().failed_runs, 0u);
+      ASSERT_EQ(result.value().runs.size(), cells);
+      for (size_t c = 0; c < cells; ++c) {
+        if (!result.value().runs[c].shard_skipped) ++executions[c];
+      }
+      if (i > 0 || threads > 1) {
+        // Any worker after the very first has a warm disk tier: the
+        // shared graph-keyed entries were written by its predecessors.
+        EXPECT_GT(result.value().cache_total.disk_hits, 0u);
+        warm_worker_hit_disk = true;
+      }
+      shard_paths.push_back(worker.checkpoint_path);
+    }
+    // The partition covers the matrix exactly once.
+    for (size_t c = 0; c < cells; ++c) {
+      EXPECT_EQ(executions[c], 1u) << "cell " << c;
+    }
+    auto merged = MergeSweepShards(sweep, shard_paths);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_TRUE(merged.value().stable_document);
+    EXPECT_EQ(merged.value().failed_runs, 0u);
+    EXPECT_EQ(merged.value().resumed_runs, cells);
+    for (const SweepRun& run : merged.value().runs) {
+      EXPECT_FALSE(run.shard_skipped);
+    }
+    EXPECT_EQ(SweepsJson(merged.value(), kDocThreads), reference);
+  }
+  EXPECT_TRUE(warm_worker_hit_disk);
+
+  StatCache::Instance().DetachDiskTier();
+  std::filesystem::remove_all(cache_root);
+  std::remove(path.c_str());
+  std::remove(BinaryCachePath(path).c_str());
+  std::remove(ckpt.c_str());
+  for (uint32_t i = 0; i < kShards; ++i) {
+    std::remove(ShardCheckpointPath(ckpt, i).c_str());
+  }
+}
+
+TEST_F(SweepTest, MergeRefusesMissingForeignAndIncompleteShards) {
+  const std::string ckpt = UniqueTempPath("sweep_merge_ref") + ".journal";
+  SweepSpec spec;
+  spec.scenarios = {"smooth_sensitivity"};
+  spec.epsilons = {0.5, 1.0};
+  spec.base.smoke = true;
+
+  // Run only worker 0 of 2.
+  SweepSpec worker = spec;
+  worker.shards = 2;
+  worker.shard_id = 0;
+  worker.checkpoint_path = ShardCheckpointPath(ckpt, 0);
+  ASSERT_TRUE(RunSweep(worker).ok());
+
+  // Worker 1's journal does not exist: merge refuses by name.
+  const auto missing = MergeSweepShards(
+      spec, {ShardCheckpointPath(ckpt, 0), ShardCheckpointPath(ckpt, 1)});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing.status().message().find("worker never ran"),
+            std::string::npos);
+
+  // Worker 0 alone holds only its own cells: incomplete, with the
+  // remedy named.
+  const auto incomplete =
+      MergeSweepShards(spec, {ShardCheckpointPath(ckpt, 0)});
+  ASSERT_FALSE(incomplete.ok());
+  EXPECT_EQ(incomplete.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(incomplete.status().message().find("cells missing"),
+            std::string::npos);
+
+  // A journal from a DIFFERENT spec (foreign ε grid → foreign matrix
+  // fingerprint) refuses exactly like --resume would.
+  SweepSpec other = spec;
+  other.epsilons = {0.5};
+  const auto foreign =
+      MergeSweepShards(other, {ShardCheckpointPath(ckpt, 0)});
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_EQ(foreign.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(foreign.status().message().find("different sweep spec"),
+            std::string::npos);
+
+  std::remove(ShardCheckpointPath(ckpt, 0).c_str());
+}
+
+// The perf half of the tentpole (acceptance criterion): with a
+// persistent tier attached, a REPEATED sweep — new process, memo gone,
+// disk warm — must beat its own cold run by ≥3×, because every durable
+// domain (KronFit above all, at paper-quality iteration counts) is
+// deserialized instead of recomputed. Release builds only, like the
+// in-memory amortization gate above.
+TEST_F(SweepTest, WarmDiskRepeatedSweepIsThreeTimesFasterThanCold) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "perf gate is calibrated for Release builds";
+#endif
+  const std::string path = UniqueTempPath("sweep_warm_disk");
+  {
+    Rng rng(2026);
+    PreferentialAttachmentOptions options;
+    options.num_nodes = 150;
+    options.edges_per_node = 2;
+    ASSERT_TRUE(
+        WriteEdgeList(PreferentialAttachmentGraph(options, rng), path).ok());
+  }
+  std::remove(BinaryCachePath(path).c_str());
+  const std::string cache_root = ::testing::TempDir() + "/sweep_warm_dc_" +
+                                 std::to_string(::getpid());
+  std::filesystem::remove_all(cache_root);
+
+  SweepSpec spec;
+  spec.scenarios = {"table1_parameters"};
+  spec.datasets = {path};
+  spec.epsilons = {0.05, 0.1, 0.2, 0.5, 1.0};
+  spec.seeds = 3;
+  spec.base.dataset_cache = true;
+  spec.base.kronfit_iterations = 150;
+
+  ASSERT_TRUE(StatCache::Instance().AttachDiskTier(cache_root).ok());
+  const auto cold = RunSweep(spec);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold.value().failed_runs, 0u);
+  EXPECT_GT(cold.value().cache_total.disk_misses, 0u);
+  EXPECT_EQ(cold.value().cache_total.disk_hits, 0u);
+
+  StatCache::Instance().Clear();  // restart: memo gone, disk warm
+  const auto warm = RunSweep(spec);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value().failed_runs, 0u);
+  EXPECT_GT(warm.value().cache_total.disk_hits, 0u);
+
+  // The disk hit/miss counters are part of the document (unstable form).
+  const std::string json = SweepsJson(warm.value(), 1);
+  EXPECT_NE(json.find("\"disk_hits\":"), std::string::npos);
+  EXPECT_NE(json.find("\"disk_misses\":"), std::string::npos);
+
+  const double speedup =
+      cold.value().elapsed_seconds / warm.value().elapsed_seconds;
+  EXPECT_GE(speedup, 3.0) << "cold " << cold.value().elapsed_seconds
+                          << "s, warm " << warm.value().elapsed_seconds << "s";
+  std::printf("# disk warm-start: cold %.2fs, warm %.2fs (%.1fx)\n",
+              cold.value().elapsed_seconds, warm.value().elapsed_seconds,
+              speedup);
+
+  StatCache::Instance().DetachDiskTier();
+  std::filesystem::remove_all(cache_root);
+  std::remove(path.c_str());
+  std::remove(BinaryCachePath(path).c_str());
 }
 
 }  // namespace
