@@ -50,6 +50,11 @@ void PrintUsage(std::FILE* out) {
                "                        edge-list path, or a .dpkb path\n"
                "  --dataset-cache       keep a .dpkb sidecar cache next to\n"
                "                        a file-backed --dataset\n"
+               "  --mmap                serve file-backed datasets\n"
+               "                        out-of-core via an mmap'd .dpkb\n"
+               "                        (implies the sidecar cache for edge\n"
+               "                        lists); results are bit-identical\n"
+               "                        to in-RAM loads\n"
                "  --threads=N           worker threads (default: hardware)\n"
                "  --seed=N              override the scenario's seed\n"
                "  --epsilon=X           override the privacy parameter\n"
@@ -91,6 +96,10 @@ void PrintUsage(std::FILE* out) {
                "  --cache-mem-budget=MB cap the in-memory StatCache\n"
                "                        footprint; oldest entries evict\n"
                "                        (and reload from --disk-cache)\n"
+               "  --disk-cache-budget=MB cap the on-disk cache size;\n"
+               "                        oldest entries are unlinked after\n"
+               "                        each store (in-flight entries are\n"
+               "                        pinned)\n"
                "\n"
                "multi-process sharding (requires --sweep --checkpoint):\n"
                "  --sweep-shards=N      this run is one worker of an\n"
@@ -199,6 +208,7 @@ int Main(int argc, char** argv) {
   uint32_t sweep_shards = 1;
   int sweep_shard_id = -1;  // -1 = flag not given
   uint64_t cache_mem_budget_mb = 0;
+  uint64_t disk_cache_budget_mb = 0;
   std::string checkpoint_path;
   std::string disk_cache_path;
   std::vector<std::string> names;
@@ -229,6 +239,13 @@ int Main(int argc, char** argv) {
         return 2;
       }
       cache_mem_budget_mb = static_cast<uint64_t>(mb);
+    } else if (std::strncmp(arg, "--disk-cache-budget=", 20) == 0) {
+      const long long mb = std::atoll(arg + 20);
+      if (mb < 1) {
+        std::fprintf(stderr, "--disk-cache-budget must be >= 1 (MB)\n");
+        return 2;
+      }
+      disk_cache_budget_mb = static_cast<uint64_t>(mb);
     } else if (std::strcmp(arg, "--sweep-merge") == 0) {
       sweep_merge = true;
     } else if (std::strncmp(arg, "--sweep-shards=", 15) == 0) {
@@ -264,6 +281,8 @@ int Main(int argc, char** argv) {
       SetSimdLevelCap(SimdLevel::kScalar);
     } else if (std::strcmp(arg, "--dataset-cache") == 0) {
       overrides.dataset_cache = true;
+    } else if (std::strcmp(arg, "--mmap") == 0) {
+      overrides.dataset_mmap = true;
     } else if (std::strncmp(arg, "--dataset=", 10) == 0) {
       overrides.dataset = std::string(arg + 10);
     } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
@@ -400,11 +419,17 @@ int Main(int argc, char** argv) {
   // single-run output is unchanged.
   StatCache::Instance().set_enabled(true);
   if (!disk_cache_path.empty()) {
-    const Status attached = StatCache::Instance().AttachDiskTier(disk_cache_path);
+    DiskCache::Options disk_options;
+    disk_options.byte_budget = disk_cache_budget_mb * (1ull << 20);
+    const Status attached =
+        StatCache::Instance().AttachDiskTier(disk_cache_path, disk_options);
     if (!attached.ok()) {
       std::fprintf(stderr, "--disk-cache: %s\n", attached.ToString().c_str());
       return 2;
     }
+  } else if (disk_cache_budget_mb > 0) {
+    std::fprintf(stderr, "--disk-cache-budget requires --disk-cache=DIR\n");
+    return 2;
   }
   if (cache_mem_budget_mb > 0) {
     StatCache::Instance().set_byte_budget(cache_mem_budget_mb * (1ull << 20));

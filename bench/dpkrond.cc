@@ -55,10 +55,16 @@ void PrintUsage(std::FILE* out) {
       "  --cache-mem-budget=MB cap the in-memory StatCache footprint;\n"
       "                        oldest entries evict (and reload from\n"
       "                        --disk-cache when attached)\n"
+      "  --disk-cache-budget=MB cap the on-disk cache size; oldest\n"
+      "                        entries are unlinked after each store\n"
+      "                        (in-flight entries are pinned)\n"
       "  --kronfit-iterations=N  override KronFit iterations per request\n"
       "  --smoke               run scenarios with shrunk axes (CI)\n"
       "  --dataset-cache       keep .dpkb sidecars for file datasets\n"
       "                        (default on; --no-dataset-cache disables)\n"
+      "  --mmap                serve file datasets out-of-core via an\n"
+      "                        mmap'd .dpkb (releases are bit-identical;\n"
+      "                        pages are shared across requests)\n"
       "  --threads=N           shared compute-pool threads\n"
       "  --force-scalar        disable SIMD dispatch (also:\n"
       "                        DPKRON_FORCE_SCALAR=1); responses are\n"
@@ -111,6 +117,13 @@ int Main(int argc, char** argv) {
         return 2;
       }
       config.cache_mem_budget = static_cast<uint64_t>(mb) * (1ull << 20);
+    } else if (ParseFlag(argv[i], "--disk-cache-budget", &value) && value) {
+      const long long mb = std::atoll(value);
+      if (mb < 1) {
+        std::fprintf(stderr, "--disk-cache-budget must be >= 1 (MB)\n");
+        return 2;
+      }
+      config.disk_cache_budget = static_cast<uint64_t>(mb) * (1ull << 20);
     } else if (ParseFlag(argv[i], "--kronfit-iterations", &value) && value) {
       config.kronfit_iterations = static_cast<uint32_t>(std::atoi(value));
     } else if (ParseFlag(argv[i], "--smoke", &value)) {
@@ -119,6 +132,8 @@ int Main(int argc, char** argv) {
       config.dataset_cache = true;
     } else if (ParseFlag(argv[i], "--no-dataset-cache", &value)) {
       config.dataset_cache = false;
+    } else if (ParseFlag(argv[i], "--mmap", &value)) {
+      config.dataset_mmap = true;
     } else if (ParseFlag(argv[i], "--force-scalar", &value)) {
       SetSimdLevelCap(SimdLevel::kScalar);
     } else if (ParseFlag(argv[i], "--threads", &value) && value) {

@@ -1,7 +1,9 @@
 #include "src/common/disk_cache.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 #include <utility>
 
@@ -102,7 +104,72 @@ Status DiskCache::Store(const char* domain, uint64_t key,
                                   .str();
   std::string image;
   AppendFramedRecord(&image, payload);
-  return WriteFileDurable(EntryPath(domain, key), image);
+  const std::string path = EntryPath(domain, key);
+  const Status written = WriteFileDurable(path, image);
+  if (written.ok()) EnforceByteBudget(path);
+  return written;
+}
+
+namespace {
+
+// One .dpkc entry as the eviction pass sees it.
+struct EntryFile {
+  std::string path;
+  uint64_t size = 0;
+  std::filesystem::file_time_type mtime;
+};
+
+// Scans the root for .dpkc entries; stat failures (an entry evicted or
+// adopted by a concurrent process mid-scan) drop the entry from the
+// listing rather than failing the pass.
+std::vector<EntryFile> ListEntries(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<EntryFile> entries;
+  std::error_code ec;
+  fs::directory_iterator it(root, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() != ".dpkc") continue;
+    std::error_code size_ec, mtime_ec;
+    EntryFile entry;
+    entry.path = it->path().string();
+    entry.size = it->file_size(size_ec);
+    entry.mtime = it->last_write_time(mtime_ec);
+    if (size_ec || mtime_ec) continue;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace
+
+uint64_t DiskCache::EntryBytes() const {
+  uint64_t total = 0;
+  for (const EntryFile& entry : ListEntries(root_)) total += entry.size;
+  return total;
+}
+
+void DiskCache::EnforceByteBudget(const std::string& keep_path) const {
+  if (options_.byte_budget == 0) return;
+  std::vector<EntryFile> entries = ListEntries(root_);
+  uint64_t total = 0;
+  for (const EntryFile& entry : entries) total += entry.size;
+  if (total <= options_.byte_budget) return;
+  // Oldest first; path as the tie-break so concurrent enforcers walk the
+  // same order instead of each deleting a different same-age entry.
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryFile& a, const EntryFile& b) {
+              return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+            });
+  Env* env = GetEnv();
+  for (const EntryFile& entry : entries) {
+    if (total <= options_.byte_budget) break;
+    if (entry.path == keep_path) continue;
+    // A live ".lock" sidecar marks an in-flight DiskEntryClaim (a loser
+    // may be polling to adopt this entry): pinned.
+    std::error_code lock_ec;
+    if (std::filesystem::exists(entry.path + ".lock", lock_ec)) continue;
+    if (env->RemoveFile(entry.path).ok()) total -= entry.size;
+  }
 }
 
 // ------------------------------------------------------ DiskEntryClaim

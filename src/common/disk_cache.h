@@ -67,6 +67,16 @@ class DiskCache {
     // older than lock_stale_ms is presumed orphaned and broken.
     int64_t lock_poll_ms = 20;
     int64_t lock_stale_ms = 10000;
+    // Cap on the total bytes of .dpkc entries under the root
+    // (0 = unbounded). Enforced after each Store: oldest-mtime entries
+    // are unlinked until the cache fits. Entries with a live ".lock"
+    // sidecar (an in-flight DiskEntryClaim) and the entry just stored
+    // are pinned, so the cache may transiently exceed the budget by the
+    // pinned bytes. Eviction is best-effort, like every other disk-tier
+    // failure mode: an unevictable cache is merely larger than asked,
+    // never wrong — entries are content-addressed, so deleting any
+    // subset only converts future hits into recomputes.
+    uint64_t byte_budget = 0;
   };
 
   // Opens (creating if needed) a cache rooted at `root`. Fails only if
@@ -90,12 +100,21 @@ class DiskCache {
   // rewrite is not blocked by the corpse.
   Result<std::string> Load(const char* domain, uint64_t key) const;
 
-  // Durably installs `value_bytes` for (domain, key). Best-effort in
-  // spirit: callers treat failure as "the next process recomputes".
+  // Durably installs `value_bytes` for (domain, key), then enforces
+  // Options::byte_budget. Best-effort in spirit: callers treat failure
+  // as "the next process recomputes".
   Status Store(const char* domain, uint64_t key,
                std::string_view value_bytes) const;
 
+  // Total bytes of .dpkc entries currently under the root (a live
+  // directory scan; used by tests and the budget enforcement).
+  uint64_t EntryBytes() const;
+
  private:
+  // Oldest-mtime-first eviction down to byte_budget, sparing locked
+  // entries and `keep_path` (the entry whose Store triggered the pass).
+  void EnforceByteBudget(const std::string& keep_path) const;
+
   DiskCache(std::string root, const Options& options)
       : root_(std::move(root)), options_(options) {}
 

@@ -3,7 +3,7 @@
 namespace dpkron {
 
 Result<PrivateEstimatorResult> EstimateKEdgePrivateSkg(
-    const Graph& graph, uint32_t k_edges, double epsilon, double delta,
+    GraphView graph, uint32_t k_edges, double epsilon, double delta,
     Rng& rng, const PrivateEstimatorOptions& options) {
   if (k_edges == 0) {
     return Status::InvalidArgument("k_edges must be >= 1");

@@ -20,7 +20,7 @@ namespace dpkron {
 // (epsilon, delta)-differentially private with respect to k-edge
 // neighborhoods. Requires k >= 1.
 Result<PrivateEstimatorResult> EstimateKEdgePrivateSkg(
-    const Graph& graph, uint32_t k_edges, double epsilon, double delta,
+    GraphView graph, uint32_t k_edges, double epsilon, double delta,
     Rng& rng, const PrivateEstimatorOptions& options = {});
 
 }  // namespace dpkron

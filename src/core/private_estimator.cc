@@ -5,7 +5,7 @@
 namespace dpkron {
 
 Result<PrivateEstimatorResult> EstimatePrivateSkg(
-    const Graph& graph, double epsilon, double delta, PrivacyBudget& budget,
+    GraphView graph, double epsilon, double delta, PrivacyBudget& budget,
     Rng& rng, const PrivateEstimatorOptions& options) {
   if (graph.NumNodes() < 2) {
     return Status::InvalidArgument("graph must have at least 2 nodes");
@@ -62,7 +62,7 @@ Result<PrivateEstimatorResult> EstimatePrivateSkg(
 }
 
 Result<PrivateEstimatorResult> EstimatePrivateSkg(
-    const Graph& graph, double epsilon, double delta, Rng& rng,
+    GraphView graph, double epsilon, double delta, Rng& rng,
     const PrivateEstimatorOptions& options) {
   PrivacyBudget budget(epsilon, delta);
   return EstimatePrivateSkg(graph, epsilon, delta, budget, rng, options);

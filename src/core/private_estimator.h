@@ -20,7 +20,7 @@
 #include "src/common/status.h"
 #include "src/dp/private_features.h"
 #include "src/estimation/kronmom.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 #include "src/skg/initiator.h"
 
 namespace dpkron {
@@ -51,12 +51,12 @@ struct PrivateEstimatorResult {
 // Runs Algorithm 1 on `graph` with privacy parameters (epsilon, delta),
 // charging the two mechanism invocations to `budget`.
 Result<PrivateEstimatorResult> EstimatePrivateSkg(
-    const Graph& graph, double epsilon, double delta, PrivacyBudget& budget,
+    GraphView graph, double epsilon, double delta, PrivacyBudget& budget,
     Rng& rng, const PrivateEstimatorOptions& options = {});
 
 // Convenience overload provisioning a fresh (epsilon, delta) budget.
 Result<PrivateEstimatorResult> EstimatePrivateSkg(
-    const Graph& graph, double epsilon, double delta, Rng& rng,
+    GraphView graph, double epsilon, double delta, Rng& rng,
     const PrivateEstimatorOptions& options = {});
 
 }  // namespace dpkron

@@ -11,7 +11,7 @@
 #include "src/graph/clustering.h"
 #include "src/graph/degree.h"
 #include "src/graph/hop_plot.h"
-#include "src/graph/triangles.h"
+#include "src/graph/node_stats.h"
 #include "src/linalg/lanczos.h"
 #include "src/linalg/network_value.h"
 
@@ -54,7 +54,7 @@ ReleasePipeline::ReleasePipeline(StatisticsOptions options,
                                  SkgSampleMethod method)
     : options_(options), method_(method) {}
 
-GraphStatistics ReleasePipeline::Compute(const Graph& graph,
+GraphStatistics ReleasePipeline::Compute(GraphView graph,
                                          Rng& rng) const {
   StatCache& cache = StatCache::Instance();
   if (!cache.enabled()) return ComputeImpl(graph, rng, /*cache_leaves=*/false);
@@ -90,38 +90,54 @@ GraphStatistics ReleasePipeline::Compute(const Graph& graph,
   return entry->stats;
 }
 
-GraphStatistics ReleasePipeline::ComputeImpl(const Graph& graph, Rng& rng,
+GraphStatistics ReleasePipeline::ComputeImpl(GraphView graph, Rng& rng,
                                              bool cache_leaves) const {
   GraphStatistics stats;
 
-  // Shared intermediates: the degree vector feeds the histogram and the
-  // clustering panel; per-node triangle counts feed clustering. Computing
-  // them once saves the dominant recomputation of the old per-panel path
-  // (each ClusteringByDegree call re-ran the triangle kernel); the
-  // StatCache additionally shares both across runs of a sweep.
+  // The explicit fused-pass plan (tests/graph_view_test.cc pins it with
+  // a PassCounter):
+  //
+  //   pass 1  "node_stats"  degree vector + per-node triangle counts
+  //                         (the clustering numerators) in ONE CSR
+  //                         traversal → degree histogram + clustering
+  //                         panels; consumes no RNG.
+  //   pass 2+ hop plot      the iterative family: either n BFS sweeps
+  //                         (exact, small graphs) or one "anf_round"
+  //                         pass per ANF expansion round — true data
+  //                         dependencies (round h reads round h-1).
+  //   then    spectral      Lanczos / power iteration, one "spmv" pass
+  //                         per matvec (iterative by nature).
+  //
+  // RNG order is unchanged from the unfused pipeline: the node-stats
+  // pass draws nothing, so ANF → Lanczos → power-iteration consume the
+  // stream exactly as before — outputs stay byte-identical.
   StatCache& cache = StatCache::Instance();
   const bool use_cache = cache_leaves && cache.enabled();
-  const uint64_t graph_key =
-      use_cache ? CacheKey().Mix(graph.ContentFingerprint()).digest() : 0;
-  auto leaf = [&](const char* domain, auto kernel) {
-    using Value = decltype(kernel());
-    if (!use_cache) return std::make_shared<const Value>(kernel());
-    // Leaf vectors are flat PODs, so they ride the durable tier too: a
-    // cold process reloads them instead of re-walking the CSR.
-    return cache.GetOrComputeDurable<Value>(
-        domain, graph_key, kernel,
-        [](const Value& values, RecordBuilder& rec) {
-          EncodePodVector(rec, values);
+  // One durable leaf for the fused pass, keyed purely by the graph:
+  // in-RAM and mmap backings of the same CSR bytes share the entry
+  // bit-identically (fingerprints agree by construction).
+  std::shared_ptr<const NodeStats> node_stats;
+  if (!use_cache) {
+    node_stats = std::make_shared<const NodeStats>(ComputeNodeStats(graph));
+  } else {
+    const uint64_t graph_key =
+        CacheKey().Mix(graph.ContentFingerprint()).digest();
+    node_stats = cache.GetOrComputeDurable<NodeStats>(
+        "node_stats", graph_key, [&graph] { return ComputeNodeStats(graph); },
+        [](const NodeStats& value, RecordBuilder& rec) {
+          EncodePodVector(rec, value.degrees);
+          EncodePodVector(rec, value.triangles);
         },
-        [](RecordParser& rec) -> std::optional<Value> {
-          Value values;
-          if (!DecodePodVector(rec, &values)) return std::nullopt;
-          return values;
+        [](RecordParser& rec) -> std::optional<NodeStats> {
+          NodeStats value;
+          if (!DecodePodVector(rec, &value.degrees) ||
+              !DecodePodVector(rec, &value.triangles)) {
+            return std::nullopt;
+          }
+          return value;
         });
-  };
-  const auto degrees_ptr =
-      leaf("degree_vector", [&graph] { return DegreeVector(graph); });
-  const std::vector<uint32_t>& degrees = *degrees_ptr;
+  }
+  const std::vector<uint32_t>& degrees = node_stats->degrees;
 
   for (const auto& [degree, count] : DegreeHistogramFromDegrees(degrees)) {
     stats.degree_histogram.emplace_back(double(degree), double(count));
@@ -150,10 +166,8 @@ GraphStatistics ReleasePipeline::ComputeImpl(const Graph& graph, Rng& rng,
     }
   }
 
-  const auto triangles_ptr = leaf(
-      "triangles_per_node", [&graph] { return PerNodeTriangles(graph); });
   for (const auto& [degree, cc] :
-       ClusteringByDegreeFromParts(degrees, *triangles_ptr)) {
+       ClusteringByDegreeFromParts(degrees, node_stats->triangles)) {
     stats.clustering_by_degree.emplace_back(double(degree), cc);
   }
   return stats;
@@ -279,7 +293,7 @@ GraphStatistics ReleasePipeline::ExpectedImpl(const Initiator2& theta,
   return mean;
 }
 
-GraphStatistics ReleasePipeline::ComputeEphemeral(const Graph& graph,
+GraphStatistics ReleasePipeline::ComputeEphemeral(GraphView graph,
                                                   Rng& rng) const {
   return ComputeImpl(graph, rng, /*cache_leaves=*/false);
 }
@@ -300,7 +314,7 @@ Graph ReleasePipeline::Sample(const Initiator2& theta, uint32_t k,
   return SampleSkg(theta, k, rng, options);
 }
 
-GraphStatistics ComputeStatistics(const Graph& graph, Rng& rng,
+GraphStatistics ComputeStatistics(GraphView graph, Rng& rng,
                                   const StatisticsOptions& options) {
   return ReleasePipeline(options).Compute(graph, rng);
 }

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 #include "src/skg/initiator.h"
 #include "src/skg/sampler.h"
 
@@ -87,7 +87,7 @@ class ReleasePipeline {
   // per-node triangle counts are materialized once — served through the
   // StatCache when enabled — and feed both the histogram and the
   // clustering-by-degree panel.
-  GraphStatistics Compute(const Graph& graph, Rng& rng) const;
+  GraphStatistics Compute(GraphView graph, Rng& rng) const;
 
   // "Expected" statistics: mean of each statistic over `realizations`
   // samples of the SKG (Θ, k) — the paper's 100-realization averages.
@@ -108,7 +108,7 @@ class ReleasePipeline {
   // identical to the cached paths; the only difference is that nothing
   // is stored, which keeps the never-evicted StatCache from
   // accumulating one-off O(N) entries across a sweep.
-  GraphStatistics ComputeEphemeral(const Graph& graph, Rng& rng) const;
+  GraphStatistics ComputeEphemeral(GraphView graph, Rng& rng) const;
   GraphStatistics ExpectedEphemeral(const Initiator2& theta, uint32_t k,
                                     uint32_t realizations, Rng& rng) const;
 
@@ -120,7 +120,7 @@ class ReleasePipeline {
   // intermediates through the StatCache; Expected() passes false for
   // its one-off realization samples, whose entries could never be
   // reused and would only grow the memo.
-  GraphStatistics ComputeImpl(const Graph& graph, Rng& rng,
+  GraphStatistics ComputeImpl(GraphView graph, Rng& rng,
                               bool cache_leaves) const;
   GraphStatistics ExpectedImpl(const Initiator2& theta, uint32_t k,
                                uint32_t realizations,
@@ -132,7 +132,7 @@ class ReleasePipeline {
 
 // Free-function façade over a default-constructed pipeline (the pre-
 // pipeline API; examples and tests use it for one-off computations).
-GraphStatistics ComputeStatistics(const Graph& graph, Rng& rng,
+GraphStatistics ComputeStatistics(GraphView graph, Rng& rng,
                                   const StatisticsOptions& options = {});
 
 GraphStatistics ExpectedStatistics(const Initiator2& theta, uint32_t k,

@@ -24,6 +24,7 @@ ScenarioParams ResolveParams(const ScenarioParams& defaults,
   if (overrides.sweep_epsilons) params.sweep_epsilons = *overrides.sweep_epsilons;
   if (overrides.dataset) params.dataset = *overrides.dataset;
   params.dataset_cache = params.dataset_cache || overrides.dataset_cache;
+  params.dataset_mmap = params.dataset_mmap || overrides.dataset_mmap;
   params.smoke = overrides.smoke;
   if (params.smoke) {
     // Central axis shrinking so every scenario's smoke run is uniformly
@@ -48,11 +49,12 @@ const std::string& EffectiveDatasetRef(const std::string& ref,
   return params.dataset.empty() ? ref : params.dataset;
 }
 
-Result<Graph> LoadScenarioGraph(const std::string& ref,
-                                const ScenarioParams& params, Rng& rng) {
+Result<GraphHandle> LoadScenarioGraph(const std::string& ref,
+                                      const ScenarioParams& params, Rng& rng) {
   GraphLoadOptions options;
   options.use_cache = params.dataset_cache;
-  return LoadGraphRef(EffectiveDatasetRef(ref, params), rng, options);
+  options.mmap = params.dataset_mmap;
+  return LoadGraphHandleRef(EffectiveDatasetRef(ref, params), rng, options);
 }
 
 std::vector<DatasetInfo> ScenarioDatasets(const ScenarioParams& params) {

@@ -27,6 +27,7 @@
 #include "src/datasets/registry.h"
 #include "src/dp/privacy_budget.h"
 #include "src/graph/graph.h"
+#include "src/graph/graph_io.h"
 
 namespace dpkron {
 
@@ -58,6 +59,11 @@ struct ScenarioParams {
   std::string dataset;
   // File-backed overrides go through the .dpkb sidecar cache.
   bool dataset_cache = false;
+  // Serve file-backed datasets out-of-core via an mmap'd .dpkb
+  // (GraphLoadOptions::mmap). A pure execution strategy — results are
+  // bit-identical to in-RAM loads — so it is deliberately NOT recorded
+  // in the run JSON or mixed into sweep fingerprints.
+  bool dataset_mmap = false;
 };
 
 // Optional per-flag overrides of a spec's defaults.
@@ -71,6 +77,7 @@ struct ScenarioOverrides {
   bool smoke = false;
   std::optional<std::string> dataset;
   bool dataset_cache = false;
+  bool dataset_mmap = false;
 };
 
 // Spec defaults + overrides + smoke shrinking, in that order.
@@ -88,9 +95,10 @@ const std::string& EffectiveDatasetRef(const std::string& ref,
 // Generator-backed sources consume `rng` exactly the way MakeDataset
 // did, file-backed sources never touch it — so the RNG stream protocol
 // (and therefore every fixed-seed output) is unchanged when no override
-// is given.
-Result<Graph> LoadScenarioGraph(const std::string& ref,
-                                const ScenarioParams& params, Rng& rng);
+// is given. The handle owns whichever backing params chose (in-RAM or
+// mmap); scenario bodies keep it alive and hand kernels its GraphView.
+Result<GraphHandle> LoadScenarioGraph(const std::string& ref,
+                                      const ScenarioParams& params, Rng& rng);
 
 // The dataset list catalog-iterating scenarios (Table 1, the model-
 // selection ablation) run over: the full paper registry normally, or a

@@ -78,4 +78,31 @@ Result<Graph> LoadGraphRef(const std::string& ref, Rng& rng,
   return LoadGraph(source.value(), rng, options);
 }
 
+Result<GraphHandle> LoadGraphHandle(const GraphSource& source, Rng& rng,
+                                    const GraphLoadOptions& options) {
+  if (options.mmap) {
+    switch (source.kind) {
+      case GraphSourceKind::kBinary: {
+        auto mapped = MmapGraph::Open(source.ref);
+        if (!mapped.ok()) return mapped.status();
+        return GraphHandle(std::move(mapped.value()));
+      }
+      case GraphSourceKind::kEdgeList:
+        return ReadEdgeListMapped(source.ref);
+      case GraphSourceKind::kGenerator:
+        break;  // synthesized in process; there is no file to map
+    }
+  }
+  auto graph = LoadGraph(source, rng, options);
+  if (!graph.ok()) return graph.status();
+  return GraphHandle(std::move(graph.value()));
+}
+
+Result<GraphHandle> LoadGraphHandleRef(const std::string& ref, Rng& rng,
+                                       const GraphLoadOptions& options) {
+  auto source = ResolveGraphSource(ref);
+  if (!source.ok()) return source.status();
+  return LoadGraphHandle(source.value(), rng, options);
+}
+
 }  // namespace dpkron

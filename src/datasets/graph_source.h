@@ -23,6 +23,7 @@
 #include "src/common/status.h"
 #include "src/datasets/registry.h"
 #include "src/graph/graph.h"
+#include "src/graph/graph_io.h"
 
 namespace dpkron {
 
@@ -45,6 +46,15 @@ struct GraphLoadOptions {
   // For kEdgeList sources: load through the .dpkb sidecar cache
   // (ReadEdgeListCached) instead of re-parsing the text every run.
   bool use_cache = false;
+
+  // Serve file-backed sources out-of-core, as a view over an mmap'd
+  // .dpkb (LoadGraphHandle only): kBinary maps the file directly in
+  // O(header), kEdgeList maps its sidecar (rebuilding it if stale, so
+  // this implies the cache), and generators stay in-RAM — there is no
+  // file to map. Purely an execution strategy: the handle's view hashes
+  // to the same fingerprint either way, so results and cache entries
+  // are bit-identical to an in-RAM load.
+  bool mmap = false;
 };
 
 // Classifies a dataset reference. NotFound when the reference is
@@ -61,6 +71,17 @@ Result<Graph> LoadGraph(const GraphSource& source, Rng& rng,
 // ResolveGraphSource + LoadGraph in one step.
 Result<Graph> LoadGraphRef(const std::string& ref, Rng& rng,
                            const GraphLoadOptions& options = {});
+
+// Like LoadGraph, but the result is an owning handle whose backing the
+// options choose: in-RAM arenas (always, for generators; default for
+// files) or an mmap'd .dpkb (options.mmap). This is what the scenario
+// engine consumes — kernels take the handle's GraphView either way.
+Result<GraphHandle> LoadGraphHandle(const GraphSource& source, Rng& rng,
+                                    const GraphLoadOptions& options = {});
+
+// ResolveGraphSource + LoadGraphHandle in one step.
+Result<GraphHandle> LoadGraphHandleRef(const std::string& ref, Rng& rng,
+                                       const GraphLoadOptions& options = {});
 
 }  // namespace dpkron
 

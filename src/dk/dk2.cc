@@ -9,7 +9,7 @@
 
 namespace dpkron {
 
-Dk2Table Dk2Table::FromGraph(const Graph& graph) {
+Dk2Table Dk2Table::FromGraph(GraphView graph) {
   Dk2Table table;
   graph.ForEachEdge([&](Graph::NodeId u, Graph::NodeId v) {
     const uint32_t du = graph.Degree(u), dv = graph.Degree(v);
@@ -184,7 +184,7 @@ Graph SampleDk2Graph(const Dk2Table& table, Rng& rng) {
   return builder.Build();
 }
 
-Result<Graph> PrivateDk2Release(const Graph& graph, double epsilon,
+Result<Graph> PrivateDk2Release(GraphView graph, double epsilon,
                                 PrivacyBudget& budget, Rng& rng,
                                 const Dk2PrivatizeOptions& options) {
   const Dk2Table exact = Dk2Table::FromGraph(graph);

@@ -28,7 +28,7 @@
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/dp/privacy_budget.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
@@ -41,7 +41,7 @@ class Dk2Table {
   Dk2Table() = default;
 
   // Exact extraction from a graph.
-  static Dk2Table FromGraph(const Graph& graph);
+  static Dk2Table FromGraph(GraphView graph);
 
   double Count(uint32_t x, uint32_t y) const;
   void Set(uint32_t x, uint32_t y, double count);
@@ -96,7 +96,7 @@ Result<Dk2Table> PrivatizeDk2(const Dk2Table& exact, double epsilon,
 Graph SampleDk2Graph(const Dk2Table& table, Rng& rng);
 
 // End-to-end Sala-style release: extract → privatize(ε) → generate.
-Result<Graph> PrivateDk2Release(const Graph& graph, double epsilon,
+Result<Graph> PrivateDk2Release(GraphView graph, double epsilon,
                                 PrivacyBudget& budget, Rng& rng,
                                 const Dk2PrivatizeOptions& options = {});
 

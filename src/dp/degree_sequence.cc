@@ -32,7 +32,7 @@ Result<std::vector<double>> PrivatizeSortedDegrees(
 }
 
 Result<std::vector<double>> PrivateDegreeSequence(
-    const Graph& graph, double epsilon, Rng& rng,
+    GraphView graph, double epsilon, Rng& rng,
     const PrivateDegreeOptions& options) {
   // The sorted degree sequence is the deterministic half of the
   // mechanism; only the noise depends on (ε, rng). Serving it through

@@ -15,7 +15,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
@@ -35,7 +35,7 @@ struct PrivateDegreeOptions {
 // condition a sweep can reach, so it surfaces as a Status the run
 // report records, not a process abort.
 Result<std::vector<double>> PrivateDegreeSequence(
-    const Graph& graph, double epsilon, Rng& rng,
+    GraphView graph, double epsilon, Rng& rng,
     const PrivateDegreeOptions& options = {});
 
 // The same mechanism applied to a pre-sorted degree vector (exposed so

@@ -6,7 +6,7 @@
 namespace dpkron {
 
 Result<PrivateFeaturesResult> ComputePrivateFeatures(
-    const Graph& graph, double epsilon, double delta, PrivacyBudget& budget,
+    GraphView graph, double epsilon, double delta, PrivacyBudget& budget,
     Rng& rng, const PrivateFeaturesOptions& options) {
   if (epsilon <= 0.0) {
     return Status::InvalidArgument("epsilon must be positive");
@@ -45,7 +45,7 @@ Result<PrivateFeaturesResult> ComputePrivateFeatures(
 }
 
 Result<PrivateFeaturesResult> ComputePrivateFeatures(
-    const Graph& graph, double epsilon, double delta, Rng& rng,
+    GraphView graph, double epsilon, double delta, Rng& rng,
     const PrivateFeaturesOptions& options) {
   // Validate before provisioning: PrivacyBudget treats invalid totals as
   // a programming error and aborts, but bad (ε, δ) here is a recoverable

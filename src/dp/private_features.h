@@ -14,7 +14,7 @@
 #include "src/dp/degree_sequence.h"
 #include "src/dp/privacy_budget.h"
 #include "src/estimation/features.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
@@ -40,12 +40,12 @@ struct PrivateFeaturesResult {
 // "degree_sequence" and "triangle_count"). Fails without touching the
 // graph if the budget cannot cover (epsilon, delta).
 Result<PrivateFeaturesResult> ComputePrivateFeatures(
-    const Graph& graph, double epsilon, double delta, PrivacyBudget& budget,
+    GraphView graph, double epsilon, double delta, PrivacyBudget& budget,
     Rng& rng, const PrivateFeaturesOptions& options = {});
 
 // Convenience overload that provisions a fresh (epsilon, delta) budget.
 Result<PrivateFeaturesResult> ComputePrivateFeatures(
-    const Graph& graph, double epsilon, double delta, Rng& rng,
+    GraphView graph, double epsilon, double delta, Rng& rng,
     const PrivateFeaturesOptions& options = {});
 
 }  // namespace dpkron

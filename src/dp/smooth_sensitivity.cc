@@ -16,7 +16,7 @@ namespace {
 
 // True iff i and j are within hop distance 2 (adjacent or sharing a
 // neighbor).
-bool WithinTwoHops(const Graph& graph, Graph::NodeId i, Graph::NodeId j) {
+bool WithinTwoHops(GraphView graph, Graph::NodeId i, Graph::NodeId j) {
   if (graph.HasEdge(i, j)) return true;
   return CommonNeighbors(graph, i, j) > 0;
 }
@@ -31,7 +31,7 @@ struct FarPair {
 // list; the first far pair found has the maximum sum. Sets *exact to
 // false (and returns the conservative top-two sum) if `budget`
 // pair-inspections are not enough.
-FarPair MaxFarPairDegreeSum(const Graph& graph, uint64_t budget,
+FarPair MaxFarPairDegreeSum(GraphView graph, uint64_t budget,
                             bool* exact) {
   const uint32_t n = graph.NumNodes();
   if (n < 2) return {};
@@ -95,7 +95,7 @@ void ReduceToFrontier(std::vector<std::pair<uint64_t, uint64_t>>* candidates) {
 
 }  // namespace
 
-TriangleSensitivityProfile::TriangleSensitivityProfile(const Graph& graph)
+TriangleSensitivityProfile::TriangleSensitivityProfile(GraphView graph)
     : num_nodes_(graph.NumNodes()) {
   const uint32_t n = num_nodes_;
   std::vector<std::pair<uint64_t, uint64_t>> candidates;
@@ -217,7 +217,7 @@ double TriangleSensitivityProfile::SmoothSensitivity(double beta) const {
 }
 
 std::shared_ptr<const TriangleSensitivityProfile>
-CachedTriangleSensitivityProfile(const Graph& graph) {
+CachedTriangleSensitivityProfile(GraphView graph) {
   return StatCache::Instance().GetOrComputeDurable<TriangleSensitivityProfile>(
       "triangle_profile",
       CacheKey().Mix(graph.ContentFingerprint()).digest(),
@@ -236,11 +236,11 @@ CachedTriangleSensitivityProfile(const Graph& graph) {
       });
 }
 
-double SmoothSensitivityTriangles(const Graph& graph, double beta) {
+double SmoothSensitivityTriangles(GraphView graph, double beta) {
   return CachedTriangleSensitivityProfile(graph)->SmoothSensitivity(beta);
 }
 
-PrivateTriangleResult PrivateTriangleCount(const Graph& graph, double epsilon,
+PrivateTriangleResult PrivateTriangleCount(GraphView graph, double epsilon,
                                            double delta, Rng& rng) {
   DPKRON_CHECK_GT(epsilon, 0.0);
   DPKRON_CHECK_GT(delta, 0.0);

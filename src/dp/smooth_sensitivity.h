@@ -33,7 +33,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
@@ -44,7 +44,7 @@ class TriangleSensitivityProfile {
   // across the thread pool with one stamped-counter buffer per worker —
   // O(threads·N) memory — and a chunk-ordered candidate merge, so the
   // profile is identical at any thread count).
-  explicit TriangleSensitivityProfile(const Graph& graph);
+  explicit TriangleSensitivityProfile(GraphView graph);
 
   // Reassembles a profile from its serialized parts — the decode path of
   // the disk StatCache tier. `frontier` must be bytes a prior profile's
@@ -93,10 +93,10 @@ inline size_t ApproxCacheBytes(const TriangleSensitivityProfile& profile) {
 // builds it once, not once per ε). With the cache disabled this is a
 // plain computation.
 std::shared_ptr<const TriangleSensitivityProfile>
-CachedTriangleSensitivityProfile(const Graph& graph);
+CachedTriangleSensitivityProfile(GraphView graph);
 
 // Convenience wrapper: SS_{β,∆}(graph).
-double SmoothSensitivityTriangles(const Graph& graph, double beta);
+double SmoothSensitivityTriangles(GraphView graph, double beta);
 
 struct PrivateTriangleResult {
   double value = 0.0;               // ∆̃
@@ -114,7 +114,7 @@ struct PrivateTriangleResult {
 // (ε, δ)-differentially private triangle count via Theorem 4.8:
 //   ∆̃ = ∆ + (2·SS_β/ε)·Lap(1),  β = ε / (2 ln(2/δ)).
 // Requires epsilon > 0 and delta ∈ (0, 1).
-PrivateTriangleResult PrivateTriangleCount(const Graph& graph, double epsilon,
+PrivateTriangleResult PrivateTriangleCount(GraphView graph, double epsilon,
                                            double delta, Rng& rng);
 
 }  // namespace dpkron

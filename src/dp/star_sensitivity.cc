@@ -12,7 +12,7 @@ namespace dpkron {
 namespace {
 
 // Two largest degrees of the graph.
-std::pair<uint64_t, uint64_t> TopTwoDegrees(const Graph& graph) {
+std::pair<uint64_t, uint64_t> TopTwoDegrees(GraphView graph) {
   uint64_t top1 = 0, top2 = 0;
   for (Graph::NodeId u = 0; u < graph.NumNodes(); ++u) {
     const uint64_t d = graph.Degree(u);
@@ -43,7 +43,7 @@ double SmoothMax(double beta, double cap, Profile&& profile) {
 
 }  // namespace
 
-double SmoothSensitivityWedges(const Graph& graph, double beta) {
+double SmoothSensitivityWedges(GraphView graph, double beta) {
   const uint32_t n = graph.NumNodes();
   if (n < 3) return 0.0;
   const auto [d1, d2] = TopTwoDegrees(graph);
@@ -53,7 +53,7 @@ double SmoothSensitivityWedges(const Graph& graph, double beta) {
                    [base](uint64_t s) { return base + 2.0 * double(s); });
 }
 
-double SmoothSensitivityTripins(const Graph& graph, double beta) {
+double SmoothSensitivityTripins(GraphView graph, double beta) {
   const uint32_t n = graph.NumNodes();
   if (n < 4) return 0.0;
   const auto [d1, d2] = TopTwoDegrees(graph);
@@ -78,7 +78,7 @@ PrivateCountResult PrivatizeWithSmoothSensitivity(double exact, double ss,
 
 }  // namespace
 
-PrivateCountResult PrivateWedgeCount(const Graph& graph, double epsilon,
+PrivateCountResult PrivateWedgeCount(GraphView graph, double epsilon,
                                      double delta, Rng& rng) {
   DPKRON_CHECK_GT(epsilon, 0.0);
   DPKRON_CHECK_GT(delta, 0.0);
@@ -89,7 +89,7 @@ PrivateCountResult PrivateWedgeCount(const Graph& graph, double epsilon,
       epsilon, beta, rng);
 }
 
-PrivateCountResult PrivateTripinCount(const Graph& graph, double epsilon,
+PrivateCountResult PrivateTripinCount(GraphView graph, double epsilon,
                                       double delta, Rng& rng) {
   DPKRON_CHECK_GT(epsilon, 0.0);
   DPKRON_CHECK_GT(delta, 0.0);
@@ -101,7 +101,7 @@ PrivateCountResult PrivateTripinCount(const Graph& graph, double epsilon,
 }
 
 Result<GraphFeatures> ComputeDirectPrivateFeatures(
-    const Graph& graph, double epsilon, double delta, PrivacyBudget& budget,
+    GraphView graph, double epsilon, double delta, PrivacyBudget& budget,
     Rng& rng, double feature_floor) {
   if (epsilon <= 0.0) {
     return Status::InvalidArgument("epsilon must be positive");

@@ -29,15 +29,15 @@
 #include "src/common/status.h"
 #include "src/dp/privacy_budget.h"
 #include "src/estimation/features.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
 // β-smooth upper bound on the sensitivity of the wedge count H.
-double SmoothSensitivityWedges(const Graph& graph, double beta);
+double SmoothSensitivityWedges(GraphView graph, double beta);
 
 // β-smooth upper bound on the sensitivity of the tripin count T.
-double SmoothSensitivityTripins(const Graph& graph, double beta);
+double SmoothSensitivityTripins(GraphView graph, double beta);
 
 struct PrivateCountResult {
   double value = 0.0;
@@ -46,16 +46,16 @@ struct PrivateCountResult {
 };
 
 // (ε, δ)-private wedge / tripin counts via Theorem 4.8.
-PrivateCountResult PrivateWedgeCount(const Graph& graph, double epsilon,
+PrivateCountResult PrivateWedgeCount(GraphView graph, double epsilon,
                                      double delta, Rng& rng);
-PrivateCountResult PrivateTripinCount(const Graph& graph, double epsilon,
+PrivateCountResult PrivateTripinCount(GraphView graph, double epsilon,
                                       double delta, Rng& rng);
 
 // The "direct route" feature vector: E via the Laplace mechanism (global
 // sensitivity 1) at ε/4, and H, T, ∆ via their smooth-sensitivity
 // mechanisms at (ε/4, δ/3) each — (ε, δ) in total by Theorem 4.9.
 // Contrast with ComputePrivateFeatures (Algorithm 1's degree route).
-Result<GraphFeatures> ComputeDirectPrivateFeatures(const Graph& graph,
+Result<GraphFeatures> ComputeDirectPrivateFeatures(GraphView graph,
                                                    double epsilon,
                                                    double delta,
                                                    PrivacyBudget& budget,

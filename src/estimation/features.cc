@@ -16,7 +16,7 @@ std::string GraphFeatures::ToString() const {
   return buf;
 }
 
-GraphFeatures ComputeFeatures(const Graph& graph) {
+GraphFeatures ComputeFeatures(GraphView graph) {
   GraphFeatures f;
   f.edges = static_cast<double>(graph.NumEdges());
   f.hairpins = static_cast<double>(CountWedges(graph));
@@ -25,7 +25,7 @@ GraphFeatures ComputeFeatures(const Graph& graph) {
   return f;
 }
 
-GraphFeatures ComputeFeaturesCached(const Graph& graph) {
+GraphFeatures ComputeFeaturesCached(GraphView graph) {
   return *StatCache::Instance().GetOrComputeDurable<GraphFeatures>(
       "features", CacheKey().Mix(graph.ContentFingerprint()).digest(),
       [&graph] { return ComputeFeatures(graph); },

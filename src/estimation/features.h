@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <string>
 
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 #include "src/skg/moments.h"
 
 namespace dpkron {
@@ -27,14 +27,14 @@ struct GraphFeatures {
 
 // Exact feature extraction (triangles via the forward algorithm, stars
 // from the degree sequence).
-GraphFeatures ComputeFeatures(const Graph& graph);
+GraphFeatures ComputeFeatures(GraphView graph);
 
 // ComputeFeatures served through the process-wide StatCache when it is
 // enabled (keyed by the graph's content fingerprint; the features are a
 // deterministic pure function of the graph). The KronMom and private
 // estimation routes call this, so a sweep extracts each graph's exact
 // features once instead of once per run.
-GraphFeatures ComputeFeaturesCached(const Graph& graph);
+GraphFeatures ComputeFeaturesCached(GraphView graph);
 
 // E, H, T from a (possibly noisy, fractional) degree vector using the
 // Algorithm 1 step-3 formulas; `triangles` must be supplied separately.

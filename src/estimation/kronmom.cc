@@ -135,7 +135,7 @@ KronMomResult FitKronMomToFeatures(const GraphFeatures& observed, uint32_t k,
       });
 }
 
-KronMomResult FitKronMom(const Graph& graph, const KronMomOptions& options) {
+KronMomResult FitKronMom(GraphView graph, const KronMomOptions& options) {
   const GraphFeatures observed = ComputeFeaturesCached(graph);
   const uint32_t k = ChooseKroneckerOrder(graph.NumNodes());
   return FitKronMomToFeatures(observed, k, options);

@@ -13,7 +13,7 @@
 #include "src/estimation/features.h"
 #include "src/estimation/nelder_mead.h"
 #include "src/estimation/objective.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 #include "src/skg/initiator.h"
 
 namespace dpkron {
@@ -43,7 +43,7 @@ KronMomResult FitKronMomToFeatures(const GraphFeatures& observed, uint32_t k,
                                    const KronMomOptions& options = {});
 
 // Convenience: extracts exact features from `graph`, chooses k, fits.
-KronMomResult FitKronMom(const Graph& graph,
+KronMomResult FitKronMom(GraphView graph,
                          const KronMomOptions& options = {});
 
 }  // namespace dpkron

@@ -136,7 +136,7 @@ KronMomNResult FitKronMomN(const GraphFeatures& observed, uint32_t dim,
   return best;
 }
 
-KronMomNResult FitKronMomN(const Graph& graph, uint32_t dim, Rng& rng,
+KronMomNResult FitKronMomN(GraphView graph, uint32_t dim, Rng& rng,
                            const KronMomNOptions& options) {
   return FitKronMomN(ComputeFeatures(graph), dim,
                      ChooseOrderN(graph.NumNodes(), dim), rng, options);

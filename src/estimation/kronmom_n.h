@@ -14,7 +14,7 @@
 #include "src/common/rng.h"
 #include "src/estimation/features.h"
 #include "src/estimation/objective.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 #include "src/skg/initiator.h"
 
 namespace dpkron {
@@ -51,7 +51,7 @@ KronMomNResult FitKronMomN(const GraphFeatures& observed, uint32_t dim,
                            const KronMomNOptions& options = {});
 
 // Convenience: features from `graph`, k = ChooseOrderN(nodes, dim).
-KronMomNResult FitKronMomN(const Graph& graph, uint32_t dim, Rng& rng,
+KronMomNResult FitKronMomN(GraphView graph, uint32_t dim, Rng& rng,
                            const KronMomNOptions& options = {});
 
 }  // namespace dpkron

@@ -35,7 +35,7 @@ inline uint64_t FmBit(Rng& rng) {
 
 }  // namespace
 
-std::vector<uint64_t> ApproxHopPlot(const Graph& graph, Rng& rng,
+std::vector<uint64_t> ApproxHopPlot(GraphView graph, Rng& rng,
                                     const AnfOptions& options) {
   DPKRON_CHECK_GT(options.num_trials, 0u);
   const uint32_t n = graph.NumNodes();
@@ -77,6 +77,9 @@ std::vector<uint64_t> ApproxHopPlot(const Graph& graph, Rng& rng,
 
   std::vector<uint64_t> next(masks.size());
   for (uint32_t hop = 1; hop <= options.max_hops; ++hop) {
+    // One full CSR traversal per expand round — the irreducible pass
+    // count of the iterative ANF family.
+    graph.CountPass("anf_round");
     next = masks;
     // Node u's expand round reads masks[] (previous hop, immutable here)
     // and writes only next[u·trials ...] — disjoint across nodes, so the

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
@@ -28,7 +28,7 @@ struct AnfOptions {
 };
 
 // Approximate hop plot; same shape as ExactHopPlot's result.
-std::vector<uint64_t> ApproxHopPlot(const Graph& graph, Rng& rng,
+std::vector<uint64_t> ApproxHopPlot(GraphView graph, Rng& rng,
                                     const AnfOptions& options = {});
 
 }  // namespace dpkron

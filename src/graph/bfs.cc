@@ -4,7 +4,7 @@
 
 namespace dpkron {
 
-std::vector<int32_t> BfsDistances(const Graph& graph, Graph::NodeId source) {
+std::vector<int32_t> BfsDistances(GraphView graph, Graph::NodeId source) {
   BfsScratch scratch(graph.NumNodes());
   scratch.Run(graph, source);
   std::vector<int32_t> distances(graph.NumNodes());
@@ -19,7 +19,7 @@ BfsScratch::BfsScratch(uint32_t num_nodes)
   queue_.reserve(num_nodes);
 }
 
-uint32_t BfsScratch::Run(const Graph& graph, Graph::NodeId source) {
+uint32_t BfsScratch::Run(GraphView graph, Graph::NodeId source) {
   DPKRON_CHECK_EQ(graph.NumNodes(), distance_.size());
   DPKRON_CHECK_LT(source, graph.NumNodes());
   ++current_stamp_;

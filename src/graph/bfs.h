@@ -6,7 +6,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
@@ -14,7 +14,7 @@ namespace dpkron {
 inline constexpr int32_t kUnreachable = -1;
 
 // Hop distances from `source` to every node (kUnreachable if none).
-std::vector<int32_t> BfsDistances(const Graph& graph, Graph::NodeId source);
+std::vector<int32_t> BfsDistances(GraphView graph, Graph::NodeId source);
 
 // Reusable BFS workspace: amortizes the O(N) distance-array reset across
 // many sources (the exact hop plot runs one BFS per node).
@@ -24,7 +24,7 @@ class BfsScratch {
 
   // Runs BFS from `source`; afterwards Distance(v) is valid until the next
   // Run. Returns the number of nodes reached (including the source).
-  uint32_t Run(const Graph& graph, Graph::NodeId source);
+  uint32_t Run(GraphView graph, Graph::NodeId source);
 
   int32_t Distance(Graph::NodeId v) const {
     return stamp_[v] == current_stamp_ ? distance_[v] : kUnreachable;

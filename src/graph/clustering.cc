@@ -9,7 +9,7 @@
 
 namespace dpkron {
 
-std::vector<double> LocalClustering(const Graph& graph) {
+std::vector<double> LocalClustering(GraphView graph) {
   const std::vector<uint64_t> triangles = PerNodeTriangles(graph);
   const uint32_t n = graph.NumNodes();
   std::vector<double> clustering(n, 0.0);
@@ -23,7 +23,7 @@ std::vector<double> LocalClustering(const Graph& graph) {
   return clustering;
 }
 
-double AverageClustering(const Graph& graph) {
+double AverageClustering(GraphView graph) {
   const std::vector<double> clustering = LocalClustering(graph);
   const uint32_t n = graph.NumNodes();
   // Chunk-ordered partial sums: the double reduction is a fixed function
@@ -52,7 +52,7 @@ double AverageClustering(const Graph& graph) {
   return eligible == 0 ? 0.0 : sum / static_cast<double>(eligible);
 }
 
-double GlobalClustering(const Graph& graph) {
+double GlobalClustering(GraphView graph) {
   const uint64_t wedges = CountWedges(graph);
   if (wedges == 0) return 0.0;
   return 3.0 * static_cast<double>(CountTriangles(graph)) /
@@ -60,7 +60,7 @@ double GlobalClustering(const Graph& graph) {
 }
 
 std::vector<std::pair<uint32_t, double>> ClusteringByDegree(
-    const Graph& graph) {
+    GraphView graph) {
   return ClusteringByDegreeFromParts(DegreeVector(graph),
                                      PerNodeTriangles(graph));
 }

@@ -11,24 +11,24 @@
 #include <utility>
 #include <vector>
 
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
 // c_u = 2·t_u / (d_u (d_u − 1)) for d_u ≥ 2, else 0.
-std::vector<double> LocalClustering(const Graph& graph);
+std::vector<double> LocalClustering(GraphView graph);
 
 // Mean of c_u over all nodes with degree ≥ 2.
-double AverageClustering(const Graph& graph);
+double AverageClustering(GraphView graph);
 
 // Global (transitivity) coefficient: 3∆ / H. Returns 0 for wedge-free
 // graphs.
-double GlobalClustering(const Graph& graph);
+double GlobalClustering(GraphView graph);
 
 // (degree d, mean clustering of degree-d nodes) for every d ≥ 2 present in
 // the graph, ascending.
 std::vector<std::pair<uint32_t, double>> ClusteringByDegree(
-    const Graph& graph);
+    GraphView graph);
 
 // Variant over precomputed per-node degrees and triangle counts, so a
 // statistics pipeline that already holds both (degree histogram, local

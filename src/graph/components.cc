@@ -8,7 +8,8 @@
 
 namespace dpkron {
 
-ComponentInfo ConnectedComponents(const Graph& graph) {
+ComponentInfo ConnectedComponents(GraphView graph) {
+  graph.CountPass("components");
   const uint32_t n = graph.NumNodes();
   ComponentInfo info;
   info.component_of.assign(n, UINT32_MAX);
@@ -23,7 +24,7 @@ ComponentInfo ConnectedComponents(const Graph& graph) {
   return info;
 }
 
-ExtractedComponent LargestComponent(const Graph& graph) {
+ExtractedComponent LargestComponent(GraphView graph) {
   const ComponentInfo info = ConnectedComponents(graph);
   ExtractedComponent out;
   if (info.sizes.empty()) {

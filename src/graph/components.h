@@ -6,7 +6,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
@@ -22,7 +22,7 @@ struct ComponentInfo {
   }
 };
 
-ComponentInfo ConnectedComponents(const Graph& graph);
+ComponentInfo ConnectedComponents(GraphView graph);
 
 // The induced subgraph on the largest connected component, with nodes
 // relabelled 0..n'-1 (order preserved). Returns the graph plus the mapping
@@ -31,7 +31,7 @@ struct ExtractedComponent {
   Graph graph;
   std::vector<Graph::NodeId> original_id;
 };
-ExtractedComponent LargestComponent(const Graph& graph);
+ExtractedComponent LargestComponent(GraphView graph);
 
 }  // namespace dpkron
 

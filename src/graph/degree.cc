@@ -13,7 +13,8 @@ constexpr size_t kDegreeGrain = 4096;
 
 }  // namespace
 
-std::vector<uint32_t> DegreeVector(const Graph& graph) {
+std::vector<uint32_t> DegreeVector(GraphView graph) {
+  graph.CountPass("degree_vector");
   const uint32_t n = graph.NumNodes();
   std::vector<uint32_t> degrees(n);
   ParallelFor(n, kDegreeGrain, [&](size_t u) {
@@ -22,13 +23,14 @@ std::vector<uint32_t> DegreeVector(const Graph& graph) {
   return degrees;
 }
 
-std::vector<uint32_t> SortedDegreeVector(const Graph& graph) {
+std::vector<uint32_t> SortedDegreeVector(GraphView graph) {
   std::vector<uint32_t> degrees = DegreeVector(graph);
   std::sort(degrees.begin(), degrees.end());
   return degrees;
 }
 
-uint32_t MaxDegree(const Graph& graph) {
+uint32_t MaxDegree(GraphView graph) {
+  graph.CountPass("max_degree");
   const uint32_t n = graph.NumNodes();
   std::vector<uint32_t> partials(ParallelChunkCount(n, kDegreeGrain), 0);
   ParallelForChunks(n, kDegreeGrain, [&](const ParallelChunk& chunk) {
@@ -44,7 +46,8 @@ uint32_t MaxDegree(const Graph& graph) {
 }
 
 std::vector<std::pair<uint32_t, uint64_t>> DegreeHistogram(
-    const Graph& graph) {
+    GraphView graph) {
+  graph.CountPass("degree_histogram");
   const uint32_t n = graph.NumNodes();
   const uint32_t max_degree = MaxDegree(graph);
   // Per-worker count arrays; integer merging commutes, so the totals are
@@ -100,7 +103,8 @@ double TripinsFromDegrees(const std::vector<double>& degrees) {
   return sum / 6.0;
 }
 
-uint64_t CountWedges(const Graph& graph) {
+uint64_t CountWedges(GraphView graph) {
+  graph.CountPass("wedges");
   const uint32_t n = graph.NumNodes();
   std::vector<uint64_t> partials(ParallelChunkCount(n, kDegreeGrain), 0);
   ParallelForChunks(n, kDegreeGrain, [&](const ParallelChunk& chunk) {
@@ -116,7 +120,8 @@ uint64_t CountWedges(const Graph& graph) {
   return wedges;
 }
 
-uint64_t CountTripins(const Graph& graph) {
+uint64_t CountTripins(GraphView graph) {
+  graph.CountPass("tripins");
   const uint32_t n = graph.NumNodes();
   std::vector<uint64_t> partials(ParallelChunkCount(n, kDegreeGrain), 0);
   ParallelForChunks(n, kDegreeGrain, [&](const ParallelChunk& chunk) {

@@ -9,23 +9,23 @@
 #include <utility>
 #include <vector>
 
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
 // d_i for every node i.
-std::vector<uint32_t> DegreeVector(const Graph& graph);
+std::vector<uint32_t> DegreeVector(GraphView graph);
 
 // The sorted (ascending) degree sequence d_S of the paper — the quantity
 // Hay et al.'s mechanism privatizes (global sensitivity 2 under edge
 // neighborhood).
-std::vector<uint32_t> SortedDegreeVector(const Graph& graph);
+std::vector<uint32_t> SortedDegreeVector(GraphView graph);
 
-uint32_t MaxDegree(const Graph& graph);
+uint32_t MaxDegree(GraphView graph);
 
 // (degree, count) pairs for every degree value with count > 0, ascending —
 // the "degree distribution" panels of Figs 1–4.
-std::vector<std::pair<uint32_t, uint64_t>> DegreeHistogram(const Graph& graph);
+std::vector<std::pair<uint32_t, uint64_t>> DegreeHistogram(GraphView graph);
 
 // Same histogram computed from an already-materialized degree vector, so
 // a statistics pipeline that holds the degrees can feed several panels
@@ -45,8 +45,8 @@ double HairpinsFromDegrees(const std::vector<double>& degrees);
 double TripinsFromDegrees(const std::vector<double>& degrees);
 
 // Integer-exact counterparts for true degree vectors.
-uint64_t CountWedges(const Graph& graph);   // H
-uint64_t CountTripins(const Graph& graph);  // T
+uint64_t CountWedges(GraphView graph);   // H
+uint64_t CountTripins(GraphView graph);  // T
 
 }  // namespace dpkron
 

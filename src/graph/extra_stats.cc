@@ -10,14 +10,14 @@
 namespace dpkron {
 
 std::vector<std::pair<uint64_t, uint64_t>> TriangleParticipation(
-    const Graph& graph) {
+    GraphView graph) {
   const std::vector<uint64_t> per_node = PerNodeTriangles(graph);
   std::map<uint64_t, uint64_t> counts;
   for (uint64_t t : per_node) ++counts[t];
   return {counts.begin(), counts.end()};
 }
 
-double DegreeAssortativity(const Graph& graph) {
+double DegreeAssortativity(GraphView graph) {
   // Pearson correlation over the 2M ordered edge endpoints (x = deg u,
   // y = deg v); symmetric, so accumulate each undirected edge once with
   // both orientations folded in.
@@ -38,7 +38,7 @@ double DegreeAssortativity(const Graph& graph) {
   return cov / var;
 }
 
-std::vector<uint32_t> CoreNumbers(const Graph& graph) {
+std::vector<uint32_t> CoreNumbers(GraphView graph) {
   const uint32_t n = graph.NumNodes();
   std::vector<uint32_t> core(DegreeVector(graph));
   if (n == 0) return core;
@@ -85,14 +85,14 @@ std::vector<uint32_t> CoreNumbers(const Graph& graph) {
   return core;
 }
 
-uint32_t Degeneracy(const Graph& graph) {
+uint32_t Degeneracy(GraphView graph) {
   const std::vector<uint32_t> core = CoreNumbers(graph);
   uint32_t best = 0;
   for (uint32_t c : core) best = std::max(best, c);
   return best;
 }
 
-std::vector<std::pair<uint32_t, uint64_t>> CoreHistogram(const Graph& graph) {
+std::vector<std::pair<uint32_t, uint64_t>> CoreHistogram(GraphView graph) {
   std::map<uint32_t, uint64_t> counts;
   for (uint32_t c : CoreNumbers(graph)) ++counts[c];
   return {counts.begin(), counts.end()};

@@ -10,29 +10,29 @@
 #include <utility>
 #include <vector>
 
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
 // (t, number of nodes participating in exactly t triangles), ascending t,
 // only t values with non-zero counts.
 std::vector<std::pair<uint64_t, uint64_t>> TriangleParticipation(
-    const Graph& graph);
+    GraphView graph);
 
 // Pearson correlation of endpoint degrees over edges (Newman's degree
 // assortativity, in [−1, 1]). Returns 0 for graphs with < 2 edges or a
 // degree-regular edge set (undefined correlation).
-double DegreeAssortativity(const Graph& graph);
+double DegreeAssortativity(GraphView graph);
 
 // Core number of every node (largest k such that the node survives in
 // the k-core). O(N + M) bucket peeling.
-std::vector<uint32_t> CoreNumbers(const Graph& graph);
+std::vector<uint32_t> CoreNumbers(GraphView graph);
 
 // Largest non-empty core index (0 for edgeless graphs).
-uint32_t Degeneracy(const Graph& graph);
+uint32_t Degeneracy(GraphView graph);
 
 // (k, number of nodes with core number exactly k), ascending k.
-std::vector<std::pair<uint32_t, uint64_t>> CoreHistogram(const Graph& graph);
+std::vector<std::pair<uint32_t, uint64_t>> CoreHistogram(GraphView graph);
 
 }  // namespace dpkron
 

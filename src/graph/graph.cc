@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "src/common/fnv.h"
 #include "src/common/macros.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
@@ -37,13 +37,9 @@ bool Graph::HasEdge(NodeId u, NodeId v) const {
 uint64_t Graph::ContentFingerprint() const {
   const uint64_t cached = fingerprint_.load(std::memory_order_relaxed);
   if (cached != 0) return cached;
-  // Same formula as the .dpkb payload checksum (graph_io.cc):
-  // word-wise FNV-1a over the offsets bytes, continued over the
-  // adjacency bytes.
-  uint64_t hash =
-      Fnv1a64Words(offsets_.data(), offsets_.size() * sizeof(uint32_t));
-  hash = Fnv1a64Words(adjacency_.data(), adjacency_.size() * sizeof(NodeId),
-                      hash);
+  // Same formula as the .dpkb payload checksum (graph_io.cc): shared
+  // with GraphView so every backing of the same CSR bytes agrees.
+  const uint64_t hash = CsrContentFingerprint(offsets_, adjacency_);
   fingerprint_.store(hash, std::memory_order_relaxed);
   return hash;
 }

@@ -121,6 +121,13 @@ class Graph {
   // scenario run, and the arrays are immutable after construction.
   uint64_t ContentFingerprint() const;
 
+  // The memo cell behind ContentFingerprint, shared with GraphView
+  // (graph_view.h): a view of this graph reads and publishes the digest
+  // through the same cache, so whichever side computes it first serves
+  // both. The cell is mutable state of an otherwise-immutable object,
+  // hence exposable from a const Graph.
+  std::atomic<uint64_t>* FingerprintMemo() const { return &fingerprint_; }
+
  private:
   Graph(OffsetVector offsets, AdjacencyVector adjacency)
       : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {}

@@ -1,8 +1,12 @@
 #include "src/graph/graph_io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -233,7 +237,7 @@ Result<Graph> ParseEdgeListSerial(std::string_view text) {
   return MergeChunks(chunks, "<string>");
 }
 
-Status WriteEdgeList(const Graph& graph, const std::string& path) {
+Status WriteEdgeList(GraphView graph, const std::string& path) {
   std::string text = "# dpkron edge list: " + std::to_string(graph.NumNodes()) +
                      " nodes, " + std::to_string(graph.NumEdges()) +
                      " edges\n";
@@ -253,11 +257,39 @@ Status WriteEdgeList(const Graph& graph, const std::string& path) {
 namespace {
 
 constexpr char kDpkbMagic[8] = {'D', 'P', 'K', 'B', 'C', 'S', 'R', '1'};
-// Version 2 added source_checksum (and 8 bytes of header). Version 1
-// files fail the version check, which the sidecar-cache path treats as
+// Version 2 added source_checksum (and 8 bytes of header); version 3
+// moved the two CSR arrays onto 64-byte-aligned section boundaries so
+// an mmap of the file serves SIMD-alignable arrays in place. Readers
+// accept 2 (packed) and 3 (aligned); writers emit 3. Version 1 files
+// fail the version check, which the sidecar-cache path treats as
 // "stale": old caches are silently reparsed and rewritten, never
 // misloaded (tests/graph_io_test.cc exercises a crafted v1 file).
-constexpr uint32_t kDpkbVersion = 2;
+constexpr uint32_t kDpkbVersionPacked = 2;
+constexpr uint32_t kDpkbVersion = 3;
+
+// v3 section geometry. The header struct stays 56 bytes; v3 pads it to
+// the first section boundary.
+constexpr uint64_t kDpkbSectionAlign = 64;
+
+uint64_t AlignUp(uint64_t value) {
+  return (value + kDpkbSectionAlign - 1) & ~(kDpkbSectionAlign - 1);
+}
+
+uint64_t OffsetsSectionStart(uint32_t version) {
+  return version >= 3 ? kDpkbSectionAlign : 56;
+}
+
+uint64_t AdjacencySectionStart(uint32_t version, uint64_t num_nodes) {
+  const uint64_t end = OffsetsSectionStart(version) +
+                       sizeof(uint32_t) * (num_nodes + 1);
+  return version >= 3 ? AlignUp(end) : end;
+}
+
+uint64_t ExpectedFileSize(uint32_t version, uint64_t num_nodes,
+                          uint64_t adjacency_len) {
+  return AdjacencySectionStart(version, num_nodes) +
+         sizeof(uint32_t) * adjacency_len;
+}
 
 struct DpkbHeader {
   char magic[8];
@@ -282,16 +314,70 @@ uint64_t PayloadChecksum(std::span<const uint32_t> offsets,
   // Word-wise FNV-1a (see fnv.h): this checksum is recomputed over the
   // full CSR payload on every cached load, so throughput is part of the
   // cache's >=10x contract. Must stay the Graph::ContentFingerprint
-  // formula exactly.
+  // formula exactly — the section padding v3 introduced is NOT hashed,
+  // so v2 and v3 files of one graph record the same checksum.
   uint64_t hash = Fnv1a64Words(offsets.data(), offsets.size_bytes());
   return Fnv1a64Words(adjacency.data(), adjacency.size_bytes(), hash);
+}
+
+// Validates a parsed header's fixed fields (everything checkable without
+// touching the payload). Shared by the copying reader and MmapGraph.
+Status ValidateDpkbHeader(const DpkbHeader& header, uint64_t file_size,
+                          const std::string& path) {
+  if (std::memcmp(header.magic, kDpkbMagic, sizeof(kDpkbMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a dpkb file (bad magic)");
+  }
+  if (header.version != kDpkbVersionPacked && header.version != kDpkbVersion) {
+    return Status::InvalidArgument(
+        path + ": unsupported dpkb version " + std::to_string(header.version));
+  }
+  if (header.num_nodes >= std::numeric_limits<uint32_t>::max() ||
+      header.adjacency_len > std::numeric_limits<uint32_t>::max() ||
+      header.adjacency_len % 2 != 0) {
+    return Status::InvalidArgument(path + ": implausible dpkb counts");
+  }
+  const uint64_t expected_size =
+      ExpectedFileSize(header.version, header.num_nodes, header.adjacency_len);
+  if (file_size != expected_size) {
+    return Status::InvalidArgument(
+        path + ": dpkb size mismatch (header promises " +
+        std::to_string(expected_size) + " bytes, file has " +
+        std::to_string(file_size) + ")");
+  }
+  return Status::Ok();
+}
+
+// CSR invariants over untrusted arrays — must fail with a Status, not
+// trip the DPKRON_CHECKs inside Graph::FromCsr (or a kernel, for the
+// mmap route, which serves these spans to kernels unconverted).
+Status ValidateCsrSpans(std::span<const uint32_t> offsets,
+                        std::span<const Graph::NodeId> adjacency,
+                        const std::string& path) {
+  const uint32_t n = static_cast<uint32_t>(offsets.size() - 1);
+  if (offsets.front() != 0 || offsets.back() != adjacency.size()) {
+    return Status::InvalidArgument(path + ": corrupt dpkb offsets");
+  }
+  for (uint32_t u = 0; u < n; ++u) {
+    if (offsets[u] > offsets[u + 1]) {
+      return Status::InvalidArgument(path + ": dpkb offsets not monotone");
+    }
+    for (uint32_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      if (adjacency[i] >= n || adjacency[i] == u ||
+          (i > offsets[u] && adjacency[i - 1] >= adjacency[i])) {
+        return Status::InvalidArgument(
+            path + ": dpkb adjacency violates CSR invariants at node " +
+            std::to_string(u));
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace
 
 std::string BinaryCachePath(const std::string& path) { return path + ".dpkb"; }
 
-Status WriteBinaryGraph(const Graph& graph, const std::string& path,
+Status WriteBinaryGraph(GraphView graph, const std::string& path,
                         const DpkbSourceStamp& source) {
   DpkbHeader header{};
   std::memcpy(header.magic, kDpkbMagic, sizeof(kDpkbMagic));
@@ -301,6 +387,17 @@ Status WriteBinaryGraph(const Graph& graph, const std::string& path,
   header.checksum = PayloadChecksum(graph.Offsets(), graph.Adjacency());
   header.source_size = source.size;
   header.source_checksum = source.checksum;
+
+  // v3 section padding: the header region runs to byte 64, and the
+  // adjacency section starts on the next 64-byte boundary past the
+  // offsets. Padding bytes are zero and excluded from the checksum.
+  const char zeros[kDpkbSectionAlign] = {};
+  const uint64_t header_pad = OffsetsSectionStart(header.version) -
+                              sizeof(header);
+  const uint64_t offsets_end = OffsetsSectionStart(header.version) +
+                               sizeof(uint32_t) * (header.num_nodes + 1);
+  const uint64_t offsets_pad =
+      AdjacencySectionStart(header.version, header.num_nodes) - offsets_end;
 
   // Write-temp → Sync → rename → SyncDir through the Env seam. The sync
   // BEFORE the rename is load-bearing: rename-without-fsync can commit
@@ -317,9 +414,15 @@ Status WriteBinaryGraph(const Graph& graph, const std::string& path,
   auto file = env->NewWritableFile(temp);
   if (!file.ok()) return file.status();
   Status status = file.value()->Append(&header, sizeof(header));
+  if (status.ok() && header_pad != 0) {
+    status = file.value()->Append(zeros, header_pad);
+  }
   if (status.ok() && !graph.Offsets().empty()) {
     status = file.value()->Append(graph.Offsets().data(),
                                   sizeof(uint32_t) * graph.Offsets().size());
+  }
+  if (status.ok() && offsets_pad != 0) {
+    status = file.value()->Append(zeros, offsets_pad);
   }
   if (status.ok() && !graph.Adjacency().empty()) {
     status =
@@ -350,36 +453,21 @@ Result<Graph> ReadBinaryGraph(const std::string& path,
     return Status::InvalidArgument(path + ": truncated dpkb header");
   }
   std::memcpy(&header, data.data(), sizeof(header));
-  if (std::memcmp(header.magic, kDpkbMagic, sizeof(kDpkbMagic)) != 0) {
-    return Status::InvalidArgument(path + ": not a dpkb file (bad magic)");
-  }
-  if (header.version != kDpkbVersion) {
-    return Status::InvalidArgument(
-        path + ": unsupported dpkb version " + std::to_string(header.version));
-  }
-  if (header.num_nodes >= std::numeric_limits<uint32_t>::max() ||
-      header.adjacency_len > std::numeric_limits<uint32_t>::max() ||
-      header.adjacency_len % 2 != 0) {
-    return Status::InvalidArgument(path + ": implausible dpkb counts");
-  }
-  const uint64_t expected_size = sizeof(header) +
-                                 sizeof(uint32_t) * (header.num_nodes + 1) +
-                                 sizeof(uint32_t) * header.adjacency_len;
-  if (file_size != expected_size) {
-    return Status::InvalidArgument(
-        path + ": dpkb size mismatch (header promises " +
-        std::to_string(expected_size) + " bytes, file has " +
-        std::to_string(file_size) + ")");
+  if (Status status = ValidateDpkbHeader(header, file_size, path);
+      !status.ok()) {
+    return status;
   }
 
   Graph::OffsetVector offsets(header.num_nodes + 1);
   Graph::AdjacencyVector adjacency(header.adjacency_len);
-  std::memcpy(offsets.data(), data.data() + sizeof(header),
+  std::memcpy(offsets.data(),
+              data.data() + OffsetsSectionStart(header.version),
               sizeof(uint32_t) * offsets.size());
   if (!adjacency.empty()) {
-    std::memcpy(adjacency.data(),
-                data.data() + sizeof(header) + sizeof(uint32_t) * offsets.size(),
-                sizeof(uint32_t) * adjacency.size());
+    std::memcpy(
+        adjacency.data(),
+        data.data() + AdjacencySectionStart(header.version, header.num_nodes),
+        sizeof(uint32_t) * adjacency.size());
   }
   if (PayloadChecksum(offsets, adjacency) != header.checksum) {
     return Status::InvalidArgument(path + ": dpkb checksum mismatch");
@@ -388,27 +476,137 @@ Result<Graph> ReadBinaryGraph(const std::string& path,
     source->size = header.source_size;
     source->checksum = header.source_checksum;
   }
-
-  // CSR invariants — untrusted data must fail with a Status, not trip
-  // the DPKRON_CHECKs inside Graph::FromCsr.
-  const uint32_t n = static_cast<uint32_t>(header.num_nodes);
-  if (offsets.front() != 0 || offsets.back() != adjacency.size()) {
-    return Status::InvalidArgument(path + ": corrupt dpkb offsets");
-  }
-  for (uint32_t u = 0; u < n; ++u) {
-    if (offsets[u] > offsets[u + 1]) {
-      return Status::InvalidArgument(path + ": dpkb offsets not monotone");
-    }
-    for (uint32_t i = offsets[u]; i < offsets[u + 1]; ++i) {
-      if (adjacency[i] >= n || adjacency[i] == u ||
-          (i > offsets[u] && adjacency[i - 1] >= adjacency[i])) {
-        return Status::InvalidArgument(
-            path + ": dpkb adjacency violates CSR invariants at node " +
-            std::to_string(u));
-      }
-    }
+  if (Status status = ValidateCsrSpans(offsets, adjacency, path);
+      !status.ok()) {
+    return status;
   }
   return Graph::FromCsr(std::move(offsets), std::move(adjacency));
+}
+
+// ------------------------------------------------- out-of-core (mmap)
+
+namespace {
+
+// RAII fd so every early return in Open closes it (the mapping itself
+// survives close(2) — the kernel keeps the file pinned via the map).
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+MmapGraph::~MmapGraph() {
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+}
+
+GraphView MmapGraph::view() const {
+  if (map_ == nullptr) return GraphView(fallback_);
+  return GraphView(offsets_, adjacency_, &fingerprint_);
+}
+
+Result<std::shared_ptr<MmapGraph>> MmapGraph::Open(const std::string& path,
+                                                   const Options& options) {
+  // Raw POSIX I/O, not the Env seam: the mapping lives outside Env's
+  // fault-injection model anyway, and the header pread below is the only
+  // read syscall a trusted open performs — the O(header) contract.
+  FdCloser fd;
+  fd.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd.fd < 0) {
+    return Status::NotFound(path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd.fd, &st) != 0) {
+    return Status::Unavailable(path + ": fstat: " + std::strerror(errno));
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+
+  DpkbHeader header{};
+  if (file_size < sizeof(header)) {
+    return Status::InvalidArgument(path + ": truncated dpkb header");
+  }
+  const ssize_t got = ::pread(fd.fd, &header, sizeof(header), 0);
+  if (got != static_cast<ssize_t>(sizeof(header))) {
+    return Status::Unavailable(path + ": short header read");
+  }
+  // The size check against the header's exact promise is what makes the
+  // no-SIGBUS guarantee: a file truncated mid-CSR fails HERE, before any
+  // byte of it is mapped, and a file that shrinks after this point is a
+  // concurrent-modification race the format contract excludes (writers
+  // only ever rename complete files into place).
+  if (Status status = ValidateDpkbHeader(header, file_size, path);
+      !status.ok()) {
+    return status;
+  }
+
+  auto graph = std::shared_ptr<MmapGraph>(new MmapGraph());
+  graph->stamp_ = DpkbSourceStamp{header.source_size, header.source_checksum};
+
+  if (header.version < 3) {
+    // Packed v2 layout: the arrays are not mappable in place (offsets
+    // start at byte 56). Degrade to the copying reader — same validation
+    // semantics, just materialized.
+    auto fallback = ReadBinaryGraph(path);
+    if (!fallback.ok()) return fallback.status();
+    graph->fallback_ = std::move(fallback.value());
+    return graph;
+  }
+
+  void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_SHARED, fd.fd, 0);
+  if (map == MAP_FAILED) {
+    return Status::Unavailable(path + ": mmap: " + std::strerror(errno));
+  }
+  graph->map_ = map;
+  graph->map_len_ = file_size;
+  const auto* base = static_cast<const char*>(map);
+  graph->offsets_ = std::span<const uint32_t>(
+      reinterpret_cast<const uint32_t*>(
+          base + OffsetsSectionStart(header.version)),
+      header.num_nodes + 1);
+  graph->adjacency_ = std::span<const Graph::NodeId>(
+      reinterpret_cast<const Graph::NodeId*>(
+          base + AdjacencySectionStart(header.version, header.num_nodes)),
+      header.adjacency_len);
+  // The write-time checksum IS the content fingerprint by the format
+  // contract, so StatCache keys match the in-RAM backing without a
+  // payload read.
+  graph->fingerprint_.store(header.checksum, std::memory_order_relaxed);
+
+  // Paging hints: the offsets array is touched by every kernel's setup
+  // (degrees, chunk bounds), so always prefetch it; the adjacency
+  // streams under page-cache control unless the caller asks for a full
+  // prefault. Advisory — failures are ignored.
+  (void)::madvise(map, options.populate
+                           ? file_size
+                           : AdjacencySectionStart(header.version,
+                                                   header.num_nodes),
+                  MADV_WILLNEED);
+
+  // O(1) endpoint sanity even on trusted opens: catches a payload that
+  // disagrees with the header about its own length without reading it.
+  if (graph->offsets_.front() != 0 ||
+      graph->offsets_.back() != graph->adjacency_.size()) {
+    return Status::InvalidArgument(path + ": corrupt dpkb offsets");
+  }
+
+  if (options.verify_payload) {
+    // Full streaming re-verification for files of untrusted origin:
+    // the recorded checksum must match the mapped payload, and the CSR
+    // invariants must hold (kernels index adjacency[] by offsets[] and
+    // would otherwise read out of the mapping).
+    if (PayloadChecksum(graph->offsets_, graph->adjacency_) !=
+        header.checksum) {
+      return Status::InvalidArgument(path + ": dpkb checksum mismatch");
+    }
+    if (Status status =
+            ValidateCsrSpans(graph->offsets_, graph->adjacency_, path);
+        !status.ok()) {
+      return status;
+    }
+  }
+  return graph;
 }
 
 namespace {
@@ -569,6 +767,43 @@ Result<Graph> ReadEdgeListCached(const std::string& path, bool* cache_hit,
       LoadViaSidecar(path, bytes.value(), current, options, &sidecar_hit);
   if (cache_hit != nullptr) *cache_hit = sidecar_hit;
   return result;
+}
+
+Result<GraphHandle> ReadEdgeListMapped(const std::string& path,
+                                       const EdgeListParseOptions& options) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  const DpkbSourceStamp current{bytes.value().size(),
+                                Fnv1a64Words(bytes.value().data(),
+                                             bytes.value().size())};
+  const std::string cache = BinaryCachePath(path);
+
+  // A servable sidecar must map in place (v3), carry the current
+  // source's stamp, and open clean. A fresh v2 sidecar fails the
+  // mapped() test; the loader below then serves it as a copying hit —
+  // correct, just not out-of-core — until the source changes and the
+  // rewrite migrates it to v3.
+  auto try_map = [&]() -> std::shared_ptr<MmapGraph> {
+    auto mapped = MmapGraph::Open(cache);
+    if (mapped.ok() && mapped.value()->mapped() &&
+        mapped.value()->source_stamp().size == current.size &&
+        mapped.value()->source_stamp().checksum == current.checksum) {
+      return std::move(mapped.value());
+    }
+    return nullptr;
+  };
+  if (auto mapped = try_map()) return GraphHandle(std::move(mapped));
+
+  // Miss: rebuild through the sidecar loader (it owns the cross-process
+  // lock protocol and the durable write), then retry the map once. If
+  // the rewrite could not land — read-only dataset directory, full disk
+  // — the parse in hand serves in-RAM.
+  bool sidecar_hit = false;
+  auto parsed =
+      LoadViaSidecar(path, bytes.value(), current, options, &sidecar_hit);
+  if (!parsed.ok()) return parsed.status();
+  if (auto mapped = try_map()) return GraphHandle(std::move(mapped));
+  return GraphHandle(std::move(parsed.value()));
 }
 
 }  // namespace dpkron

@@ -19,42 +19,56 @@
 // to ParseEdgeListSerial at any thread count.
 //
 // Binary format (.dpkb, little-endian), the sidecar cache behind
-// ReadEdgeListCached:
+// ReadEdgeListCached and the out-of-core substrate behind MmapGraph.
+// Current version 3 ("aligned sections"):
 //
 //   bytes  field
 //   0..7   magic "DPKBCSR1"
-//   8..11  version (uint32, currently 2)
+//   8..11  version (uint32, currently 3)
 //   12..15 reserved (uint32, 0)
 //   16..23 num_nodes (uint64)
 //   24..31 adjacency length (uint64, = 2·edges)
 //   32..39 FNV-1a 64 checksum of the offsets + adjacency payload
+//          (padding excluded) — exactly Graph::ContentFingerprint
 //   40..47 source text size in bytes (uint64; 0 = standalone file)
 //   48..55 FNV-1a 64 checksum of the source text (uint64; 0 =
-//          standalone file) — version 2's addition. Sidecar caches
-//          record the (size, checksum) stamp of the text they were
-//          parsed from, and cached loads revalidate it against the
-//          current source bytes, so no rewrite — same-size within mtime
-//          granularity, mtime-preserving replacement — can serve a
-//          stale graph.
-//   56..   offsets ((num_nodes+1) × uint32), adjacency (len × uint32)
+//          standalone file). Sidecar caches record the (size, checksum)
+//          stamp of the text they were parsed from, and cached loads
+//          revalidate it against the current source bytes, so no
+//          rewrite — same-size within mtime granularity,
+//          mtime-preserving replacement — can serve a stale graph.
+//   56..63 reserved (zero padding to the first section boundary)
+//   64..   offsets section: (num_nodes+1) × uint32
+//   ...    zero padding to the next 64-byte boundary
+//   ↑64    adjacency section: len × uint32
+//
+// Both sections start on 64-byte boundaries, so an mmap of the file
+// (page-aligned by definition) yields cache-line-aligned CSR arrays the
+// SIMD kernels can consume in place — the property that makes MmapGraph
+// a zero-copy load. Version 2 was the same header (56 bytes, version
+// field 2) with the two arrays packed immediately after it; readers
+// accept both, writers emit 3. Version-1 files fail the version check;
+// the sidecar-cache path treats any unreadable version exactly like a
+// stale cache (silent reparse + rewrite), so a repo upgraded across a
+// version bump never misloads an old cache.
 //
 // ReadBinaryGraph verifies magic/version/sizes/checksum and the CSR
 // invariants (monotone offsets, strictly sorted in-range lists, no
 // self-loops) before constructing the Graph, so a truncated or
 // corrupted cache degrades to a Status, never an aborted process.
-// Version-1 files fail the version check; the sidecar-cache path treats
-// that exactly like a stale cache (silent reparse + rewrite), so a
-// repo upgraded across the version bump never misloads an old cache.
 
 #ifndef DPKRON_GRAPH_GRAPH_IO_H_
 #define DPKRON_GRAPH_GRAPH_IO_H_
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "src/common/status.h"
 #include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
@@ -91,7 +105,7 @@ Result<Graph> ParseEdgeList(std::string_view text,
 Result<Graph> ParseEdgeListSerial(std::string_view text);
 
 // Writes `graph` as an edge list (u < v per line) with a comment header.
-Status WriteEdgeList(const Graph& graph, const std::string& path);
+Status WriteEdgeList(GraphView graph, const std::string& path);
 
 // ------------------------------------------------------ binary (.dpkb)
 
@@ -103,16 +117,123 @@ struct DpkbSourceStamp {
   uint64_t checksum = 0;  // FNV-1a 64 of the source text
 };
 
-// Serializes the graph's CSR arrays in the .dpkb format above.
+// Serializes the graph's CSR arrays in the .dpkb v3 format above.
 // `source` is recorded in the header (sidecar caches pass the text
 // file's stamp; standalone writers leave the default {0, 0}).
-Status WriteBinaryGraph(const Graph& graph, const std::string& path,
+Status WriteBinaryGraph(GraphView graph, const std::string& path,
                         const DpkbSourceStamp& source = {});
 
-// Loads a .dpkb file, validating header, checksum and CSR invariants.
-// `source`, when non-null, receives the header's recorded source stamp.
+// Loads a .dpkb file (version 2 or 3), validating header, checksum and
+// CSR invariants. `source`, when non-null, receives the header's
+// recorded source stamp.
 Result<Graph> ReadBinaryGraph(const std::string& path,
                               DpkbSourceStamp* source = nullptr);
+
+// ------------------------------------------------- out-of-core (mmap)
+
+// A .dpkb v3 file mapped read-only into the address space: the CSR
+// sections are consumed in place (64-byte-aligned by the v3 layout), so
+// opening costs O(header) I/O and graphs larger than RAM stream under
+// page-cache control instead of being materialized.
+//
+// Validation contract: Open always verifies magic/version/counts and
+// that the file size matches the header exactly — a file truncated
+// mid-CSR fails with a clean Status and is never mapped, so kernels
+// cannot SIGBUS on the validated range. The payload checksum and CSR
+// invariants are verified only with Options::verify_payload (an
+// O(N + E) streaming read, still zero-copy); the default trusts the
+// checksum recorded at write time, which is what keeps the load
+// O(header). Use verify_payload for .dpkb files of untrusted origin.
+//
+// A version-2 file (packed layout, unmappable in place) degrades to a
+// copying load via ReadBinaryGraph — mapped() reports which route
+// served the graph. Fingerprint: the header checksum, which equals
+// Graph::ContentFingerprint of the same CSR by the format contract, so
+// StatCache entries are shared bit-identically with in-RAM backings.
+//
+// Thread safety: the mapping is immutable; any number of concurrent
+// readers may hold views of one MmapGraph. The object must outlive
+// every view of it (GraphHandle below carries the ownership).
+struct MmapOptions {
+  // Recompute the payload checksum and re-check the CSR invariants
+  // before serving (full streaming read of the mapping).
+  bool verify_payload = false;
+  // madvise(MADV_WILLNEED) the whole mapping up front (default hints
+  // only the offsets section).
+  bool populate = false;
+};
+
+class MmapGraph {
+ public:
+  using Options = MmapOptions;
+
+  static Result<std::shared_ptr<MmapGraph>> Open(const std::string& path,
+                                                 const Options& options = {});
+
+  ~MmapGraph();
+  MmapGraph(const MmapGraph&) = delete;
+  MmapGraph& operator=(const MmapGraph&) = delete;
+
+  // The zero-copy view every kernel consumes. Valid while this object
+  // lives.
+  GraphView view() const;
+
+  uint32_t NumNodes() const { return view().NumNodes(); }
+  uint64_t NumEdges() const { return view().NumEdges(); }
+  uint64_t ContentFingerprint() const { return view().ContentFingerprint(); }
+
+  // True when the CSR is served from the mapping; false when a v2 file
+  // forced the copying fallback.
+  bool mapped() const { return map_ != nullptr; }
+
+  // The header's recorded source-text stamp ({0,0} for standalone
+  // files) — what lets a sidecar consumer revalidate freshness without
+  // touching the payload.
+  const DpkbSourceStamp& source_stamp() const { return stamp_; }
+
+ private:
+  MmapGraph() = default;
+
+  void* map_ = nullptr;  // null = v2 copying fallback (fallback_ holds it)
+  size_t map_len_ = 0;
+  std::span<const uint32_t> offsets_;
+  std::span<const Graph::NodeId> adjacency_;
+  Graph fallback_;
+  DpkbSourceStamp stamp_;
+  // Seeded with the header checksum on open, so views never recompute.
+  mutable std::atomic<uint64_t> fingerprint_{0};
+};
+
+// The owning handle the loading layer hands to scenarios: a graph
+// backed EITHER by in-RAM arenas or by an mmap'd .dpkb, behind one
+// type. Converts implicitly to GraphView, so `GraphView g = handle;`
+// is the whole consumption idiom. Copies share the backing.
+class GraphHandle {
+ public:
+  GraphHandle() = default;
+  GraphHandle(Graph graph)  // NOLINT(google-explicit-constructor)
+      : ram_(std::make_shared<const Graph>(std::move(graph))) {}
+  explicit GraphHandle(std::shared_ptr<const MmapGraph> mapped)
+      : mapped_(std::move(mapped)) {}
+
+  GraphView view() const {
+    if (ram_ != nullptr) return GraphView(*ram_);
+    if (mapped_ != nullptr) return mapped_->view();
+    return GraphView();
+  }
+  operator GraphView() const { return view(); }  // NOLINT
+
+  uint32_t NumNodes() const { return view().NumNodes(); }
+  uint64_t NumEdges() const { return view().NumEdges(); }
+
+  // True when the payload is served from a live mapping (a v2 fallback
+  // inside MmapGraph reports false — it materialized).
+  bool mmap_backed() const { return mapped_ != nullptr && mapped_->mapped(); }
+
+ private:
+  std::shared_ptr<const Graph> ram_;
+  std::shared_ptr<const MmapGraph> mapped_;
+};
 
 // The sidecar cache path for an edge-list file: "<path>.dpkb".
 std::string BinaryCachePath(const std::string& path);
@@ -127,6 +248,19 @@ std::string BinaryCachePath(const std::string& path);
 Result<Graph> ReadEdgeListCached(const std::string& path,
                                  bool* cache_hit = nullptr,
                                  const EdgeListParseOptions& options = {});
+
+// The out-of-core analogue of ReadEdgeListCached: serves the edge list
+// through its sidecar as an mmap-backed handle. Stamp-checks
+// "<path>.dpkb" against the current source bytes and maps it on a hit;
+// on a miss (absent, stale, corrupt, or old-version sidecar) parses the
+// text, rewrites the sidecar as v3 — under the same cross-process lock
+// protocol as the cached loader — and retries the map once. If the
+// sidecar cannot be (re)written (read-only dataset dir, ENOSPC), the
+// freshly parsed in-RAM graph serves instead: mmap is an execution
+// strategy, never a correctness requirement, and both backings hash to
+// the same fingerprint.
+Result<GraphHandle> ReadEdgeListMapped(
+    const std::string& path, const EdgeListParseOptions& options = {});
 
 }  // namespace dpkron
 

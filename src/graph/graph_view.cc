@@ -1,0 +1,46 @@
+#include "src/graph/graph_view.h"
+
+#include <algorithm>
+
+#include "src/common/fnv.h"
+#include "src/common/macros.h"
+
+namespace dpkron {
+
+uint64_t CsrContentFingerprint(std::span<const uint32_t> offsets,
+                               std::span<const Graph::NodeId> adjacency) {
+  // Word-wise FNV-1a over the offsets bytes, continued over the
+  // adjacency bytes — the .dpkb payload-checksum formula exactly
+  // (graph_io.cc asserts the equivalence in its tests).
+  uint64_t hash = Fnv1a64Words(offsets.data(), offsets.size_bytes());
+  return Fnv1a64Words(adjacency.data(), adjacency.size_bytes(), hash);
+}
+
+bool GraphView::HasEdge(NodeId u, NodeId v) const {
+  DPKRON_CHECK_LT(u, NumNodes());
+  DPKRON_CHECK_LT(v, NumNodes());
+  const auto neighbors = Neighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+uint64_t GraphView::ContentFingerprint() const {
+  if (fingerprint_memo_ != nullptr) {
+    const uint64_t cached = fingerprint_memo_->load(std::memory_order_relaxed);
+    if (cached != 0) return cached;
+  }
+  const uint64_t hash = CsrContentFingerprint(offsets_, adjacency_);
+  if (fingerprint_memo_ != nullptr) {
+    fingerprint_memo_->store(hash, std::memory_order_relaxed);
+  }
+  return hash;
+}
+
+std::vector<std::pair<GraphView::NodeId, GraphView::NodeId>> GraphView::Edges()
+    const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(NumEdges());
+  ForEachEdge([&edges](NodeId u, NodeId v) { edges.emplace_back(u, v); });
+  return edges;
+}
+
+}  // namespace dpkron

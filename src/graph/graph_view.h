@@ -1,0 +1,176 @@
+// GraphView — the zero-copy CSR seam every kernel operates on.
+//
+// A GraphView is two spans (offsets, adjacency) plus the shared
+// fingerprint memo of whatever owns the arrays. The arrays can live in
+// a Graph's in-RAM aligned arenas or in an mmap'd .dpkb payload
+// (MmapGraph, graph_io.h) — kernels cannot tell the difference, which
+// is what lets graphs larger than RAM stream through the statistics
+// engine under page-cache control.
+//
+// Views are non-owning: the backing Graph/MmapGraph must outlive every
+// view of it. They are cheap to copy (four words) and are passed by
+// value; `const Graph&` converts implicitly, so Graph-holding call
+// sites read exactly as before the seam existed.
+//
+// PassCounter: the instrumentation behind the fused-pass plan in
+// ReleasePipeline::Compute. A kernel that sweeps the whole CSR calls
+// CountPass("label") once per traversal; tests attach a counter via
+// WithPassCounter and assert the exact number of passes a pipeline
+// performs, so a regression that re-adds a redundant walk fails loudly.
+// An unattached view's CountPass is a branch on a null pointer.
+
+#ifndef DPKRON_GRAPH_GRAPH_VIEW_H_
+#define DPKRON_GRAPH_GRAPH_VIEW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dpkron {
+
+// Counts full-CSR traversals by kernel label. Thread-safe: parallel
+// kernels record from the calling thread only (one Record per
+// traversal, not per chunk), but several pipelines may share a counter.
+class PassCounter {
+ public:
+  void Record(const char* kernel) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_[kernel];
+    ++total_;
+  }
+
+  uint64_t total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+  uint64_t count(const std::string& kernel) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = counts_.find(kernel);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  // (label, count) pairs in label order — the shape BENCH_outofcore.json
+  // records.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {counts_.begin(), counts_.end()};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+namespace internal {
+// The offsets array of an empty (0-node) graph, so a default-constructed
+// view satisfies the CSR shape invariant (offsets.size() == n + 1).
+inline constexpr uint32_t kEmptyOffsets[1] = {0};
+}  // namespace internal
+
+// FNV-1a digest of a CSR pair — Graph::ContentFingerprint's formula and
+// the .dpkb payload checksum, shared so every backing agrees bit-for-bit
+// on the same graph's identity (the StatCache key contract).
+uint64_t CsrContentFingerprint(std::span<const uint32_t> offsets,
+                               std::span<const Graph::NodeId> adjacency);
+
+class GraphView {
+ public:
+  using NodeId = Graph::NodeId;
+
+  // An empty graph (0 nodes).
+  GraphView()
+      : offsets_(internal::kEmptyOffsets, 1) {}
+
+  // Implicit: every `const Graph&` call site is also a GraphView call
+  // site. The view shares the Graph's fingerprint memo, so whichever of
+  // the two computes the digest first serves both.
+  GraphView(const Graph& graph)  // NOLINT(google-explicit-constructor)
+      : offsets_(graph.Offsets()),
+        adjacency_(graph.Adjacency()),
+        fingerprint_memo_(graph.FingerprintMemo()) {}
+
+  // Raw-span backing (MmapGraph). `fingerprint_memo` may be null
+  // (fingerprint recomputed per call) or point at the owner's memo cell,
+  // pre-seeded with a known digest (an mmap'd file's header checksum).
+  GraphView(std::span<const uint32_t> offsets,
+            std::span<const NodeId> adjacency,
+            std::atomic<uint64_t>* fingerprint_memo)
+      : offsets_(offsets),
+        adjacency_(adjacency),
+        fingerprint_memo_(fingerprint_memo) {}
+
+  uint32_t NumNodes() const {
+    return static_cast<uint32_t>(offsets_.size() - 1);
+  }
+
+  // Number of undirected edges.
+  uint64_t NumEdges() const { return adjacency_.size() / 2; }
+
+  uint32_t Degree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  // Sorted neighbor list of u.
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  // O(log deg(u)). u and v must be valid node ids.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  // Invokes f(u, v) once per undirected edge, with u < v.
+  template <typename F>
+  void ForEachEdge(F&& f) const {
+    for (NodeId u = 0; u < NumNodes(); ++u) {
+      for (NodeId v : Neighbors(u)) {
+        if (u < v) f(u, v);
+      }
+    }
+  }
+
+  // All edges as (u, v) pairs with u < v, in lexicographic order.
+  std::vector<std::pair<NodeId, NodeId>> Edges() const;
+
+  std::span<const uint32_t> Offsets() const { return offsets_; }
+  std::span<const NodeId> Adjacency() const { return adjacency_; }
+
+  // FNV-1a digest of the CSR arrays — the graph component of StatCache
+  // keys, identical across backings of the same graph (in-RAM arenas and
+  // an mmap'd .dpkb produce the same digest for the same CSR bytes).
+  uint64_t ContentFingerprint() const;
+
+  // A copy of this view with `counter` attached; kernels running on the
+  // copy record their CSR traversals there.
+  GraphView WithPassCounter(PassCounter* counter) const {
+    GraphView annotated = *this;
+    annotated.passes_ = counter;
+    return annotated;
+  }
+
+  PassCounter* pass_counter() const { return passes_; }
+
+  // Called by kernels, once per full CSR traversal. No-op when no
+  // counter is attached.
+  void CountPass(const char* kernel) const {
+    if (passes_ != nullptr) passes_->Record(kernel);
+  }
+
+ private:
+  std::span<const uint32_t> offsets_;
+  std::span<const NodeId> adjacency_;
+  // Owner's lazily-memoized fingerprint (see Graph::ContentFingerprint
+  // for the 0-sentinel protocol); null = recompute per call.
+  std::atomic<uint64_t>* fingerprint_memo_ = nullptr;
+  PassCounter* passes_ = nullptr;
+};
+
+}  // namespace dpkron
+
+#endif  // DPKRON_GRAPH_GRAPH_VIEW_H_

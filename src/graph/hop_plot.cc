@@ -7,7 +7,10 @@
 
 namespace dpkron {
 
-std::vector<uint64_t> ExactHopPlot(const Graph& graph) {
+std::vector<uint64_t> ExactHopPlot(GraphView graph) {
+  // n BFS sweeps, but one logical traversal of the view per call at the
+  // pass-plan granularity the fused pipeline accounts in.
+  graph.CountPass("exact_hop_plot");
   const uint32_t n = graph.NumNodes();
   std::vector<uint64_t> reached_at;  // reached_at[h] = #pairs at distance h
   BfsScratch scratch(n);

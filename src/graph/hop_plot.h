@@ -9,14 +9,14 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
 // Exact hop plot. Entry h (0-based) is N(h); the vector extends to the
 // graph's effective diameter, i.e. until N(h) stops growing. N(0) equals
 // NumNodes(). O(N·M) time, O(N) memory.
-std::vector<uint64_t> ExactHopPlot(const Graph& graph);
+std::vector<uint64_t> ExactHopPlot(GraphView graph);
 
 // Smallest h such that N(h) ≥ fraction·N(∞) (the standard "effective
 // diameter" with fraction = 0.9). `hop_plot` must be a (possibly

@@ -9,11 +9,13 @@
 namespace dpkron {
 namespace {
 
+using internal::ForwardCsr;
+
 // Rank nodes by (degree, id); orienting every edge from lower to higher
 // rank makes each triangle counted exactly once and bounds the forward
 // out-degree by O(sqrt(m)).
 struct RankOrder {
-  const Graph& graph;
+  GraphView graph;
   bool Less(Graph::NodeId a, Graph::NodeId b) const {
     const uint32_t da = graph.Degree(a), db = graph.Degree(b);
     return da != db ? da < db : a < b;
@@ -27,7 +29,7 @@ constexpr size_t kNodeGrain = 64;
 
 // forward[u] = neighbors of u with higher rank, sorted by node id.
 // Per-node independent, so the fill parallelizes directly.
-std::vector<std::vector<Graph::NodeId>> BuildForwardLists(const Graph& graph) {
+std::vector<std::vector<Graph::NodeId>> BuildForwardLists(GraphView graph) {
   const RankOrder rank{graph};
   const uint32_t n = graph.NumNodes();
   std::vector<std::vector<Graph::NodeId>> forward(n);
@@ -66,17 +68,11 @@ void ForEachTriangleInRange(
   }
 }
 
-// Flattened forward lists for the AVX2 path: one contiguous arena
-// instead of a vector-of-vectors, so intersections read straight spans
-// and the build does no per-node allocation. Same (degree, id) rank
-// orientation and the same triangles as BuildForwardLists — triangle
-// counts are integers, so the two paths agree exactly.
-struct ForwardCsr {
-  std::vector<uint32_t> offsets;          // n+1
-  std::vector<Graph::NodeId> targets;     // concatenated forward lists
-};
-
-ForwardCsr BuildForwardCsr(const Graph& graph) {
+// Two-sweep flattened build (count, then fill): no per-node allocation,
+// the fastest route when the adjacency is RAM-resident. The fused
+// kernel uses BuildForwardCsrFused below instead, which reads the
+// view's adjacency exactly once.
+ForwardCsr BuildForwardCsr(GraphView graph) {
   const RankOrder rank{graph};
   const uint32_t n = graph.NumNodes();
   ForwardCsr fwd;
@@ -103,7 +99,113 @@ ForwardCsr BuildForwardCsr(const Graph& graph) {
 
 }  // namespace
 
-uint64_t CountTriangles(const Graph& graph) {
+namespace internal {
+
+ForwardCsr BuildForwardCsrFused(GraphView graph,
+                                std::vector<uint32_t>* degrees) {
+  const RankOrder rank{graph};
+  const uint32_t n = graph.NumNodes();
+  if (degrees != nullptr) degrees->resize(n);
+  // Single sweep of the view's adjacency: per-node forward lists and
+  // (optionally) the degree vector fall out of the same traversal. The
+  // flatten below touches only the just-built in-RAM lists — an
+  // out-of-core backing's pages are read once.
+  std::vector<std::vector<Graph::NodeId>> forward(n);
+  ParallelFor(n, kNodeGrain, [&](size_t u_index) {
+    const auto u = static_cast<Graph::NodeId>(u_index);
+    if (degrees != nullptr) (*degrees)[u_index] = graph.Degree(u);
+    for (Graph::NodeId v : graph.Neighbors(u)) {
+      if (rank.Less(u, v)) forward[u_index].push_back(v);
+    }
+  });
+  ForwardCsr fwd;
+  fwd.offsets.assign(size_t{n} + 1, 0);
+  for (uint32_t u = 0; u < n; ++u) {
+    fwd.offsets[u + 1] =
+        fwd.offsets[u] + static_cast<uint32_t>(forward[u].size());
+  }
+  fwd.targets.resize(fwd.offsets.back());
+  ParallelFor(n, 4096, [&](size_t u_index) {
+    std::copy(forward[u_index].begin(), forward[u_index].end(),
+              fwd.targets.begin() + fwd.offsets[u_index]);
+  });
+  return fwd;
+}
+
+std::vector<uint64_t> PerNodeTrianglesFromForward(const ForwardCsr& fwd,
+                                                  uint32_t num_nodes) {
+  const size_t n = num_nodes;
+  // A triangle increments all three of its corners, which live in
+  // arbitrary chunks — so accumulate into per-worker arrays. Integer
+  // addition commutes, so the merged totals are thread-count-invariant
+  // even though worker→chunk assignment is not.
+  std::vector<std::vector<uint64_t>> locals(
+      static_cast<size_t>(ParallelThreadCount()));
+  if (Avx2Active()) {
+    // Per-worker scratch for intersection outputs, sized to the longest
+    // forward list (allocated lazily per worker, like `locals`).
+    std::vector<std::vector<Graph::NodeId>> scratch(locals.size());
+    uint32_t max_forward = 0;
+    for (size_t u = 0; u < n; ++u) {
+      max_forward =
+          std::max(max_forward, fwd.offsets[u + 1] - fwd.offsets[u]);
+    }
+    ParallelForChunks(n, kNodeGrain, [&](const ParallelChunk& chunk) {
+      auto& local = locals[chunk.worker];
+      if (local.empty()) local.assign(n, 0);
+      auto& buffer = scratch[chunk.worker];
+      if (buffer.size() < max_forward) buffer.resize(max_forward);
+      PerNodeTrianglesChunkAvx2(fwd.offsets.data(), fwd.targets.data(),
+                                chunk.begin, chunk.end, local.data(),
+                                buffer.data());
+    });
+  } else {
+    ParallelForChunks(n, kNodeGrain, [&](const ParallelChunk& chunk) {
+      auto& local = locals[chunk.worker];
+      if (local.empty()) local.assign(n, 0);
+      for (size_t u = chunk.begin; u < chunk.end; ++u) {
+        const uint32_t fu_begin = fwd.offsets[u], fu_end = fwd.offsets[u + 1];
+        for (uint32_t vi = fu_begin; vi < fu_end; ++vi) {
+          const Graph::NodeId v = fwd.targets[vi];
+          uint32_t i = fu_begin, j = fwd.offsets[v];
+          const uint32_t j_end = fwd.offsets[v + 1];
+          while (i < fu_end && j < j_end) {
+            if (fwd.targets[i] < fwd.targets[j]) {
+              ++i;
+            } else if (fwd.targets[i] > fwd.targets[j]) {
+              ++j;
+            } else {
+              ++local[u];
+              ++local[v];
+              ++local[fwd.targets[i]];
+              ++i;
+              ++j;
+            }
+          }
+        }
+      }
+    });
+  }
+  std::vector<uint64_t> per_node(n, 0);
+  ParallelFor(n, 4096, [&](size_t u) {
+    uint64_t total = 0;
+    for (const auto& local : locals) {
+      if (!local.empty()) total += local[u];
+    }
+    per_node[u] = total;
+  });
+  return per_node;
+}
+
+std::vector<uint64_t> PerNodeTrianglesImpl(GraphView graph) {
+  const ForwardCsr fwd = BuildForwardCsr(graph);
+  return PerNodeTrianglesFromForward(fwd, graph.NumNodes());
+}
+
+}  // namespace internal
+
+uint64_t CountTriangles(GraphView graph) {
+  graph.CountPass("triangles");
   if (Avx2Active()) {
     const ForwardCsr fwd = BuildForwardCsr(graph);
     const size_t n = graph.NumNodes();
@@ -134,70 +236,12 @@ uint64_t CountTriangles(const Graph& graph) {
   return triangles;
 }
 
-std::vector<uint64_t> PerNodeTriangles(const Graph& graph) {
-  if (Avx2Active()) {
-    const ForwardCsr fwd = BuildForwardCsr(graph);
-    const size_t n = graph.NumNodes();
-    std::vector<std::vector<uint64_t>> locals(
-        static_cast<size_t>(ParallelThreadCount()));
-    // Per-chunk scratch for intersection outputs, sized to the longest
-    // forward list (allocated lazily per worker, like `locals`).
-    std::vector<std::vector<Graph::NodeId>> scratch(locals.size());
-    uint32_t max_forward = 0;
-    for (size_t u = 0; u < n; ++u) {
-      max_forward =
-          std::max(max_forward, fwd.offsets[u + 1] - fwd.offsets[u]);
-    }
-    ParallelForChunks(n, kNodeGrain, [&](const ParallelChunk& chunk) {
-      auto& local = locals[chunk.worker];
-      if (local.empty()) local.assign(n, 0);
-      auto& buffer = scratch[chunk.worker];
-      if (buffer.size() < max_forward) buffer.resize(max_forward);
-      PerNodeTrianglesChunkAvx2(fwd.offsets.data(), fwd.targets.data(),
-                                chunk.begin, chunk.end, local.data(),
-                                buffer.data());
-    });
-    std::vector<uint64_t> per_node(n, 0);
-    ParallelFor(n, 4096, [&](size_t u) {
-      uint64_t total = 0;
-      for (const auto& local : locals) {
-        if (!local.empty()) total += local[u];
-      }
-      per_node[u] = total;
-    });
-    return per_node;
-  }
-  const auto forward = BuildForwardLists(graph);
-  const size_t n = forward.size();
-  // A triangle increments all three of its corners, which live in
-  // arbitrary chunks — so accumulate into per-worker arrays. Integer
-  // addition commutes, so the merged totals are thread-count-invariant
-  // even though worker→chunk assignment is not.
-  std::vector<std::vector<uint64_t>> locals(
-      static_cast<size_t>(ParallelThreadCount()));
-  ParallelForChunks(n, kNodeGrain, [&](const ParallelChunk& chunk) {
-    auto& local = locals[chunk.worker];
-    if (local.empty()) local.assign(n, 0);
-    ForEachTriangleInRange(forward, chunk.begin, chunk.end,
-                           [&local](Graph::NodeId u, Graph::NodeId v,
-                                    Graph::NodeId w) {
-                             ++local[u];
-                             ++local[v];
-                             ++local[w];
-                           });
-  });
-  std::vector<uint64_t> per_node(n, 0);
-  ParallelFor(n, 4096, [&](size_t u) {
-    uint64_t total = 0;
-    for (const auto& local : locals) {
-      if (!local.empty()) total += local[u];
-    }
-    per_node[u] = total;
-  });
-  return per_node;
+std::vector<uint64_t> PerNodeTriangles(GraphView graph) {
+  graph.CountPass("triangles_per_node");
+  return internal::PerNodeTrianglesImpl(graph);
 }
 
-uint32_t CommonNeighbors(const Graph& graph, Graph::NodeId u,
+uint32_t CommonNeighbors(GraphView graph, Graph::NodeId u,
                          Graph::NodeId v) {
   const auto nu = graph.Neighbors(u);
   const auto nv = graph.Neighbors(v);

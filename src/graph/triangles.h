@@ -12,20 +12,49 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
 // Total number of triangles ∆(G).
-uint64_t CountTriangles(const Graph& graph);
+uint64_t CountTriangles(GraphView graph);
 
 // t_u = number of triangles through node u (Σ_u t_u = 3∆).
-std::vector<uint64_t> PerNodeTriangles(const Graph& graph);
+std::vector<uint64_t> PerNodeTriangles(GraphView graph);
 
 // Number of common neighbors of u and v (= triangles through edge {u,v}
 // when the edge exists, but defined for any pair). O(deg u + deg v).
-uint32_t CommonNeighbors(const Graph& graph, Graph::NodeId u,
+uint32_t CommonNeighbors(GraphView graph, Graph::NodeId u,
                          Graph::NodeId v);
+
+namespace internal {
+
+// The (degree, id)-rank forward orientation in compact CSR form: the
+// shared substrate of every triangle intersection path. Once built, the
+// intersections read only these arrays — never the view again — which
+// is what lets the fused node-stats kernel charge the whole triangle
+// family to a single pass over the backing store.
+struct ForwardCsr {
+  std::vector<uint32_t> offsets;       // n+1
+  std::vector<Graph::NodeId> targets;  // concatenated forward lists
+};
+
+// Builds the forward orientation with a SINGLE sweep of the view's
+// adjacency (per-node lists, then an in-RAM flatten), emitting the
+// degree vector from the same traversal when `degrees` is non-null.
+ForwardCsr BuildForwardCsrFused(GraphView graph,
+                                std::vector<uint32_t>* degrees);
+
+// t_u from a prebuilt forward orientation (AVX2-dispatched; scalar and
+// AVX2 agree exactly — integer counts of the same triangle set).
+std::vector<uint64_t> PerNodeTrianglesFromForward(const ForwardCsr& fwd,
+                                                  uint32_t num_nodes);
+
+// PerNodeTriangles without its pass-count record: the fused node-stats
+// kernel (node_stats.h) accounts the traversal itself.
+std::vector<uint64_t> PerNodeTrianglesImpl(GraphView graph);
+
+}  // namespace internal
 
 }  // namespace dpkron
 

@@ -11,7 +11,7 @@
 
 namespace dpkron {
 
-Graph PadWithIsolatedNodes(const Graph& graph, uint32_t num_nodes) {
+Graph PadWithIsolatedNodes(GraphView graph, uint32_t num_nodes) {
   DPKRON_CHECK_GE(num_nodes, graph.NumNodes());
   GraphBuilder builder(num_nodes);
   graph.ForEachEdge(
@@ -23,7 +23,7 @@ namespace {
 
 // Runs `count` Metropolis swap steps on sigma under the current model.
 // Serial: one chain is one Markov trajectory.
-void RunSwaps(const Graph& graph, const KronFitLikelihood& model,
+void RunSwaps(GraphView graph, const KronFitLikelihood& model,
               PermutationState* sigma, Rng& rng, uint64_t count) {
   // The AVX2 path runs the whole loop inside the AVX2 translation unit
   // (likelihood_kernels.h) — same trajectory as the scalar loop below,
@@ -43,9 +43,9 @@ void RunSwaps(const Graph& graph, const KronFitLikelihood& model,
 
 }  // namespace
 
-MetropolisChains::MetropolisChains(const Graph& graph, uint32_t k,
+MetropolisChains::MetropolisChains(GraphView graph, uint32_t k,
                                    uint32_t num_chains, Rng& rng)
-    : graph_(&graph) {
+    : graph_(graph) {
   DPKRON_CHECK_GE(num_chains, 1u);
   DPKRON_CHECK_EQ(graph.NumNodes(), uint64_t{1} << k);
   rngs_ = SplitRngStreams(rng, num_chains);
@@ -64,7 +64,7 @@ MetropolisChains::MetropolisChains(const Graph& graph, uint32_t k,
 void MetropolisChains::Advance(const KronFitLikelihood& model,
                                uint64_t swaps_per_chain) {
   ParallelFor(chains_.size(), 1, [&](size_t c) {
-    RunSwaps(*graph_, model, &chains_[c], rngs_[c], swaps_per_chain);
+    RunSwaps(graph_, model, &chains_[c], rngs_[c], swaps_per_chain);
   });
 }
 
@@ -75,8 +75,8 @@ Gradient3 MetropolisChains::SampleGradient(const KronFitLikelihood& model,
   // matches its 1-thread evaluation bit for bit.
   std::vector<Gradient3> grads(chains_.size());
   ParallelFor(chains_.size(), 1, [&](size_t c) {
-    RunSwaps(*graph_, model, &chains_[c], rngs_[c], swaps_per_chain);
-    grads[c] = model.EdgeGradient(*graph_, chains_[c]);
+    RunSwaps(graph_, model, &chains_[c], rngs_[c], swaps_per_chain);
+    grads[c] = model.EdgeGradient(graph_, chains_[c]);
   });
   Gradient3 mean{0.0, 0.0, 0.0};
   for (const Gradient3& grad : grads) {
@@ -90,20 +90,26 @@ double MetropolisChains::BestLogLikelihood(
     const KronFitLikelihood& model) const {
   std::vector<double> lls(chains_.size());
   ParallelFor(chains_.size(), 1, [&](size_t c) {
-    lls[c] = model.LogLikelihood(*graph_, chains_[c]);
+    lls[c] = model.LogLikelihood(graph_, chains_[c]);
   });
   double best = lls[0];
   for (double ll : lls) best = std::max(best, ll);
   return best;
 }
 
-KronFitResult FitKronFit(const Graph& graph, Rng& rng,
+KronFitResult FitKronFit(GraphView graph, Rng& rng,
                          const KronFitOptions& options) {
   DPKRON_CHECK_GE(graph.NumNodes(), 2u);
   const uint32_t k = ChooseKroneckerOrder(graph.NumNodes());
   const uint32_t n = uint32_t{1} << k;
-  const Graph padded =
-      graph.NumNodes() == n ? graph : PadWithIsolatedNodes(graph, n);
+  // Views don't own: when padding is needed, the padded Graph lives here
+  // so the chain bank's view of it stays valid for the whole fit.
+  Graph padded_storage;
+  GraphView padded = graph;
+  if (graph.NumNodes() != n) {
+    padded_storage = PadWithIsolatedNodes(graph, n);
+    padded = padded_storage;
+  }
 
   Initiator2 theta = options.init.Clamped(0.005, 0.995);
   const uint32_t num_chains = std::max(options.samples_per_iteration, 1u);
@@ -163,7 +169,7 @@ KronFitResult FitKronFit(const Graph& graph, Rng& rng,
   return result;
 }
 
-KronFitResult FitKronFitCached(const Graph& graph, Rng& rng,
+KronFitResult FitKronFitCached(GraphView graph, Rng& rng,
                                const KronFitOptions& options) {
   StatCache& cache = StatCache::Instance();
   if (!cache.enabled()) return FitKronFit(graph, rng, options);

@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 #include "src/kronfit/likelihood.h"
 #include "src/kronfit/permutation.h"
 #include "src/skg/initiator.h"
@@ -68,7 +68,7 @@ struct KronFitResult {
 class MetropolisChains {
  public:
   // `graph` must already be padded to 2^k nodes.
-  MetropolisChains(const Graph& graph, uint32_t k, uint32_t num_chains,
+  MetropolisChains(GraphView graph, uint32_t k, uint32_t num_chains,
                    Rng& rng);
 
   uint32_t num_chains() const {
@@ -91,14 +91,14 @@ class MetropolisChains {
   double BestLogLikelihood(const KronFitLikelihood& model) const;
 
  private:
-  const Graph* graph_;
+  GraphView graph_;  // non-owning; the padded graph outlives the bank
   std::vector<PermutationState> chains_;
   std::vector<Rng> rngs_;  // stream c drives chain c, whatever the worker
 };
 
 // Fits Θ to `graph`. The graph is padded to 2^k nodes internally with
 // k = ChooseKroneckerOrder(NumNodes()).
-KronFitResult FitKronFit(const Graph& graph, Rng& rng,
+KronFitResult FitKronFit(GraphView graph, Rng& rng,
                          const KronFitOptions& options = {});
 
 // FitKronFit served through the process-wide StatCache when it is
@@ -108,12 +108,12 @@ KronFitResult FitKronFit(const Graph& graph, Rng& rng,
 // draws are identical whether the fit ran or was served; a sweep that
 // varies only ε therefore pays for each (graph, seed) fit exactly once.
 // With the cache disabled this is exactly FitKronFit.
-KronFitResult FitKronFitCached(const Graph& graph, Rng& rng,
+KronFitResult FitKronFitCached(GraphView graph, Rng& rng,
                                const KronFitOptions& options = {});
 
 // `graph` with isolated nodes appended until NumNodes() == num_nodes.
 // Requires num_nodes >= graph.NumNodes().
-Graph PadWithIsolatedNodes(const Graph& graph, uint32_t num_nodes);
+Graph PadWithIsolatedNodes(GraphView graph, uint32_t num_nodes);
 
 }  // namespace dpkron
 

@@ -126,7 +126,7 @@ Gradient3 KronFitLikelihood::NoEdgeGradient() const {
   return grad;
 }
 
-double KronFitLikelihood::LogLikelihood(const Graph& graph,
+double KronFitLikelihood::LogLikelihood(GraphView graph,
                                         const PermutationState& sigma) const {
   if (Avx2Active()) {
     const uint32_t* offsets = graph.Offsets().data();
@@ -154,7 +154,7 @@ double KronFitLikelihood::LogLikelihood(const Graph& graph,
   return edge_sum - NoEdgeTerm();
 }
 
-double KronFitLikelihood::SwapDelta(const Graph& graph,
+double KronFitLikelihood::SwapDelta(GraphView graph,
                                     const PermutationState& sigma, uint32_t u,
                                     uint32_t v) const {
   if (u == v) return 0.0;
@@ -183,7 +183,7 @@ double KronFitLikelihood::SwapDelta(const Graph& graph,
   return delta;
 }
 
-bool KronFitLikelihood::MetropolisSwaps(const Graph& graph,
+bool KronFitLikelihood::MetropolisSwaps(GraphView graph,
                                         PermutationState* sigma, Rng& rng,
                                         uint64_t count) const {
   if (!Avx2Active()) return false;
@@ -193,7 +193,7 @@ bool KronFitLikelihood::MetropolisSwaps(const Graph& graph,
   return true;
 }
 
-Gradient3 KronFitLikelihood::EdgeGradient(const Graph& graph,
+Gradient3 KronFitLikelihood::EdgeGradient(GraphView graph,
                                           const PermutationState& sigma) const {
   if (Avx2Active()) {
     const uint32_t* offsets = graph.Offsets().data();

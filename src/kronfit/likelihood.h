@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "src/common/aligned.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 #include "src/kronfit/permutation.h"
 #include "src/skg/initiator.h"
 #include "src/skg/kronecker.h"
@@ -80,12 +80,12 @@ class KronFitLikelihood {
   // Full approximate log-likelihood of `graph` under alignment σ.
   // Chunk-ordered ParallelSum over CSR node ranges: thread-count
   // invariant, though the chunking fixes the summation order.
-  double LogLikelihood(const Graph& graph, const PermutationState& sigma) const;
+  double LogLikelihood(GraphView graph, const PermutationState& sigma) const;
 
   // Change in Σ_E EdgeTerm if nodes u and v exchanged positions; O(deg u +
   // deg v). (The no-edge term does not move.) `sigma` is the state
   // *before* the swap.
-  double SwapDelta(const Graph& graph, const PermutationState& sigma,
+  double SwapDelta(GraphView graph, const PermutationState& sigma,
                    uint32_t u, uint32_t v) const;
 
   // Runs `count` Metropolis swap steps on `sigma` inside the AVX2
@@ -93,13 +93,13 @@ class KronFitLikelihood {
   // call instead of per swap — see likelihood_kernels.h); returns false
   // without consuming any draws when inactive, so the caller runs its
   // scalar loop. The trajectory is bit-identical to that scalar loop.
-  bool MetropolisSwaps(const Graph& graph, PermutationState* sigma,
+  bool MetropolisSwaps(GraphView graph, PermutationState* sigma,
                        Rng& rng, uint64_t count) const;
 
   // ∇_(a,b,c) Σ_E EdgeTerm at alignment σ. Combined with NoEdgeGradient()
   // this is the full likelihood gradient. Chunk-ordered 3-component
   // parallel reduction over CSR node ranges.
-  Gradient3 EdgeGradient(const Graph& graph,
+  Gradient3 EdgeGradient(GraphView graph,
                          const PermutationState& sigma) const;
 
  private:

@@ -31,7 +31,7 @@ void PermutationState::SwapNodes(uint32_t u, uint32_t v) {
   inverse_[sigma_[v]] = v;
 }
 
-PermutationState DegreeGuidedInit(const Graph& graph, uint32_t k) {
+PermutationState DegreeGuidedInit(GraphView graph, uint32_t k) {
   const uint32_t n = graph.NumNodes();
   DPKRON_CHECK_LE(n, uint64_t{1} << k);
   DPKRON_CHECK_EQ(n, uint64_t{1} << k);  // callers pad the graph to 2^k

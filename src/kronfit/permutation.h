@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
@@ -45,7 +45,7 @@ class PermutationState {
 // id p is decreasing in popcount(p) (given a + b ≥ b + c), so the highest-
 // degree observed nodes are mapped to the lowest-popcount ids. A good
 // initial σ shortens the Metropolis burn-in considerably.
-PermutationState DegreeGuidedInit(const Graph& graph, uint32_t k);
+PermutationState DegreeGuidedInit(GraphView graph, uint32_t k);
 
 // Applies `swaps` uniformly random transpositions to sigma. The
 // multi-chain Metropolis sampler uses this to overdisperse chain starts:

@@ -106,7 +106,7 @@ TridiagonalEigenResult TridiagonalEigen(std::vector<double> diag,
 namespace {
 
 // Runs Lanczos with full reorthogonalization; returns all Ritz values.
-std::vector<double> RitzValues(const Graph& graph, uint32_t iterations,
+std::vector<double> RitzValues(GraphView graph, uint32_t iterations,
                                Rng& rng) {
   const uint32_t n = graph.NumNodes();
   const uint32_t m = std::min(iterations, n);
@@ -157,7 +157,7 @@ std::vector<double> RitzValues(const Graph& graph, uint32_t iterations,
 
 }  // namespace
 
-std::vector<double> TopEigenvalues(const Graph& graph, uint32_t k, Rng& rng,
+std::vector<double> TopEigenvalues(GraphView graph, uint32_t k, Rng& rng,
                                    const LanczosOptions& options) {
   DPKRON_CHECK_GE(k, 1u);
   DPKRON_CHECK_LE(k, graph.NumNodes());
@@ -172,7 +172,7 @@ std::vector<double> TopEigenvalues(const Graph& graph, uint32_t k, Rng& rng,
   return ritz;
 }
 
-std::vector<double> TopSingularValues(const Graph& graph, uint32_t k,
+std::vector<double> TopSingularValues(GraphView graph, uint32_t k,
                                       Rng& rng,
                                       const LanczosOptions& options) {
   std::vector<double> eigenvalues = TopEigenvalues(graph, k, rng, options);

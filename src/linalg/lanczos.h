@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
@@ -35,11 +35,11 @@ struct LanczosOptions {
 
 // Top-k adjacency eigenvalues of `graph` sorted by descending magnitude.
 // Requires 1 <= k <= NumNodes().
-std::vector<double> TopEigenvalues(const Graph& graph, uint32_t k, Rng& rng,
+std::vector<double> TopEigenvalues(GraphView graph, uint32_t k, Rng& rng,
                                    const LanczosOptions& options = {});
 
 // Top-k singular values (|eigenvalue|, descending) — the scree plot.
-std::vector<double> TopSingularValues(const Graph& graph, uint32_t k,
+std::vector<double> TopSingularValues(GraphView graph, uint32_t k,
                                       Rng& rng,
                                       const LanczosOptions& options = {});
 

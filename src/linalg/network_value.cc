@@ -8,7 +8,7 @@
 
 namespace dpkron {
 
-PowerIterationResult PrincipalEigenvector(const Graph& graph, Rng& rng,
+PowerIterationResult PrincipalEigenvector(GraphView graph, Rng& rng,
                                           uint32_t max_iterations,
                                           double tolerance) {
   const uint32_t n = graph.NumNodes();
@@ -57,7 +57,7 @@ PowerIterationResult PrincipalEigenvector(const Graph& graph, Rng& rng,
   return result;
 }
 
-std::vector<double> NetworkValue(const Graph& graph, Rng& rng) {
+std::vector<double> NetworkValue(GraphView graph, Rng& rng) {
   PowerIterationResult pi = PrincipalEigenvector(graph, rng);
   std::vector<double> values(pi.eigenvector.size());
   for (size_t i = 0; i < values.size(); ++i) {

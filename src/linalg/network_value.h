@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
@@ -25,13 +25,13 @@ struct PowerIterationResult {
 
 // Power iteration on the adjacency matrix. Deterministic start (degree
 // vector) with random perturbation to avoid pathological orthogonality.
-PowerIterationResult PrincipalEigenvector(const Graph& graph, Rng& rng,
+PowerIterationResult PrincipalEigenvector(GraphView graph, Rng& rng,
                                           uint32_t max_iterations = 1000,
                                           double tolerance = 1e-10);
 
 // |components| of the principal eigenvector, sorted descending. This is
 // exactly the network-value series plotted against rank.
-std::vector<double> NetworkValue(const Graph& graph, Rng& rng);
+std::vector<double> NetworkValue(GraphView graph, Rng& rng);
 
 }  // namespace dpkron
 

@@ -17,11 +17,12 @@ constexpr size_t kVectorGrain = 8192;
 
 }  // namespace
 
-void AdjacencyMatVec(const Graph& graph, const std::vector<double>& x,
+void AdjacencyMatVec(GraphView graph, const std::vector<double>& x,
                      std::vector<double>* y) {
   DPKRON_CHECK_EQ(x.size(), graph.NumNodes());
   DPKRON_CHECK_EQ(y->size(), graph.NumNodes());
   DPKRON_CHECK(&x != y);
+  graph.CountPass("spmv");
   // Each row's sum keeps its sequential neighbor order, so outputs are
   // bit-identical to the serial kernel at any thread count.
   ParallelFor(graph.NumNodes(), kRowGrain, [&](size_t u) {

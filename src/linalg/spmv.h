@@ -9,13 +9,13 @@
 
 #include <vector>
 
-#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 
 namespace dpkron {
 
 // y = A x for the (symmetric, 0/1) adjacency matrix A of `graph`.
 // x.size() and y.size() must equal NumNodes(); x and y must not alias.
-void AdjacencyMatVec(const Graph& graph, const std::vector<double>& x,
+void AdjacencyMatVec(GraphView graph, const std::vector<double>& x,
                      std::vector<double>* y);
 
 // Euclidean norm, dot product, and axpy helpers used by the iterative

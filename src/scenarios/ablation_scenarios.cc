@@ -37,7 +37,7 @@ namespace {
 // the non-private KronMom estimate, and relative error of each
 // privatized feature, on a synthetic SKG and a co-authorship-like graph.
 
-void SweepOnGraph(const std::string& label, const Graph& graph,
+void SweepOnGraph(const std::string& label, GraphView graph,
                   const ScenarioParams& p, Rng& rng, ScenarioOutput& out,
                   SeriesTable& theta_error, SeriesTable& feature_error) {
   const KronMomResult non_private = FitKronMom(graph);
@@ -171,7 +171,9 @@ Status RunModelSelection(const ScenarioSpec& spec, const ScenarioParams& p,
     Rng dataset_rng = rng.Split();
     auto loaded = LoadScenarioGraph(info.name, p, dataset_rng);
     if (!loaded.ok()) return loaded.status();
-    const Graph graph = std::move(loaded).value();
+    // The handle owns the backing (in-RAM or mmap'd); kernels see it
+    // through its GraphView either way.
+    const GraphHandle graph = std::move(loaded).value();
     const GraphFeatures observed = ComputeFeatures(graph);
 
     // N1 = 2 (paper's setting) via the dedicated fitter.

@@ -62,7 +62,9 @@ Status RunFigure(const ScenarioSpec& spec, const ScenarioParams& p,
 
   auto loaded = LoadScenarioGraph(dataset, p, rng);
   if (!loaded.ok()) return loaded.status();
-  const Graph original = std::move(loaded).value();
+  // The handle owns whichever backing --mmap chose; every consumer below
+  // takes its GraphView.
+  const GraphHandle original = std::move(loaded).value();
   const uint32_t k = ChooseKroneckerOrder(original.NumNodes());
 
   SummaryBlock dataset_summary(spec.name + " dataset");

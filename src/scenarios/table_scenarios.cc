@@ -60,7 +60,9 @@ Status RunTable1(const ScenarioSpec& spec, const ScenarioParams& p,
     Rng dataset_rng = rng.Split();
     auto loaded = LoadScenarioGraph(info.name, p, dataset_rng);
     if (!loaded.ok()) return loaded.status();
-    const Graph graph = std::move(loaded).value();
+    // The handle owns the backing (in-RAM or mmap'd); kernels see its
+    // GraphView either way.
+    const GraphHandle graph = std::move(loaded).value();
 
     const KronMomResult kronmom = FitKronMom(graph);
 
@@ -154,7 +156,7 @@ struct Dk2Summary {
   double effective_diameter = 0.0;
 };
 
-Dk2Summary Summarize(const Graph& g, Rng& rng) {
+Dk2Summary Summarize(GraphView g, Rng& rng) {
   Dk2Summary s;
   s.edges = double(g.NumEdges());
   s.max_degree = double(MaxDegree(g));
@@ -174,7 +176,7 @@ Status RunComparisonDk2(const ScenarioSpec& spec, const ScenarioParams& p,
   Rng rng(p.seed);
   auto loaded = LoadScenarioGraph(spec.datasets.front(), p, rng);
   if (!loaded.ok()) return loaded.status();
-  const Graph original = std::move(loaded).value();
+  const GraphHandle original = std::move(loaded).value();
   Rng summary_rng = rng.Split();
   const Dk2Summary truth = Summarize(original, summary_rng);
   out.Printf("original: E=%.0f dmax=%.0f cc=%.3f r=%.3f diam90=%.0f\n",

@@ -67,8 +67,10 @@ Result<std::unique_ptr<DpkronServer>> DpkronServer::Create(
   if (!config.disk_cache_path.empty()) {
     // Fail startup, not requests: a server told to persist its cache
     // but unable to create the root is misconfigured.
-    const Status attached =
-        StatCache::Instance().AttachDiskTier(config.disk_cache_path);
+    DiskCache::Options disk_options;
+    disk_options.byte_budget = config.disk_cache_budget;
+    const Status attached = StatCache::Instance().AttachDiskTier(
+        config.disk_cache_path, disk_options);
     if (!attached.ok()) return attached;
   }
   if (config.cache_mem_budget > 0) {
@@ -213,6 +215,7 @@ std::string DpkronServer::Process(const QueuedRequest& task) {
   if (!request.dataset.empty()) {
     overrides.dataset = request.dataset;
     overrides.dataset_cache = config_.dataset_cache;
+    overrides.dataset_mmap = config_.dataset_mmap;
   }
   ScenarioOutput output(request.scenario, /*text_out=*/nullptr);
   const Status ran = RunScenario(*spec, overrides, output);

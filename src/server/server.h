@@ -76,10 +76,19 @@ struct ServerConfig {
   // Cap on the in-memory StatCache footprint in bytes (0 = unbounded).
   // Evicted entries reload from the disk tier when one is attached.
   uint64_t cache_mem_budget = 0;
+  // Cap on the disk tier's total entry bytes (0 = unbounded): after each
+  // store, oldest entries are unlinked until the cache fits (in-flight
+  // entries pinned). Long-lived daemons otherwise grow the root without
+  // bound.
+  uint64_t disk_cache_budget = 0;
   // Scenario execution knobs applied to every request.
   bool smoke = false;
   uint32_t kronfit_iterations = 0;  // 0 = scenario default
   bool dataset_cache = true;        // .dpkb sidecars for file datasets
+  // Serve file datasets out-of-core via mmap'd .dpkb (bit-identical
+  // releases; a daemon hosting many large datasets shares their pages
+  // across requests instead of materializing per-load copies).
+  bool dataset_mmap = false;
   // Back-off hint attached to shed-load rejections.
   int64_t shed_retry_after_ms = 50;
   // Time source; nullptr = the monotonic system clock. Tests inject

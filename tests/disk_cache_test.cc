@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -529,6 +530,119 @@ TEST(StatCacheEvictionTest, EvictedEntriesReloadFromDiskBitIdentically) {
   EXPECT_EQ(computes, 2);  // reloaded, not recomputed
   EXPECT_EQ(*reloaded, *first);
   EXPECT_GE(StatCache::Instance().TotalCounters().disk_hits, 1u);
+}
+
+// ------------------------------------------- on-disk byte-budget tests
+
+// Backdates an entry file so eviction order is deterministic regardless
+// of filesystem timestamp granularity.
+void AgeEntry(const std::string& path, int seconds_ago) {
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now() -
+                std::chrono::seconds(seconds_ago));
+}
+
+TEST(DiskCacheByteBudgetTest, ZeroBudgetMeansUnbounded) {
+  TempCacheRoot root("disk_budget_unbounded");
+  const auto cache = MustOpen(root.path());  // default Options: budget 0
+  for (uint64_t key = 0; key < 16; ++key) {
+    ASSERT_TRUE(cache->Store("d", key, std::string(1024, 'x')).ok());
+  }
+  for (uint64_t key = 0; key < 16; ++key) {
+    EXPECT_TRUE(cache->Load("d", key).ok()) << key;
+  }
+  EXPECT_GE(cache->EntryBytes(), 16u * 1024);
+}
+
+TEST(DiskCacheByteBudgetTest, OldestEntriesEvictFirstAfterAStore) {
+  TempCacheRoot root("disk_budget_oldest");
+  DiskCache::Options options;
+  // Each entry is ~1KiB of payload plus framing; room for about three.
+  options.byte_budget = 3600;
+  auto opened = DiskCache::Open(root.path(), options);
+  ASSERT_TRUE(opened.ok());
+  const auto& cache = opened.value();
+
+  const std::string value(1024, 'v');
+  ASSERT_TRUE(cache->Store("d", 1, value).ok());
+  AgeEntry(cache->EntryPath("d", 1), 40);  // oldest
+  ASSERT_TRUE(cache->Store("d", 2, value).ok());
+  AgeEntry(cache->EntryPath("d", 2), 30);
+  ASSERT_TRUE(cache->Store("d", 3, value).ok());
+  AgeEntry(cache->EntryPath("d", 3), 20);
+  EXPECT_TRUE(cache->Load("d", 1).ok());  // all three fit
+
+  // The fourth store pushes the total over budget: key 1 (oldest) goes,
+  // the newer entries and the just-stored one stay.
+  ASSERT_TRUE(cache->Store("d", 4, value).ok());
+  EXPECT_EQ(cache->Load("d", 1).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(cache->Load("d", 2).ok());
+  EXPECT_TRUE(cache->Load("d", 3).ok());
+  EXPECT_TRUE(cache->Load("d", 4).ok());
+  EXPECT_LE(cache->EntryBytes(), options.byte_budget);
+}
+
+TEST(DiskCacheByteBudgetTest, TheJustStoredEntrySurvivesEvenAloneOverBudget) {
+  TempCacheRoot root("disk_budget_keep");
+  DiskCache::Options options;
+  options.byte_budget = 64;  // smaller than any framed entry
+  auto opened = DiskCache::Open(root.path(), options);
+  ASSERT_TRUE(opened.ok());
+  const auto& cache = opened.value();
+
+  ASSERT_TRUE(cache->Store("d", 1, std::string(512, 'a')).ok());
+  AgeEntry(cache->EntryPath("d", 1), 10);
+  ASSERT_TRUE(cache->Store("d", 2, std::string(512, 'b')).ok());
+  // Entry 1 was evictable; entry 2 is the store that triggered the pass
+  // and is pinned — a budget too small for one entry must not turn
+  // Store into a self-defeating write-then-unlink.
+  EXPECT_EQ(cache->Load("d", 1).status().code(), StatusCode::kNotFound);
+  auto kept = cache->Load("d", 2);
+  ASSERT_TRUE(kept.ok()) << kept.status().ToString();
+  EXPECT_EQ(kept.value(), std::string(512, 'b'));
+}
+
+TEST(DiskCacheByteBudgetTest, ALiveLockSidecarPinsItsEntry) {
+  TempCacheRoot root("disk_budget_lock");
+  DiskCache::Options options;
+  options.byte_budget = 1500;  // room for one entry, not two
+  auto opened = DiskCache::Open(root.path(), options);
+  ASSERT_TRUE(opened.ok());
+  const auto& cache = opened.value();
+
+  const std::string value(1024, 'v');
+  ASSERT_TRUE(cache->Store("d", 1, value).ok());
+  AgeEntry(cache->EntryPath("d", 1), 60);
+  // A loser of the claim race may be polling to adopt entry 1: its live
+  // .lock sidecar pins the entry through an over-budget store...
+  { std::ofstream(cache->EntryPath("d", 1) + ".lock"); }
+  ASSERT_TRUE(cache->Store("d", 2, value).ok());
+  EXPECT_TRUE(cache->Load("d", 1).ok());
+  EXPECT_TRUE(cache->Load("d", 2).ok());
+
+  // ...and once the lock releases, the next store evicts it normally.
+  std::filesystem::remove(cache->EntryPath("d", 1) + ".lock");
+  ASSERT_TRUE(cache->Store("d", 3, value).ok());
+  EXPECT_EQ(cache->Load("d", 1).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(cache->Load("d", 3).ok());
+}
+
+TEST(DiskCacheByteBudgetTest, EvictionOnlyTouchesDpkcEntries) {
+  TempCacheRoot root("disk_budget_foreign");
+  DiskCache::Options options;
+  options.byte_budget = 1500;
+  auto opened = DiskCache::Open(root.path(), options);
+  ASSERT_TRUE(opened.ok());
+  const auto& cache = opened.value();
+
+  // A foreign file sharing the root (a README, a stray journal) is
+  // neither counted against the budget nor ever deleted.
+  const std::string foreign = root.path() + "/README.txt";
+  { std::ofstream(foreign) << std::string(4096, 'f'); }
+  ASSERT_TRUE(cache->Store("d", 1, std::string(256, 'v')).ok());
+  EXPECT_TRUE(cache->Load("d", 1).ok());
+  EXPECT_TRUE(std::filesystem::exists(foreign));
+  EXPECT_LT(cache->EntryBytes(), 4096u);  // the README isn't an entry
 }
 
 }  // namespace

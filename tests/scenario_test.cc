@@ -121,7 +121,7 @@ TEST_F(ScenarioTest, LoadScenarioGraphPrefersOverride) {
   Rng rng(1);
   // The spec-declared registry name loses to the override.
   const auto graph = LoadScenarioGraph("AS20-like", p, rng);
-  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
   EXPECT_EQ(graph.value().NumNodes(), 4u);
 
   ScenarioParams no_override;
